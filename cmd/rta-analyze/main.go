@@ -1,0 +1,171 @@
+// Command rta-analyze reads a system description in JSON (see
+// internal/model for the format) and prints worst-case end-to-end
+// response-time bounds per job, next to the deadline verdict.
+//
+// Usage:
+//
+//	rta-analyze [-method auto|exact|approx|iterative] [-sim] system.json
+//
+// With -sim the discrete-event simulator also runs and its observed worst
+// responses are printed for comparison (the exact analysis matches them;
+// the approximate analyses dominate them). -gantt additionally draws the
+// simulated schedule as a per-processor timeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"rta"
+	"rta/internal/dot"
+	"rta/internal/gantt"
+	"rta/internal/model"
+	"rta/internal/report"
+	"rta/internal/tracelog"
+)
+
+func main() {
+	method := flag.String("method", "auto", "analysis method: auto, exact, approx or iterative")
+	withSim := flag.Bool("sim", false, "also run the discrete-event simulator")
+	withGantt := flag.Bool("gantt", false, "draw the simulated schedule (implies -sim)")
+	width := flag.Int("width", 72, "gantt chart width in characters")
+	tracePath := flag.String("trace", "", "write the simulated schedule as Chrome trace JSON (implies -sim)")
+	dotPath := flag.String("dot", "", "write the system structure as Graphviz DOT")
+	reportPath := flag.String("report", "", "write a full markdown dossier (analysis + simulation)")
+	htmlPath := flag.String("html", "", "write a self-contained HTML dossier (tables + CDF chart + timeline)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rta-analyze [flags] system.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	sys, err := model.Load(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res *rta.Result
+	switch *method {
+	case "auto":
+		res, err = rta.Analyze(sys)
+	case "exact":
+		res, err = rta.Exact(sys)
+	case "approx":
+		res, err = rta.Approximate(sys)
+	case "iterative":
+		res, err = rta.Iterative(sys, 0)
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var simRes *rta.SimResult
+	if *withSim || *withGantt || *tracePath != "" {
+		simRes = rta.Simulate(sys)
+	}
+
+	fmt.Printf("method: %s\n", res.Method)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "job\tdeadline\twcrt\twcrt(thm4)\tverdict")
+	if simRes != nil {
+		fmt.Fprint(w, "\tsimulated")
+	}
+	fmt.Fprintln(w)
+	allOK := true
+	for k := range sys.Jobs {
+		verdict := "OK"
+		if rta.IsInf(res.WCRTSum[k]) || res.WCRTSum[k] > sys.Jobs[k].Deadline {
+			verdict = "MISS"
+			allOK = false
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s", sys.JobName(k), sys.Jobs[k].Deadline,
+			tick(res.WCRT[k]), tick(res.WCRTSum[k]), verdict)
+		if simRes != nil {
+			fmt.Fprintf(w, "\t%d", simRes.WorstResponse(k))
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	if *withGantt {
+		fmt.Println()
+		gantt.Render(os.Stdout, sys, simRes, gantt.Options{Width: *width})
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracelog.Write(f, sys, simRes); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s (open in https://ui.perfetto.dev)\n", *tracePath)
+	}
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.Write(f, sys, report.Options{Title: "Response-time analysis: " + flag.Arg(0)}); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *reportPath)
+	}
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteHTML(f, sys, report.Options{Title: "Response-time analysis: " + flag.Arg(0)}); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *htmlPath)
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			fatal(err)
+		}
+		dot.Write(f, sys)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (render with: dot -Tsvg)\n", *dotPath)
+	}
+	if !allOK {
+		os.Exit(1)
+	}
+}
+
+func tick(t rta.Ticks) string {
+	if rta.IsInf(t) {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", t)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rta-analyze:", err)
+	os.Exit(1)
+}

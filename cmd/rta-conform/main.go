@@ -1,0 +1,89 @@
+// Command rta-conform checks an observed execution log against a system
+// model: structural references, causal ordering along chains (including
+// link latencies), end-to-end deadlines, and - unless -nobound - the
+// analyzed worst-case bounds (a bound violation means the deployed system
+// does not match the model that admitted it). It also reports the arrival
+// envelopes the log actually exhibited.
+//
+// Usage:
+//
+//	rta-conform [-nobound] [-groups 8] system.json observations.csv
+//
+// The CSV carries one completed instance hop per line:
+// job,hop,idx,release,complete (0-based indices, '#' comments allowed).
+// Exit status 1 when violations are found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rta"
+	"rta/internal/conformance"
+	"rta/internal/model"
+)
+
+func main() {
+	noBound := flag.Bool("nobound", false, "skip the analyzed-bound check")
+	groups := flag.Int("groups", 8, "largest instance group in the reported envelopes")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rta-conform [flags] system.json observations.csv")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sysFile, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer sysFile.Close()
+	sys, err := model.Load(sysFile)
+	if err != nil {
+		fatal(err)
+	}
+	logFile, err := os.Open(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	defer logFile.Close()
+	log, err := conformance.ParseCSV(logFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	var bounds []rta.Ticks
+	if !*noBound {
+		res, err := rta.Analyze(sys)
+		if err != nil {
+			fatal(err)
+		}
+		bounds = res.WCRTSum
+	}
+
+	violations := conformance.Check(sys, log, bounds)
+	fmt.Printf("%d records, %d violations\n", len(log.Records), len(violations))
+	for _, v := range violations {
+		fmt.Println(" ", v)
+	}
+
+	fmt.Println("\nobserved arrival envelopes (first hop):")
+	for k, e := range conformance.ObservedEnvelopes(sys, log, *groups) {
+		if len(e.MinGap) == 0 {
+			fmt.Printf("  %-10s (no observations)\n", sys.JobName(k))
+			continue
+		}
+		fmt.Printf("  %-10s minGaps %v\n", sys.JobName(k), e.MinGap)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rta-conform:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+// Command rta-envelope works with arrival envelopes (minimum-distance
+// contracts for bursty streams):
+//
+//	rta-envelope extract [-groups 8] trace.txt
+//	    Read release times (one integer per line, '#' comments allowed)
+//	    and print the tightest envelope the trace satisfies.
+//
+//	rta-envelope trace -gaps 0,0,10,20 -n 12
+//	    Print the maximal (critical-instant) trace of the given envelope:
+//	    gaps[i] is the minimum span of i+2 consecutive instances.
+//
+//	rta-envelope check -gaps 0,0,10,20 trace.txt
+//	    Verify a trace against a contract; exit 1 on violation.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rta/internal/envelope"
+	"rta/internal/model"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	switch cmd {
+	case "extract":
+		groups := fs.Int("groups", 8, "largest instance group to characterize")
+		fs.Parse(os.Args[2:])
+		trace := readTrace(fs.Arg(0))
+		env := envelope.FromTrace(trace, *groups)
+		fmt.Printf("instances: %d\n", len(trace))
+		for i, g := range env.MinGap {
+			fmt.Printf("any %2d consecutive instances span >= %d\n", i+2, g)
+		}
+	case "trace":
+		gaps := fs.String("gaps", "", "comma-separated minimum spans (index i: i+2 instances)")
+		n := fs.Int("n", 10, "instances to generate")
+		fs.Parse(os.Args[2:])
+		env := parseEnv(*gaps)
+		for _, t := range env.MaximalTrace(*n) {
+			fmt.Println(t)
+		}
+	case "check":
+		gaps := fs.String("gaps", "", "comma-separated minimum spans")
+		fs.Parse(os.Args[2:])
+		env := parseEnv(*gaps)
+		trace := readTrace(fs.Arg(0))
+		if env.Admits(trace) {
+			fmt.Println("trace satisfies the envelope")
+			return
+		}
+		fmt.Println("VIOLATION: trace is denser than the envelope allows")
+		os.Exit(1)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rta-envelope extract|trace|check [flags] [file]")
+	os.Exit(2)
+}
+
+func parseEnv(gaps string) envelope.Envelope {
+	if gaps == "" {
+		fmt.Fprintln(os.Stderr, "rta-envelope: -gaps is required")
+		os.Exit(2)
+	}
+	var env envelope.Envelope
+	for _, part := range strings.Split(gaps, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rta-envelope: bad gap %q: %v\n", part, err)
+			os.Exit(2)
+		}
+		env.MinGap = append(env.MinGap, v)
+	}
+	if err := env.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "rta-envelope:", err)
+		os.Exit(2)
+	}
+	return env
+}
+
+func readTrace(path string) []model.Ticks {
+	var r *bufio.Scanner
+	if path == "" || path == "-" {
+		r = bufio.NewScanner(os.Stdin)
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rta-envelope:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = bufio.NewScanner(f)
+	}
+	var out []model.Ticks
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rta-envelope: bad release time %q: %v\n", line, err)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "rta-envelope: empty trace")
+		os.Exit(1)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+// Command rta-jobshop regenerates the paper's evaluation figures: the
+// admission-probability-versus-utilization panels of Figure 3 (periodic
+// arrivals, Equations 25/26) and Figure 4 (bursty aperiodic arrivals,
+// Equations 27/28).
+//
+// Usage:
+//
+//	rta-jobshop -figure 3 [-sets 1000] [-seed 1] [-csv out.csv]
+//	rta-jobshop -figure 4 [-sets 1000] [-seed 1] [-csv out.csv]
+//
+// Text tables (one per panel) go to standard output; -csv additionally
+// writes a machine-readable stream. The paper uses 1000 job sets per
+// point; smaller values trade precision for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rta/internal/experiments"
+	"rta/internal/workload"
+)
+
+func main() {
+	figure := flag.Int("figure", 3, "figure to regenerate: 3 (periodic) or 4 (aperiodic)")
+	sets := flag.Int("sets", 1000, "random job sets per utilization point")
+	seed := flag.Int64("seed", 1, "master seed; results are deterministic per seed")
+	csvPath := flag.String("csv", "", "also write CSV to this file")
+	svgDir := flag.String("svg", "", "also render one SVG figure per panel into this directory")
+	replot := flag.String("replot", "", "skip the sweep: load a previously saved CSV and render it")
+	jobs := flag.Int("jobs", workload.Default.Jobs, "jobs per set")
+	procsPerStage := flag.Int("procs", workload.Default.ProcsPerStage, "processors per stage")
+	flag.Parse()
+
+	opts := experiments.Options{
+		Seed:         *seed,
+		Sets:         *sets,
+		Utilizations: experiments.DefaultUtilizations(),
+	}
+	base := workload.Default
+	base.Jobs = *jobs
+	base.ProcsPerStage = *procsPerStage
+
+	start := time.Now()
+	var panels []experiments.Panel
+	if *replot != "" {
+		f, err := os.Open(*replot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rta-jobshop:", err)
+			os.Exit(1)
+		}
+		panels, err = experiments.ParseCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rta-jobshop:", err)
+			os.Exit(1)
+		}
+	} else {
+		panels = runSweep(*figure, base, opts)
+	}
+	_ = start
+	experiments.Render(os.Stdout, panels)
+	if *replot == "" {
+		fmt.Printf("# %d sets/point, seed %d, %s\n", *sets, *seed, time.Since(start).Round(time.Millisecond))
+	}
+	writeOutputs(*csvPath, *svgDir, panels)
+}
+
+func runSweep(figure int, base workload.Config, opts experiments.Options) []experiments.Panel {
+	switch figure {
+	case 3:
+		return experiments.Figure3(base, experiments.Figure3Stages, experiments.Figure3DeadlineFactors, opts)
+	case 4:
+		base.Stages = 4
+		return experiments.Figure4(base, experiments.Figure4Means, experiments.Figure4Scales, opts)
+	}
+	fmt.Fprintf(os.Stderr, "rta-jobshop: unknown figure %d\n", figure)
+	os.Exit(2)
+	return nil
+}
+
+func writeOutputs(csvPath, svgDir string, panels []experiments.Panel) {
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rta-jobshop:", err)
+			os.Exit(1)
+		}
+		experiments.RenderCSV(f, panels)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rta-jobshop:", err)
+			os.Exit(1)
+		}
+	}
+	if svgDir != "" {
+		if err := os.MkdirAll(svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "rta-jobshop:", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteSVGs(svgDir, panels); err != nil {
+			fmt.Fprintln(os.Stderr, "rta-jobshop:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %d SVG panels to %s\n", len(panels), svgDir)
+	}
+}

@@ -1,0 +1,105 @@
+// Command rta-net computes worst-case end-to-end packet delays for a
+// switched network described in JSON (see internal/network for the
+// format): links become non-preemptive processors, flows become jobs,
+// traffic is given as emission traces or leaky-bucket/minimum-distance
+// envelopes.
+//
+// Usage:
+//
+//	rta-net [-sim] [-backlog] network.json
+//
+// -sim additionally simulates the maximal traces and reports observed
+// delay distributions; -backlog prints per-link queue bounds (packets).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"rta"
+	"rta/internal/analysis"
+	"rta/internal/metrics"
+	"rta/internal/network"
+)
+
+func main() {
+	withSim := flag.Bool("sim", false, "also simulate and report delay distributions")
+	withBacklog := flag.Bool("backlog", false, "print per-hop queue bounds")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rta-net [flags] network.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	net, err := network.Load(f)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := net.Build()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := analysis.Analyze(sys)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "flow\tdelay bound\tdeadline\tverdict")
+	allOK := true
+	for k := range sys.Jobs {
+		verdict := "OK"
+		if rta.IsInf(res.WCRTSum[k]) || res.WCRTSum[k] > sys.Jobs[k].Deadline {
+			verdict = "BUDGET EXCEEDED"
+			allOK = false
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\n", sys.JobName(k), tick(res.WCRTSum[k]), sys.Jobs[k].Deadline, verdict)
+	}
+	w.Flush()
+
+	if *withBacklog && res.Hops != nil {
+		fmt.Println("\nper-hop queue bounds (packets):")
+		bw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(bw, "flow\tlink\tqueue")
+		for k := range sys.Jobs {
+			for j, hop := range res.Hops[k] {
+				q := "unbounded"
+				if hop.Backlog >= 0 {
+					q = fmt.Sprint(hop.Backlog)
+				}
+				fmt.Fprintf(bw, "%s\t%s\t%s\n", sys.JobName(k), sys.ProcName(sys.Jobs[k].Subjobs[j].Proc), q)
+			}
+		}
+		bw.Flush()
+	}
+
+	if *withSim {
+		fmt.Println("\nsimulated delay distributions:")
+		metrics.Render(os.Stdout, sys, metrics.Summarize(sys, rta.Simulate(sys)))
+	}
+	if !allOK {
+		os.Exit(1)
+	}
+}
+
+func tick(t rta.Ticks) string {
+	if rta.IsInf(t) {
+		return "inf"
+	}
+	return fmt.Sprint(t)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rta-net:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command rta-simulate draws random job shops, runs every analysis method
+// next to the discrete-event simulator, and reports how tight each bound
+// is against the observed worst-case response times. It is the
+// command-line face of the validation strategy in DESIGN.md: the exact
+// analysis must match the simulation, the approximate methods must
+// dominate it.
+//
+// Usage:
+//
+//	rta-simulate [-sets 50] [-seed 1] [-stages 4] [-util 0.6] [-arrival periodic|aperiodic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"rta"
+	"rta/internal/analysis"
+	"rta/internal/metrics"
+	"rta/internal/model"
+	"rta/internal/spp"
+	"rta/internal/stats"
+	"rta/internal/workload"
+)
+
+func main() {
+	sets := flag.Int("sets", 50, "random job sets to draw")
+	seed := flag.Int64("seed", 1, "master seed")
+	stages := flag.Int("stages", 4, "stages in the shop")
+	util := flag.Float64("util", 0.6, "per-processor utilization")
+	arrival := flag.String("arrival", "periodic", "arrival pattern: periodic or aperiodic")
+	detail := flag.Bool("detail", false, "print the response-time distribution of the first drawn set")
+	flag.Parse()
+
+	cfg := workload.Default
+	cfg.Stages = *stages
+	cfg.Utilization = *util
+	switch *arrival {
+	case "periodic":
+		cfg.Arrival = workload.Periodic
+	case "aperiodic":
+		cfg.Arrival = workload.Aperiodic
+	default:
+		fmt.Fprintf(os.Stderr, "rta-simulate: unknown arrival pattern %q\n", *arrival)
+		os.Exit(2)
+	}
+
+	var exactGap, spnpGap, fcfsGap stats.Summary
+	exactMatches := 0
+	jobsSeen := 0
+	for set := 0; set < *sets; set++ {
+		r := stats.NewRand(*seed, int64(set))
+		d, err := workload.Generate(r, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rta-simulate:", err)
+			os.Exit(1)
+		}
+
+		// Exact vs simulation on the SPP variant.
+		sysSPP := d.WithScheduler(model.SPP)
+		ex, err := spp.Analyze(sysSPP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rta-simulate:", err)
+			os.Exit(1)
+		}
+		simSPP := rta.Simulate(sysSPP)
+		for k := range sysSPP.Jobs {
+			jobsSeen++
+			w := simSPP.WorstResponse(k)
+			if ex.WCRT[k] == w {
+				exactMatches++
+			}
+			if w > 0 {
+				exactGap.Add(float64(ex.WCRT[k]) / float64(w))
+			}
+		}
+
+		// Approximate bounds vs their simulations.
+		for _, sched := range []model.Scheduler{model.SPNP, model.FCFS} {
+			sys := d.WithScheduler(sched)
+			res, err := analysis.Approximate(sys)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rta-simulate:", err)
+				os.Exit(1)
+			}
+			simRes := rta.Simulate(sys)
+			for k := range sys.Jobs {
+				w := simRes.WorstResponse(k)
+				if w <= 0 || rta.IsInf(res.WCRTSum[k]) {
+					continue
+				}
+				ratio := float64(res.WCRTSum[k]) / float64(w)
+				if sched == model.SPNP {
+					spnpGap.Add(ratio)
+				} else {
+					fcfsGap.Add(ratio)
+				}
+			}
+		}
+	}
+
+	fmt.Printf("%d job sets, %d jobs, arrival=%s, util=%.2f, stages=%d\n",
+		*sets, jobsSeen, *arrival, *util, *stages)
+	fmt.Printf("SPP/Exact == simulation on %d/%d jobs\n\n", exactMatches, jobsSeen)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "method\tbound/simulated min\tmean\tmax")
+	row := func(name string, s stats.Summary) {
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\n", name, s.Min, s.Mean(), s.Max)
+	}
+	row("SPP/Exact", exactGap)
+	row("SPNP/App (Thm 4)", spnpGap)
+	row("FCFS/App (Thm 4)", fcfsGap)
+	w.Flush()
+
+	if *detail {
+		r := stats.NewRand(*seed, 0)
+		d, err := workload.Generate(r, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rta-simulate:", err)
+			os.Exit(1)
+		}
+		sys := d.WithScheduler(model.SPP)
+		fmt.Println("\nfirst drawn set, SPP simulation detail:")
+		metrics.Render(os.Stdout, sys, metrics.Summarize(sys, rta.Simulate(sys)))
+	}
+}

@@ -1,0 +1,72 @@
+// Network: end-to-end packet delay bounds for a small switched network -
+// the application domain that motivated this line of analysis (the
+// authors applied it to static-priority ATM scheduling). Links are
+// non-preemptive "processors", packets are job instances, and the bursty
+// data flow is specified by a leaky-bucket contract rather than a trace.
+//
+//	go run ./examples/network
+package main
+
+import (
+	"fmt"
+
+	"rta"
+)
+
+func main() {
+	// Topology: two edge switches feeding a shared backbone link.
+	//
+	//   sensors --edge1--+
+	//                    +--backbone--> sink
+	//   cameras --edge2--+
+	//
+	// Rates in bytes/tick (1 tick = 1 us): 100 B/us = 800 Mbit/s edges,
+	// 1000 B/us backbone. Voice-like telemetry competes with bursty
+	// camera traffic on the backbone.
+	telemetryEnv := rta.PeriodicEnvelope(1_000, 8) // one packet per ms
+	cameraEnv := rta.BurstEnvelope(6, 2_000, 12)   // bursts of 6 frames
+
+	net := &rta.Net{
+		Links: []rta.Link{
+			{Name: "edge1", Sched: rta.SPNP, BytesPerTick: 100, Propagation: 10},
+			{Name: "edge2", Sched: rta.SPNP, BytesPerTick: 100, Propagation: 10},
+			{Name: "backbone", Sched: rta.SPNP, BytesPerTick: 1000},
+		},
+		Flows: []rta.Flow{
+			{Name: "telemetry", Path: []string{"edge1", "backbone"},
+				PacketBytes: 500, Priority: 0, Deadline: 2_000,
+				Envelope: &telemetryEnv, Packets: 10},
+			{Name: "camera", Path: []string{"edge2", "backbone"},
+				PacketBytes: 9_000, Priority: 1, Deadline: 50_000,
+				Envelope: &cameraEnv, Packets: 12},
+			{Name: "bulk", Path: []string{"edge1", "backbone"},
+				PacketBytes: 15_000, Priority: 2, Deadline: 200_000,
+				Envelope: &cameraEnv, Packets: 12},
+		},
+	}
+
+	sys, err := net.Build()
+	if err != nil {
+		panic(err)
+	}
+	res, err := rta.Analyze(sys)
+	if err != nil {
+		panic(err)
+	}
+	simRes := rta.Simulate(sys)
+	rep := rta.Summarize(sys, simRes)
+
+	fmt.Println("worst-case end-to-end packet delays (us):")
+	for k := range sys.Jobs {
+		m := rep.Jobs[k]
+		verdict := "OK"
+		if res.WCRTSum[k] > sys.Jobs[k].Deadline {
+			verdict = "BUDGET EXCEEDED"
+		}
+		fmt.Printf("  %-10s bound %7d   simulated max %7d  p99 %7d  mean %9.1f  deadline %7d  %s\n",
+			sys.JobName(k), res.WCRTSum[k], m.Max, m.P99, m.Mean, sys.Jobs[k].Deadline, verdict)
+	}
+	fmt.Println("\nThe telemetry flow keeps a microsecond-level bound although the")
+	fmt.Println("camera bursts monopolize the backbone: non-preemptive priority")
+	fmt.Println("limits the inversion to one in-flight packet per link.")
+}

@@ -1,0 +1,98 @@
+// Paper: the exact system of the paper's Figure 2 - a four-stage shop
+// with two processors per stage and the two jobs the text walks through:
+// T1 on P1, P3, P5, P7 and T2 on P1, P4, P5, P8 (sharing P1 and P5).
+// The example analyzes it with all four of Section 5.1's methods and
+// prints the comparison the paper's evaluation makes statistically, on
+// this one concrete instance.
+//
+//	go run ./examples/paper
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rta"
+)
+
+func main() {
+	// Periods and execution times are not specified in the text; these
+	// values give both jobs meaningful interference on the shared first
+	// and third stages. One tick = 1 us.
+	const (
+		t1Period = rta.Ticks(7_000)
+		t2Period = rta.Ticks(14_000)
+	)
+	build := func(sched rta.Scheduler) *rta.System {
+		b := rta.NewSystem()
+		for i := 1; i <= 8; i++ {
+			b.Processor(fmt.Sprintf("P%d", i), sched)
+		}
+		b.Job("T1", 2*t1Period,
+			rta.Hop("P1", 1_800, 0),
+			rta.Hop("P3", 3_800, 0),
+			rta.Hop("P5", 1_500, 0),
+			rta.Hop("P7", 900, 0))
+		b.Job("T2", 2*t2Period,
+			rta.Hop("P1", 2_500, 1),
+			rta.Hop("P4", 1_700, 1),
+			rta.Hop("P5", 3_400, 1),
+			rta.Hop("P8", 1_200, 1))
+		var r1, r2 []rta.Ticks
+		for t := rta.Ticks(0); t <= 6*t1Period; t += t1Period {
+			r1 = append(r1, t)
+		}
+		for t := rta.Ticks(0); t <= 5*t2Period; t += t2Period {
+			r2 = append(r2, t)
+		}
+		b.Releases("T1", r1...)
+		b.Releases("T2", r2...)
+		return b.Build()
+	}
+
+	// SPP/Exact.
+	spp := build(rta.SPP)
+	exact, err := rta.Exact(spp)
+	if err != nil {
+		panic(err)
+	}
+	// SPP/S&L (holistic baseline on the periodic description).
+	hol, err := rta.Holistic(&rta.HolisticSystem{
+		Procs: spp.Procs,
+		Tasks: []rta.HolisticTask{
+			{Period: t1Period, Deadline: 2 * t1Period, Subjobs: spp.Jobs[0].Subjobs},
+			{Period: t2Period, Deadline: 2 * t2Period, Subjobs: spp.Jobs[1].Subjobs},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// SPNP/App and FCFS/App.
+	spnp := build(rta.SPNP)
+	appNP, err := rta.Approximate(spnp)
+	if err != nil {
+		panic(err)
+	}
+	fcfs := build(rta.FCFS)
+	appF, err := rta.Approximate(fcfs)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("The Figure 2 job shop, one concrete instance (times in us):")
+	fmt.Printf("%-6s %12s %12s %12s %12s %10s\n",
+		"job", "SPP/Exact", "SPP/S&L", "SPNP/App", "FCFS/App", "deadline")
+	for k := 0; k < 2; k++ {
+		fmt.Printf("%-6s %12d %12d %12d %12d %10d\n",
+			spp.JobName(k), exact.WCRT[k], hol.WCRT[k], appNP.WCRTSum[k], appF.WCRTSum[k],
+			spp.Jobs[k].Deadline)
+	}
+	fmt.Println("\nThe ordering the paper's Figure 3 shows statistically appears")
+	fmt.Println("already on this single instance: the exact analysis is tightest,")
+	fmt.Println("the holistic baseline inflates the multi-stage bound, and the")
+	fmt.Println("non-preemptive/FCFS pipelines pay for their approximation.")
+
+	fmt.Println("\nSPP schedule (first 30 ms):")
+	simRes := rta.Simulate(spp)
+	rta.RenderGantt(os.Stdout, spp, simRes, 100)
+}

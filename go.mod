@@ -1,0 +1,3 @@
+module rta
+
+go 1.22

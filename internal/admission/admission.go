@@ -1,0 +1,167 @@
+// Package admission implements the run-time use the paper's introduction
+// frames the analysis for: an admission controller for dynamic job sets.
+// A controller owns a fixed processor set and a set of admitted jobs;
+// each request is granted exactly when the configured analysis certifies
+// every deadline - of the newcomer and of everything already admitted -
+// with the newcomer included.
+package admission
+
+import (
+	"errors"
+	"fmt"
+
+	"rta/internal/analysis"
+	"rta/internal/curve"
+	"rta/internal/model"
+	"rta/internal/priority"
+)
+
+// PriorityPolicy selects how subjob priorities are maintained as the job
+// set changes.
+type PriorityPolicy int
+
+const (
+	// KeepPriorities uses the priorities carried by the submitted jobs.
+	KeepPriorities PriorityPolicy = iota
+	// DeadlineMonotonic reassigns all priorities with the paper's
+	// Equation (24) rule after every change.
+	DeadlineMonotonic
+	// Synthesized searches for a schedulable assignment with Audsley's
+	// algorithm on every request, falling back to rejecting the request
+	// when none is found.
+	Synthesized
+)
+
+// Controller is a stateful admission controller. Not safe for concurrent
+// use; callers serialize requests (admission decisions are inherently
+// ordered).
+type Controller struct {
+	procs  []model.Processor
+	jobs   []model.Job
+	policy PriorityPolicy
+}
+
+// New creates a controller over the given processors.
+func New(procs []model.Processor, policy PriorityPolicy) *Controller {
+	return &Controller{procs: append([]model.Processor(nil), procs...), policy: policy}
+}
+
+// System returns the currently admitted system (nil when no jobs are
+// admitted yet). The result is a snapshot; mutating it does not affect
+// the controller.
+func (c *Controller) System() *model.System {
+	if len(c.jobs) == 0 {
+		return nil
+	}
+	sys := &model.System{Procs: c.procs, Jobs: c.jobs}
+	return sys.Clone()
+}
+
+// Admitted returns the names of the admitted jobs in admission order.
+func (c *Controller) Admitted() []string {
+	out := make([]string, len(c.jobs))
+	for i := range c.jobs {
+		out[i] = c.jobs[i].Name
+	}
+	return out
+}
+
+// ErrDuplicate rejects a request whose name is already admitted.
+var ErrDuplicate = errors.New("admission: job name already admitted")
+
+// Request decides whether the job can be admitted. On success the job is
+// added to the admitted set; on failure the set is unchanged. The
+// decision uses the exact analysis on all-SPP resource-free systems and
+// the Theorem 4 bounds otherwise.
+func (c *Controller) Request(job model.Job) (bool, error) {
+	if job.Name == "" {
+		return false, errors.New("admission: job needs a name")
+	}
+	for i := range c.jobs {
+		if c.jobs[i].Name == job.Name {
+			return false, ErrDuplicate
+		}
+	}
+	trial := &model.System{Procs: c.procs, Jobs: append(append([]model.Job(nil), c.jobs...), job)}
+	trial = trial.Clone() // detach from caller-owned slices
+	if err := trial.Validate(); err != nil {
+		return false, fmt.Errorf("admission: %w", err)
+	}
+
+	ok, err := c.decide(trial)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, nil
+	}
+	c.jobs = trial.Jobs
+	return true, nil
+}
+
+// Remove drops a job by name and reports whether it was present.
+func (c *Controller) Remove(name string) bool {
+	for i := range c.jobs {
+		if c.jobs[i].Name == name {
+			c.jobs = append(c.jobs[:i:i], c.jobs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Bounds returns the current worst-case response bounds per admitted job.
+func (c *Controller) Bounds() ([]model.Ticks, error) {
+	sys := c.System()
+	if sys == nil {
+		return nil, nil
+	}
+	c.assign(sys)
+	res, err := analysis.Analyze(sys)
+	if err != nil {
+		return nil, err
+	}
+	return res.WCRTSum, nil
+}
+
+func (c *Controller) assign(sys *model.System) {
+	if c.policy == DeadlineMonotonic {
+		priority.RelativeDeadlineMonotonic(sys)
+	}
+}
+
+func (c *Controller) decide(trial *model.System) (bool, error) {
+	switch c.policy {
+	case Synthesized:
+		// Keep the submitted assignment as the fallback: Audsley is
+		// optimal per processor but heuristic end-to-end, so it can miss
+		// assignments - including the one the caller provided.
+		submitted := trial.Clone()
+		ok, err := priority.Audsley(trial, func(s *model.System, job int) (bool, error) {
+			res, err := analysis.Analyze(s)
+			if err != nil {
+				return false, err
+			}
+			return !curve.IsInf(res.WCRTSum[job]) && res.WCRTSum[job] <= s.Jobs[job].Deadline, nil
+		})
+		if err != nil || ok {
+			return ok, err
+		}
+		res, err := analysis.Analyze(submitted)
+		if err != nil {
+			return false, err
+		}
+		if res.Schedulable(submitted) {
+			trial.Jobs = submitted.Jobs
+			return true, nil
+		}
+		return false, nil
+	default:
+		c.assign(trial)
+		res, err := analysis.Analyze(trial)
+		if err != nil {
+			return false, err
+		}
+		return res.Schedulable(trial), nil
+	}
+}

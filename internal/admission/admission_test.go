@@ -1,0 +1,190 @@
+package admission
+
+import (
+	"math/rand"
+	"testing"
+
+	"rta/internal/model"
+	"rta/internal/sim"
+)
+
+func twoProcs(sched model.Scheduler) []model.Processor {
+	return []model.Processor{{Name: "A", Sched: sched}, {Name: "B", Sched: sched}}
+}
+
+func job(name string, deadline model.Ticks, exec model.Ticks, prio int, releases ...model.Ticks) model.Job {
+	return model.Job{
+		Name: name, Deadline: deadline,
+		Subjobs:  []model.Subjob{{Proc: 0, Exec: exec, Priority: prio}, {Proc: 1, Exec: exec, Priority: prio}},
+		Releases: releases,
+	}
+}
+
+func TestAdmitUntilFull(t *testing.T) {
+	c := New(twoProcs(model.SPP), KeepPriorities)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		ok, err := c.Request(job(name(i), 40, 5, i, 0, 50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			admitted++
+		}
+	}
+	// Each job needs 10 ticks end to end; deadline 40 fits at most 4-ish
+	// on the shared pipeline at the synchronous instant.
+	if admitted == 0 || admitted == 10 {
+		t.Fatalf("admitted %d of 10; expected saturation in between", admitted)
+	}
+	// Every admitted job must actually meet its deadline in simulation.
+	sys := c.System()
+	got := sim.Run(sys)
+	for k := range sys.Jobs {
+		if w := got.WorstResponse(k); w > sys.Jobs[k].Deadline {
+			t.Fatalf("admitted job %s misses: %d > %d", sys.JobName(k), w, sys.Jobs[k].Deadline)
+		}
+	}
+	if len(c.Admitted()) != admitted {
+		t.Fatalf("Admitted() length %d != %d", len(c.Admitted()), admitted)
+	}
+}
+
+func name(i int) string { return string(rune('a' + i)) }
+
+func TestRemoveFreesCapacity(t *testing.T) {
+	c := New(twoProcs(model.SPP), KeepPriorities)
+	var names []string
+	for i := 0; ; i++ {
+		ok, err := c.Request(job(name(i), 40, 5, i, 0, 50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		names = append(names, name(i))
+	}
+	rejected := job("zz", 40, 5, 9, 0, 50)
+	if ok, _ := c.Request(rejected); ok {
+		t.Fatal("expected rejection at saturation")
+	}
+	if !c.Remove(names[len(names)-1]) {
+		t.Fatal("Remove failed")
+	}
+	if ok, _ := c.Request(rejected); !ok {
+		t.Fatal("removal should free capacity for an identical job")
+	}
+	if c.Remove("nope") {
+		t.Fatal("Remove of unknown job reported true")
+	}
+}
+
+func TestDuplicateAndValidation(t *testing.T) {
+	c := New(twoProcs(model.SPP), KeepPriorities)
+	if _, err := c.Request(model.Job{Name: "", Deadline: 10}); err == nil {
+		t.Fatal("unnamed job accepted")
+	}
+	ok, err := c.Request(job("x", 100, 2, 0, 0))
+	if err != nil || !ok {
+		t.Fatalf("first admit failed: %v %v", ok, err)
+	}
+	if _, err := c.Request(job("x", 100, 2, 0, 0)); err != ErrDuplicate {
+		t.Fatalf("duplicate err = %v", err)
+	}
+	// Invalid job (no releases) must error without mutating state.
+	if _, err := c.Request(model.Job{Name: "y", Deadline: 10,
+		Subjobs: []model.Subjob{{Proc: 0, Exec: 1}}}); err == nil {
+		t.Fatal("invalid job accepted")
+	}
+	if len(c.Admitted()) != 1 {
+		t.Fatal("failed request mutated state")
+	}
+}
+
+// TestSynthesizedAdmitsAtLeastSubmitted: per request, on the same
+// admitted state, the Audsley policy (with its submitted-priorities
+// fallback) admits whenever the submitted priorities alone would. Across
+// a whole request sequence totals may differ either way (admission is
+// path dependent), so the comparison is per decision.
+func TestSynthesizedAdmitsAtLeastSubmitted(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	synthOnly, both := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		synth := New(twoProcs(model.SPP), Synthesized)
+		for i := 0; i < 8; i++ {
+			// Adversarial fixed priorities: inverted (tightest deadline
+			// lowest priority).
+			d := model.Ticks(20 + r.Intn(100))
+			j := job(name(i), d, model.Ticks(2+r.Intn(5)), int(d), 0, model.Ticks(60+r.Intn(60)))
+			// Would the submitted priorities alone admit on the current
+			// synthesized state?
+			probe := New(twoProcs(model.SPP), KeepPriorities)
+			replayed := true
+			if sys := synth.System(); sys != nil {
+				for k := range sys.Jobs {
+					if ok, err := probe.Request(sys.Jobs[k]); err != nil || !ok {
+						// Distributed scheduling anomalies can make a
+						// prefix of a schedulable set unschedulable; skip
+						// the comparison for this request.
+						replayed = false
+						break
+					}
+				}
+			}
+			if !replayed {
+				if _, err := synth.Request(j); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			fixedOK, err := probe.Request(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			synthOK, err := synth.Request(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fixedOK && !synthOK {
+				t.Fatalf("trial %d req %d: submitted priorities admit but Synthesized rejects", trial, i)
+			}
+			if synthOK && !fixedOK {
+				synthOnly++
+			}
+			if synthOK && fixedOK {
+				both++
+			}
+		}
+		// Synthesized admissions must really hold up in simulation.
+		if sys := synth.System(); sys != nil {
+			got := sim.Run(sys)
+			for k := range sys.Jobs {
+				if w := got.WorstResponse(k); w > sys.Jobs[k].Deadline {
+					t.Fatalf("trial %d: synthesized admission broken for %s", trial, sys.JobName(k))
+				}
+			}
+		}
+	}
+	if synthOnly == 0 {
+		t.Log("note: synthesis never beat the submitted priorities at this sample")
+	}
+	t.Logf("admitted by both: %d; only by synthesis: %d", both, synthOnly)
+}
+
+func TestBounds(t *testing.T) {
+	c := New(twoProcs(model.SPP), DeadlineMonotonic)
+	if b, err := c.Bounds(); err != nil || b != nil {
+		t.Fatal("empty controller should have nil bounds")
+	}
+	if ok, err := c.Request(job("x", 100, 3, 0, 0, 30)); err != nil || !ok {
+		t.Fatal("admit failed")
+	}
+	b, err := c.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 1 || b[0] != 6 {
+		t.Fatalf("bounds = %v, want [6]", b)
+	}
+}

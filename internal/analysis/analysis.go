@@ -1,0 +1,387 @@
+// Package analysis orchestrates the paper's response-time analyses over
+// whole distributed systems.
+//
+// Three entry points cover the paper's methods:
+//
+//   - Exact: Section 4.1 (Theorems 1-3) for systems whose processors all
+//     run SPP; delegates to the spp package.
+//   - Approximate: Section 4.2 (Theorem 4) for arbitrary mixes of SPP,
+//     SPNP and FCFS processors, propagating per-subjob arrival bounds
+//     along each chain (Lemmas 1 and 2) and using the spnp/fcfs service
+//     bounds per processor.
+//   - Analyze: picks Exact when applicable, otherwise Approximate - the
+//     per-method selection the paper's evaluation calls SPP/Exact,
+//     SPNP/App and FCFS/App.
+//
+// The approximate path reports two end-to-end bounds: the paper's
+// Theorem 4 sum of per-hop local response times (Equation 11), used for
+// the reproduction experiments, and a tighter per-instance pipeline bound
+// (the horizontal deviation between the last hop's latest departures and
+// the release trace) that the same bookkeeping yields for free; see
+// Result.WCRT and Result.WCRTSum.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+
+	"rta/internal/curve"
+	"rta/internal/fcfs"
+	"rta/internal/model"
+	"rta/internal/spnp"
+	"rta/internal/spp"
+)
+
+// ErrCyclic is returned when the subjob dependency graph has a cycle; use
+// Iterative for such systems.
+var ErrCyclic = errors.New("analysis: cyclic subjob dependencies (physical or logical loop); use Iterative")
+
+// Hop holds the per-subjob artifacts of the approximate analysis.
+type Hop struct {
+	// ArrEarly[i] / ArrLate[i] bound the release time of instance i at
+	// this hop: the true release lies in [ArrEarly[i], ArrLate[i]].
+	// ArrEarly is the pseudo-inverse of the paper's upper arrival bound
+	// (Lemma 2), ArrLate of the lower one (Lemma 1).
+	ArrEarly, ArrLate []model.Ticks
+	// DepEarly[i] / DepLate[i] bound the completion time of instance i.
+	DepEarly, DepLate []model.Ticks
+	// SvcLo / SvcHi are the service bounds used (Theorems 5/6 or 8/9).
+	SvcLo, SvcHi *curve.Curve
+	// Local is the hop's local response bound d_{k,j} of Equation (12).
+	Local model.Ticks
+	// Backlog bounds the number of instances of this subjob that can be
+	// pending simultaneously (arrival upper bound minus departure lower
+	// bound); -1 when an instance is never certified to complete. Sizes
+	// the subjob's input queue.
+	Backlog int
+}
+
+// Result is the output of an end-to-end analysis.
+type Result struct {
+	// Method names the analysis actually used: "SPP/Exact" or "App".
+	Method string
+	// WCRT[k] is the tightest sound end-to-end response bound computed
+	// for job k: exact for SPP/Exact, the per-instance pipeline bound for
+	// the approximate path. curve.Inf when an instance is never served.
+	WCRT []model.Ticks
+	// WCRTSum[k] is Theorem 4's end-to-end bound, the sum of per-hop
+	// local response times (Equation 11). For the exact method it equals
+	// WCRT. WCRTSum >= WCRT always; the reproduction experiments use
+	// WCRTSum for the App methods, as the paper does.
+	WCRTSum []model.Ticks
+	// Hops[k][j] carries the per-subjob details (approximate path only;
+	// nil for the exact path).
+	Hops [][]Hop
+	// Exact is the underlying exact result when Method == "SPP/Exact".
+	Exact *spp.Result
+}
+
+// Schedulable reports whether every job's Theorem 4 bound (WCRTSum, the
+// paper's admission test) meets its end-to-end deadline.
+func (r *Result) Schedulable(sys *model.System) bool {
+	for k := range sys.Jobs {
+		if curve.IsInf(r.WCRTSum[k]) || r.WCRTSum[k] > sys.Jobs[k].Deadline {
+			return false
+		}
+	}
+	return true
+}
+
+// SchedulableTight is Schedulable with the per-instance bound WCRT.
+func (r *Result) SchedulableTight(sys *model.System) bool {
+	for k := range sys.Jobs {
+		if curve.IsInf(r.WCRT[k]) || r.WCRT[k] > sys.Jobs[k].Deadline {
+			return false
+		}
+	}
+	return true
+}
+
+// Analyze dispatches to the exact analysis when every processor runs SPP
+// and no shared resources are declared, and to the approximate analysis
+// otherwise (resource blocking depends on critical-section placement at
+// run time, which the exact trace analysis cannot know).
+func Analyze(sys *model.System) (*Result, error) {
+	allSPP := true
+	for p := range sys.Procs {
+		if sys.Procs[p].Sched != model.SPP {
+			allSPP = false
+			break
+		}
+	}
+	if allSPP && !sys.HasResources() {
+		return Exact(sys)
+	}
+	return Approximate(sys)
+}
+
+// Exact runs the Section 4.1 analysis (all-SPP systems only).
+func Exact(sys *model.System) (*Result, error) {
+	er, err := spp.Analyze(sys)
+	if err != nil {
+		if errors.Is(err, spp.ErrCyclic) {
+			return nil, ErrCyclic
+		}
+		return nil, err
+	}
+	res := &Result{
+		Method:  "SPP/Exact",
+		WCRT:    append([]model.Ticks(nil), er.WCRT...),
+		WCRTSum: append([]model.Ticks(nil), er.WCRT...),
+		Exact:   er,
+	}
+	return res, nil
+}
+
+// Approximate runs the Theorem 4 pipeline on a system with any mix of
+// SPP, SPNP and FCFS processors.
+func Approximate(sys *model.System) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	st := newState(sys)
+	if err := st.run(); err != nil {
+		return nil, err
+	}
+	return st.result(), nil
+}
+
+// state carries the worklist computation of the approximate pipeline.
+type state struct {
+	sys  *model.System
+	hops [][]Hop
+	done [][]bool
+}
+
+func newState(sys *model.System) *state {
+	st := &state{sys: sys}
+	st.hops = make([][]Hop, len(sys.Jobs))
+	st.done = make([][]bool, len(sys.Jobs))
+	for k := range sys.Jobs {
+		st.hops[k] = make([]Hop, len(sys.Jobs[k].Subjobs))
+		st.done[k] = make([]bool, len(sys.Jobs[k].Subjobs))
+		rel := append([]model.Ticks(nil), sys.Jobs[k].Releases...)
+		st.hops[k][0].ArrEarly = rel
+		st.hops[k][0].ArrLate = rel
+	}
+	return st
+}
+
+// arrivalKnown reports whether the arrival bounds of subjob r are final.
+func (st *state) arrivalKnown(r model.SubjobRef) bool {
+	return r.Hop == 0 || st.done[r.Job][r.Hop-1]
+}
+
+// ready reports whether subjob r can be computed now.
+func (st *state) ready(r model.SubjobRef) bool {
+	if !st.arrivalKnown(r) {
+		return false
+	}
+	sys := st.sys
+	proc := sys.Subjob(r).Proc
+	switch sys.Procs[proc].Sched {
+	case model.SPP, model.SPNP:
+		for _, o := range sys.OnProc(proc) {
+			if o != r && sys.HigherPriority(o, r) && !st.done[o.Job][o.Hop] {
+				return false
+			}
+		}
+	case model.FCFS:
+		for _, o := range sys.OnProc(proc) {
+			if !st.arrivalKnown(o) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (st *state) run() error {
+	remaining := 0
+	for k := range st.done {
+		remaining += len(st.done[k])
+	}
+	for remaining > 0 {
+		progress := false
+		for k := range st.sys.Jobs {
+			for j := range st.sys.Jobs[k].Subjobs {
+				r := model.SubjobRef{Job: k, Hop: j}
+				if st.done[k][j] || !st.ready(r) {
+					continue
+				}
+				st.computeSubjob(r)
+				st.done[k][j] = true
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			return ErrCyclic
+		}
+	}
+	return nil
+}
+
+// finiteTimes drops Inf sentinels from a latest-arrival time vector:
+// instances the lower bounds cannot certify to arrive contribute nothing
+// to a lower arrival (workload) staircase.
+func finiteTimes(ts []model.Ticks) []model.Ticks {
+	n := 0
+	for _, t := range ts {
+		if !curve.IsInf(t) {
+			n++
+		}
+	}
+	if n == len(ts) {
+		return ts
+	}
+	out := make([]model.Ticks, 0, n)
+	for _, t := range ts {
+		if !curve.IsInf(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// computeSubjob derives the service bounds, departure bounds and local
+// response of one subjob whose dependencies are resolved.
+func (st *state) computeSubjob(r model.SubjobRef) {
+	sys := st.sys
+	sj := sys.Subjob(r)
+	hop := &st.hops[r.Job][r.Hop]
+	demandLo := curve.Staircase(finiteTimes(hop.ArrLate), sj.Exec)
+	demandHi := curve.Staircase(hop.ArrEarly, sj.Exec)
+
+	switch sys.Procs[sj.Proc].Sched {
+	case model.SPP, model.SPNP:
+		var blocking model.Ticks
+		if sys.Procs[sj.Proc].Sched == model.SPNP {
+			blocking = sys.Blocking(r)
+		} else {
+			// Preemptive processors block only through shared local
+			// resources: one lower-priority critical section whose
+			// ceiling reaches this priority (priority ceiling protocol).
+			blocking = sys.PCPBlocking(r)
+		}
+		var interf []spnp.Interference
+		for _, o := range sys.OnProc(sj.Proc) {
+			if o != r && sys.HigherPriority(o, r) {
+				oh := &st.hops[o.Job][o.Hop]
+				interf = append(interf, spnp.Interference{Lo: oh.SvcLo, Hi: oh.SvcHi})
+			}
+		}
+		hop.SvcLo, hop.SvcHi = spnp.Bounds(blocking, interf, demandLo, demandHi)
+	case model.FCFS:
+		totalLo, totalHi := demandLo, demandHi
+		for _, o := range sys.OnProc(sj.Proc) {
+			if o == r {
+				continue
+			}
+			oh := &st.hops[o.Job][o.Hop]
+			oe := sys.Subjob(o).Exec
+			totalLo = totalLo.Add(curve.Staircase(finiteTimes(oh.ArrLate), oe))
+			totalHi = totalHi.Add(curve.Staircase(oh.ArrEarly, oe))
+		}
+		hop.SvcLo, hop.SvcHi = fcfs.Bounds(sj.Exec, demandLo, demandHi, totalLo, totalHi)
+	}
+
+	n := len(hop.ArrEarly)
+	hop.DepLate = hop.SvcLo.CompletionTimes(sj.Exec, n)
+	hop.DepEarly = hop.SvcHi.CompletionTimes(sj.Exec, n)
+	for i := 0; i < n; i++ {
+		// An instance cannot complete before its own earliest release
+		// plus its execution time; tightening the earliest departures
+		// tightens the next hop's upper arrival bound.
+		if e := hop.ArrEarly[i] + sj.Exec; !curve.IsInf(hop.DepEarly[i]) && hop.DepEarly[i] < e {
+			hop.DepEarly[i] = e
+		}
+		// Bounds must stay ordered even when the instance is never
+		// completed in the lower service bound.
+		if !curve.IsInf(hop.DepLate[i]) && hop.DepLate[i] < hop.DepEarly[i] {
+			hop.DepLate[i] = hop.DepEarly[i]
+		}
+	}
+
+	// Backlog bound: earliest possible arrivals vs latest completions.
+	hop.Backlog = -1
+	if dl := finiteTimes(hop.DepLate); len(dl) == len(hop.ArrEarly) {
+		if b, ok := curve.MaxVerticalDeviation(curve.Staircase(hop.ArrEarly, 1), curve.Staircase(dl, 1)); ok {
+			hop.Backlog = int(b)
+		}
+	}
+
+	// Equation (12): local response bound for this hop.
+	var local model.Ticks
+	for i := 0; i < n; i++ {
+		if curve.IsInf(hop.DepLate[i]) {
+			local = curve.Inf
+			break
+		}
+		if d := hop.DepLate[i] - hop.ArrEarly[i]; d > local {
+			local = d
+		}
+	}
+	hop.Local = local
+
+	if r.Hop+1 < len(sys.Jobs[r.Job].Subjobs) {
+		// The synchronization-policy transform is monotone, so it maps
+		// the early/late departure bounds to sound early/late release
+		// bounds for the next hop.
+		next := &st.hops[r.Job][r.Hop+1]
+		next.ArrEarly = sys.NextReleases(r.Job, r.Hop, hop.DepEarly)
+		next.ArrLate = sys.NextReleases(r.Job, r.Hop, hop.DepLate)
+	}
+}
+
+// result assembles the end-to-end bounds.
+func (st *state) result() *Result {
+	sys := st.sys
+	res := &Result{
+		Method:  "App",
+		WCRT:    make([]model.Ticks, len(sys.Jobs)),
+		WCRTSum: make([]model.Ticks, len(sys.Jobs)),
+		Hops:    st.hops,
+	}
+	for k := range sys.Jobs {
+		last := len(sys.Jobs[k].Subjobs) - 1
+		// Per-instance pipeline bound: latest completion at the last hop
+		// minus the actual release.
+		var tight model.Ticks
+		for i, dep := range st.hops[k][last].DepLate {
+			if curve.IsInf(dep) {
+				tight = curve.Inf
+				break
+			}
+			if d := dep - sys.Jobs[k].Releases[i]; d > tight {
+				tight = d
+			}
+		}
+		res.WCRT[k] = tight
+		// Theorem 4: sum of per-hop local bounds (Equation 11), plus the
+		// constant inter-hop communication latencies, which fall between
+		// the per-hop response windows. The decomposition presumes direct
+		// synchronization - under Phase Modification or Release Guard the
+		// inter-hop waiting is policy-controlled, not bounded by the link
+		// latency - so for those jobs the per-instance pipeline bound is
+		// reported instead.
+		if sys.Jobs[k].Sync != model.DirectSync {
+			res.WCRTSum[k] = tight
+			continue
+		}
+		var sum model.Ticks
+		for j := range st.hops[k] {
+			l := st.hops[k][j].Local
+			if curve.IsInf(l) {
+				sum = curve.Inf
+				break
+			}
+			sum += l
+			if j < last {
+				sum += sys.Jobs[k].Subjobs[j].PostDelay
+			}
+		}
+		res.WCRTSum[k] = sum
+	}
+	return res
+}

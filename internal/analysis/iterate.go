@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+
+	"rta/internal/curve"
+	"rta/internal/fcfs"
+	"rta/internal/model"
+	"rta/internal/spnp"
+)
+
+// Iterative implements the extension sketched in the paper's conclusion
+// for systems whose subjob dependencies form cycles - "physical loops"
+// (a job revisiting a processor) and "logical loops" (jobs disturbing each
+// other across processors so that no dependency order exists). The
+// unknown per-subjob arrival bounds are treated as a vector X and the
+// per-subjob analysis as a function F; the fixed point of X = F(X) is
+// approached by Kleene iteration from an optimistic start:
+//
+//   - the early arrival and departure bounds are pinned at their provably
+//     sound values - release time plus the chain's cumulative minimum
+//     execution time - and never iterated: an "improved" early bound
+//     computed from not-yet-converged late bounds is not trustworthy, and
+//     merging it in would bake the unsoundness into the fixed point;
+//   - the late arrival bounds start equal to the early ones and are
+//     re-derived from the latest-departure bounds of each predecessor,
+//     merged monotonically (never decreasing), until nothing changes.
+//
+// The iteration diverges (some instance's latest departure grows without
+// bound or beyond the divergence cap) exactly when the bounds cannot
+// certify the loop to drain; the affected jobs report an infinite WCRT.
+//
+// The paper presents this scheme as future work without a soundness
+// proof; this implementation follows its sketch and is validated
+// empirically against the discrete-event simulator (see the package
+// tests). For acyclic systems it reduces to Approximate up to iteration
+// order.
+func Iterative(sys *model.System, maxRounds int) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	if maxRounds <= 0 {
+		maxRounds = 64
+	}
+	st := newState(sys)
+	// Sound early bounds: release plus cumulative execution prefix.
+	// DepEarly of hop j is ArrEarly of hop j+1; both stay fixed.
+	for k := range sys.Jobs {
+		job := &sys.Jobs[k]
+		cum := model.Ticks(0)
+		for j := range job.Subjobs {
+			if j > 0 {
+				cum += job.Subjobs[j-1].Exec + job.Subjobs[j-1].PostDelay
+				early := make([]model.Ticks, len(job.Releases))
+				for i, t := range job.Releases {
+					early[i] = t + cum
+				}
+				st.hops[k][j].ArrEarly = early
+				st.hops[k][j].ArrLate = append([]model.Ticks(nil), early...)
+			}
+			dep := make([]model.Ticks, len(job.Releases))
+			for i, t := range job.Releases {
+				dep[i] = t + cum + job.Subjobs[j].Exec
+			}
+			st.hops[k][j].DepEarly = dep
+		}
+	}
+
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for k := range sys.Jobs {
+			for j := range sys.Jobs[k].Subjobs {
+				r := model.SubjobRef{Job: k, Hop: j}
+				if st.iterateSubjob(r) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return st.result(), nil
+		}
+	}
+	// Did not converge: mark everything still moving as unbounded by one
+	// final pessimistic pass, then report.
+	res := st.result()
+	for k := range res.WCRT {
+		res.WCRT[k] = curve.Inf
+		res.WCRTSum[k] = curve.Inf
+	}
+	res.Method = "App/Iterative(diverged)"
+	return res, errors.New("analysis: iteration did not converge; system reported unschedulable")
+}
+
+// iterateSubjob recomputes one subjob from the current bound vector and
+// merges the result monotonically. It reports whether anything changed.
+func (st *state) iterateSubjob(r model.SubjobRef) bool {
+	sys := st.sys
+	sj := sys.Subjob(r)
+	hop := &st.hops[r.Job][r.Hop]
+	demandLo := curve.Staircase(finiteTimes(hop.ArrLate), sj.Exec)
+	demandHi := curve.Staircase(hop.ArrEarly, sj.Exec)
+
+	switch sys.Procs[sj.Proc].Sched {
+	case model.SPP, model.SPNP:
+		var blocking model.Ticks
+		if sys.Procs[sj.Proc].Sched == model.SPNP {
+			blocking = sys.Blocking(r)
+		} else {
+			blocking = sys.PCPBlocking(r)
+		}
+		var interf []spnp.Interference
+		for _, o := range sys.OnProc(sj.Proc) {
+			if o != r && sys.HigherPriority(o, r) {
+				oh := &st.hops[o.Job][o.Hop]
+				lo, hi := oh.SvcLo, oh.SvcHi
+				if lo == nil {
+					// Not yet computed this round: assume nothing about
+					// its service (no guaranteed progress, full possible
+					// interference bounded by its workload upper bound).
+					lo = curve.Zero()
+					hi = curve.Staircase(oh.ArrEarly, sys.Subjob(o).Exec)
+				}
+				interf = append(interf, spnp.Interference{Lo: lo, Hi: hi})
+			}
+		}
+		hop.SvcLo, hop.SvcHi = spnp.Bounds(blocking, interf, demandLo, demandHi)
+	case model.FCFS:
+		totalLo, totalHi := demandLo, demandHi
+		for _, o := range sys.OnProc(sj.Proc) {
+			if o == r {
+				continue
+			}
+			oh := &st.hops[o.Job][o.Hop]
+			oe := sys.Subjob(o).Exec
+			totalLo = totalLo.Add(curve.Staircase(finiteTimes(oh.ArrLate), oe))
+			totalHi = totalHi.Add(curve.Staircase(oh.ArrEarly, oe))
+		}
+		hop.SvcLo, hop.SvcHi = fcfs.Bounds(sj.Exec, demandLo, demandHi, totalLo, totalHi)
+	}
+
+	n := len(hop.ArrEarly)
+	depLate := hop.SvcLo.CompletionTimes(sj.Exec, n)
+	changed := false
+	if hop.DepLate == nil {
+		hop.DepLate = make([]model.Ticks, n)
+		copy(hop.DepLate, depLate)
+		changed = true
+	}
+	for i := 0; i < n; i++ {
+		// Monotone merge: late bounds only grow. Early bounds stay at
+		// their pinned sound values (see Iterative).
+		if depLate[i] > hop.DepLate[i] || (curve.IsInf(depLate[i]) && !curve.IsInf(hop.DepLate[i])) {
+			hop.DepLate[i] = depLate[i]
+			changed = true
+		}
+	}
+
+	// Local response per Equation (12).
+	var local model.Ticks
+	for i := 0; i < n; i++ {
+		if curve.IsInf(hop.DepLate[i]) {
+			local = curve.Inf
+			break
+		}
+		if d := hop.DepLate[i] - hop.ArrEarly[i]; d > local {
+			local = d
+		}
+	}
+	hop.Local = local
+
+	if r.Hop+1 < len(sys.Jobs[r.Job].Subjobs) {
+		next := &st.hops[r.Job][r.Hop+1]
+		if mergeLate(next.ArrLate, sys.NextReleases(r.Job, r.Hop, hop.DepLate)) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// mergeLate raises dst elementwise to at least src; reports change.
+func mergeLate(dst, src []model.Ticks) bool {
+	changed := false
+	for i := range dst {
+		if curve.IsInf(src[i]) && !curve.IsInf(dst[i]) {
+			dst[i] = curve.Inf
+			changed = true
+			continue
+		}
+		if !curve.IsInf(src[i]) && src[i] > dst[i] && !curve.IsInf(dst[i]) {
+			dst[i] = src[i]
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"rta/internal/curve"
+	"rta/internal/model"
+	"rta/internal/randsys"
+	"rta/internal/sim"
+)
+
+// TestIterativeDominatesSimulationLoops: the conclusion's fixed-point
+// extension must still bracket the simulated schedule on systems with
+// physical and logical loops.
+func TestIterativeDominatesSimulationLoops(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	converged, diverged := 0, 0
+	for trial := 0; trial < 1500; trial++ {
+		cfg := randsys.Default
+		cfg.Loops = true
+		cfg.Schedulers = []model.Scheduler{model.SPP, model.SPNP, model.FCFS}
+		sys := randsys.New(r, cfg)
+		res, err := Iterative(sys, 0)
+		if err != nil {
+			diverged++
+			continue // reported unschedulable; nothing to check
+		}
+		converged++
+		got := sim.Run(sys)
+		for k := range sys.Jobs {
+			hops := res.Hops[k]
+			for j := range sys.Jobs[k].Subjobs {
+				for i := range sys.Jobs[k].Releases {
+					sd := got.Departure[k][j][i]
+					if dl := hops[j].DepLate[i]; !curve.IsInf(dl) && dl < sd {
+						t.Fatalf("trial %d: T_{%d,%d} inst %d: DepLate %d < simulated %d\nsystem: %+v",
+							trial, k+1, j+1, i, dl, sd, sys)
+					}
+					if de := hops[j].DepEarly[i]; de > sd {
+						t.Fatalf("trial %d: T_{%d,%d} inst %d: DepEarly %d > simulated %d\nsystem: %+v",
+							trial, k+1, j+1, i, de, sd, sys)
+					}
+				}
+			}
+			if w := got.WorstResponse(k); !curve.IsInf(res.WCRT[k]) && res.WCRT[k] < w {
+				t.Fatalf("trial %d: job %d WCRT %d < simulated %d", trial, k+1, res.WCRT[k], w)
+			}
+		}
+	}
+	if converged == 0 {
+		t.Fatal("iteration never converged on loop systems")
+	}
+	t.Logf("converged on %d/%d loop systems (%d diverged)", converged, converged+diverged, diverged)
+}
+
+// TestIterativeDominatesSimulationAcyclic: on acyclic systems the
+// iterative scheme is just another sound analysis.
+func TestIterativeDominatesSimulationAcyclic(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 800; trial++ {
+		cfg := randsys.Default
+		cfg.Schedulers = []model.Scheduler{model.SPP, model.SPNP, model.FCFS}
+		sys := randsys.New(r, cfg)
+		res, err := Iterative(sys, 0)
+		if err != nil {
+			continue
+		}
+		got := sim.Run(sys)
+		for k := range sys.Jobs {
+			if w := got.WorstResponse(k); !curve.IsInf(res.WCRT[k]) && res.WCRT[k] < w {
+				t.Fatalf("trial %d: job %d WCRT %d < simulated %d\nsystem: %+v",
+					trial, k+1, res.WCRT[k], w, sys)
+			}
+		}
+	}
+}
+
+// TestIterativeHandlesRevisit: a job visiting the same processor twice
+// (physical loop) is rejected by the worklist analyses but handled here.
+func TestIterativeHandlesRevisit(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Sched: model.SPP}, {Sched: model.SPP}},
+		Jobs: []model.Job{
+			{Deadline: 100, Subjobs: []model.Subjob{
+				{Proc: 0, Exec: 3, Priority: 1},
+				{Proc: 1, Exec: 4, Priority: 0},
+				{Proc: 0, Exec: 2, Priority: 0}, // revisit of P0
+			}, Releases: []model.Ticks{0, 20}},
+		},
+	}
+	if _, err := Approximate(sys); err != ErrCyclic {
+		t.Fatalf("Approximate err = %v, want ErrCyclic", err)
+	}
+	res, err := Iterative(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sim.Run(sys)
+	if w := got.WorstResponse(0); res.WCRT[0] < w {
+		t.Fatalf("WCRT %d < simulated %d", res.WCRT[0], w)
+	}
+	// Alone in the system: the simulation takes exactly 9 per instance,
+	// and the bound should be reasonably close (within the blocking-free
+	// pipeline slack).
+	if got.WorstResponse(0) != 9 {
+		t.Fatalf("simulated response = %d, want 9", got.WorstResponse(0))
+	}
+	if res.WCRT[0] > 30 {
+		t.Errorf("iterative bound %d unexpectedly loose for an isolated chain", res.WCRT[0])
+	}
+}

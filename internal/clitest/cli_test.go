@@ -1,0 +1,192 @@
+// Package clitest builds every command in cmd/ and drives it end to end
+// against the shipped testdata, asserting exit codes and key output
+// fragments - the integration layer the per-package unit tests cannot
+// reach.
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the module root from this package's directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // internal/clitest -> repo root
+}
+
+// buildAll compiles the commands once per test binary.
+func buildAll(t *testing.T) string {
+	t.Helper()
+	root := repoRoot(t)
+	bin := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", bin+string(os.PathSeparator), "./cmd/...")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+type cliCase struct {
+	name     string
+	bin      string
+	args     []string
+	stdin    string
+	wantExit int
+	want     []string
+}
+
+func TestCommands(t *testing.T) {
+	bin := buildAll(t)
+	root := repoRoot(t)
+	pipeline := filepath.Join(root, "testdata", "pipeline.json")
+	network := filepath.Join(root, "testdata", "network.json")
+
+	obs := filepath.Join(t.TempDir(), "obs.csv")
+	if err := os.WriteFile(obs, []byte("0,0,0,0,2000\n0,1,0,2000,3000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(t.TempDir(), "trace.txt")
+	if err := os.WriteFile(trace, []byte("0\n0\n50\n100\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := t.TempDir()
+
+	cases := []cliCase{
+		{
+			name: "analyze basic", bin: "rta-analyze",
+			args: []string{pipeline},
+			want: []string{"method: App", "control", "OK"},
+		},
+		{
+			name: "analyze sim+gantt", bin: "rta-analyze",
+			args: []string{"-sim", "-gantt", "-width", "40", pipeline},
+			want: []string{"simulated", "A=control"},
+		},
+		{
+			name: "analyze artifacts", bin: "rta-analyze",
+			args: []string{
+				"-trace", filepath.Join(outDir, "t.json"),
+				"-dot", filepath.Join(outDir, "s.dot"),
+				"-report", filepath.Join(outDir, "r.md"),
+				pipeline,
+			},
+			want: []string{"wrote"},
+		},
+		{
+			name: "analyze exact rejects SPNP", bin: "rta-analyze",
+			args: []string{"-method", "exact", pipeline}, wantExit: 1,
+			want: []string{"exact analysis requires SPP"},
+		},
+		{
+			name: "net with backlog", bin: "rta-net",
+			args: []string{"-backlog", network},
+			want: []string{"telemetry", "per-hop queue bounds", "OK"},
+		},
+		{
+			name: "envelope extract", bin: "rta-envelope",
+			args: []string{"extract", trace},
+			want: []string{"any  2 consecutive instances span >= 0"},
+		},
+		{
+			name: "envelope trace", bin: "rta-envelope",
+			args: []string{"trace", "-gaps", "0,10", "-n", "4"},
+			want: []string{"0\n0\n10\n10"},
+		},
+		{
+			name: "envelope check violation", bin: "rta-envelope",
+			args: []string{"check", "-gaps", "5,10", trace}, wantExit: 1,
+			want: []string{"VIOLATION"},
+		},
+		{
+			name: "conform clean", bin: "rta-conform",
+			args: []string{"-nobound", pipeline, obs},
+			want: []string{"0 violations", "observed arrival envelopes"},
+		},
+		{
+			name: "simulate", bin: "rta-simulate",
+			args: []string{"-sets", "2", "-stages", "1", "-util", "0.4"},
+			want: []string{"SPP/Exact == simulation", "bound/simulated"},
+		},
+		{
+			name: "jobshop tiny", bin: "rta-jobshop",
+			args: []string{"-figure", "3", "-sets", "2", "-jobs", "3"},
+			want: []string{"Figure 3(a)", "SPP/Exact", "SPP/S&L"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(filepath.Join(bin, tc.bin), tc.args...)
+			cmd.Dir = root
+			if tc.stdin != "" {
+				cmd.Stdin = strings.NewReader(tc.stdin)
+			}
+			out, err := cmd.CombinedOutput()
+			exit := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				exit = ee.ExitCode()
+			} else if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if exit != tc.wantExit {
+				t.Fatalf("exit = %d, want %d\n%s", exit, tc.wantExit, out)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(string(out), w) {
+					t.Errorf("missing %q in output:\n%s", w, out)
+				}
+			}
+		})
+	}
+
+	// Artifacts written by the artifact run must be parseable.
+	for _, f := range []string{"t.json", "s.dot", "r.md"} {
+		b, err := os.ReadFile(filepath.Join(outDir, f))
+		if err != nil {
+			t.Errorf("artifact %s: %v", f, err)
+			continue
+		}
+		if len(b) == 0 {
+			t.Errorf("artifact %s is empty", f)
+		}
+	}
+}
+
+// TestExamples runs every example program end to end (they are the
+// documentation; they must not rot).
+func TestExamples(t *testing.T) {
+	root := repoRoot(t)
+	entries, err := os.ReadDir(filepath.Join(root, "examples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 7 {
+		t.Fatalf("expected at least 7 examples, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,32 @@
+package conformance_test
+
+import (
+	"fmt"
+	"strings"
+
+	"rta/internal/conformance"
+	"rta/internal/model"
+)
+
+// Example checks an observed log against the model: the second instance's
+// completion violates its end-to-end deadline.
+func Example() {
+	sys := &model.System{
+		Procs: []model.Processor{{Sched: model.SPP}},
+		Jobs: []model.Job{{Name: "job", Deadline: 10,
+			Subjobs:  []model.Subjob{{Proc: 0, Exec: 3}},
+			Releases: []model.Ticks{0, 50}}},
+	}
+	log, err := conformance.ParseCSV(strings.NewReader(`
+0,0,0,0,3
+0,0,1,50,65
+`))
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range conformance.Check(sys, log, nil) {
+		fmt.Println(v)
+	}
+	// Output:
+	// deadline: T_{1,1} #1: response 15 exceeds deadline 10
+}

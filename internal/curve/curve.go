@@ -1,0 +1,282 @@
+package curve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Curve is a non-decreasing, integer-exact function of time on [0, +inf).
+//
+// It represents the paper's arrival functions f_arr (Definition 1),
+// departure functions f_dep (Definition 2), workload functions c
+// (Definition 3), service functions S (Definition 4) and utilization
+// functions U (Definition 7). Arrival, departure and workload functions are
+// right-continuous staircases; service and utilization functions are
+// continuous with segment slopes in {0, 1} (the processor serves at unit
+// rate or not at all). Both shapes, and nothing else, are representable:
+// between breakpoints the slope is 0 or 1, and jumps are upward only.
+//
+// Curve values are immutable; all methods return new curves.
+type Curve struct {
+	f pl
+}
+
+// Zero returns the constant-zero curve, the trivial lower bound of
+// Equation (6) in the paper.
+func Zero() *Curve { return &Curve{constPL(0)} }
+
+// Constant returns the constant curve with value v >= 0.
+func Constant(v Value) *Curve {
+	if v < 0 {
+		panic("curve: negative constant curve")
+	}
+	return &Curve{constPL(v)}
+}
+
+// Identity returns f(t) = t, the trivial service upper bound of
+// Equation (5) in the paper and the availability of an idle processor.
+func Identity() *Curve { return &Curve{linearPL(0, 1)} }
+
+// Staircase returns the right-continuous staircase that jumps by height at
+// every time in jumps: f(t) = height * |{i : jumps[i] <= t}|. The slice
+// must be sorted ascending (duplicates encode simultaneous releases) and
+// non-negative. With height 1 this is an arrival function built from
+// release times; with height tau it is the workload function of
+// Equation (1).
+func Staircase(jumps []Time, height Value) *Curve {
+	if height <= 0 {
+		panic("curve: staircase height must be positive")
+	}
+	pts := make([]Point, 0, 2*len(jumps)+1)
+	pts = append(pts, Point{0, 0})
+	level := Value(0)
+	for i := 0; i < len(jumps); {
+		t := jumps[i]
+		if t < 0 {
+			panic("curve: negative release time")
+		}
+		if i > 0 && t < jumps[i-1] {
+			panic("curve: release times not sorted")
+		}
+		j := i
+		for j < len(jumps) && jumps[j] == t {
+			j++
+		}
+		if t > 0 || level > 0 {
+			pts = append(pts, Point{t, level})
+		}
+		level += Value(j-i) * height
+		pts = append(pts, Point{t, level})
+		i = j
+	}
+	return &Curve{canon(pts, 0)}
+}
+
+// fromPL wraps an internal pl as a Curve after verifying the Curve
+// invariants. It panics on violation: every construction site is supposed
+// to guarantee them by theory, so a violation is a bug in this package or
+// in the analysis driving it, never a user input error.
+func fromPL(f pl, op string) *Curve {
+	f.check()
+	if !f.isNonDecreasing() {
+		panic(fmt.Sprintf("curve: %s produced a decreasing curve", op))
+	}
+	if !f.slopesWithin(0, 1) {
+		panic(fmt.Sprintf("curve: %s produced a slope outside {0,1}", op))
+	}
+	return &Curve{f}
+}
+
+// Eval returns the (right-continuous) value of the curve at t >= 0.
+func (c *Curve) Eval(t Time) Value { return c.f.evalRight(t) }
+
+// EvalLeft returns the left limit of the curve at t (equal to Eval except
+// at jump points).
+func (c *Curve) EvalLeft(t Time) Value { return c.f.evalLeft(t) }
+
+// Inverse is the pseudo-inverse of Definition 5 in the paper:
+//
+//	c^-1(y) = min{ s >= 0 : c(s) >= y }.
+//
+// It returns Inf when the curve never reaches y (an overloaded processor
+// never completing instance y). For an arrival staircase, Inverse(m) is the
+// release time of the m-th instance (Equation 3).
+func (c *Curve) Inverse(y Value) Time {
+	pts := c.f.pts
+	if pts[0].Y >= y {
+		return 0
+	}
+	// First breakpoint with value >= y; the value is first reached either
+	// at that breakpoint (jump) or on the unit-slope segment leading to it.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Y >= y })
+	if i == len(pts) {
+		last := pts[len(pts)-1]
+		if c.f.tail <= 0 {
+			return Inf
+		}
+		return last.X + (y - last.Y) // tail slope is 1
+	}
+	p, q := pts[i-1], pts[i]
+	if q.X > p.X && q.Y-p.Y == q.X-p.X {
+		// Unit-slope segment: crossed exactly at an integer time.
+		return p.X + (y - p.Y)
+	}
+	// Jump at q.X (a flat segment cannot raise the value to y).
+	return q.X
+}
+
+// Add returns the pointwise sum of curves, e.g. the total workload G of
+// Equation (21). The summands must be staircases (or at most one of them
+// may carry unit-slope segments): the sum has to satisfy the Curve slope
+// invariant, which two overlapping unit-rate segments would violate.
+func (c *Curve) Add(others ...*Curve) *Curve {
+	acc := c.f
+	for _, o := range others {
+		acc = acc.add(o.f)
+	}
+	return fromPL(acc, "Add")
+}
+
+// Min returns the pointwise minimum of two curves. The minimum is exact
+// whenever every crossing of the two curves falls on the integer grid -
+// always the case when at least one operand is a staircase, since segment
+// slopes are limited to {0,1}; a fractional crossing (only possible
+// between a rising and a flat segment meeting off-grid, which cannot occur
+// within this slope class) would panic inside the representation.
+func (c *Curve) Min(o *Curve) *Curve {
+	return fromPL(c.f.minLower(o.f), "Min")
+}
+
+// FloorDiv implements Theorem 2 of the paper: given a service curve S and
+// the execution time tau, the departure function is
+//
+//	f_dep(t) = floor( S(t) / tau ).
+//
+// The result is a staircase that jumps at the times S first reaches
+// m*tau. Because service curves have integer breakpoints and slopes in
+// {0,1}, these times are exact integers.
+func (c *Curve) FloorDiv(tau Value) *Curve {
+	if tau <= 0 {
+		panic("curve: FloorDiv with non-positive execution time")
+	}
+	var jumps []Time
+	for m := Value(1); ; m++ {
+		t := c.Inverse(m * tau)
+		if IsInf(t) {
+			break
+		}
+		jumps = append(jumps, t)
+		if c.f.tail == 0 {
+			// Finite total service: stop once exceeded.
+			lim := c.f.pts[len(c.f.pts)-1].Y
+			if (m+1)*tau > lim {
+				break
+			}
+		}
+		if c.f.tail > 0 && m > 1<<40 {
+			panic("curve: FloorDiv runaway on unbounded curve")
+		}
+	}
+	if len(jumps) == 0 {
+		return Zero()
+	}
+	return Staircase(jumps, 1)
+}
+
+// CompletionTimes returns, for m = 1..n, the time at which the curve first
+// reaches m*tau: under Theorem 2 these are the departure times of the first
+// n instances of a subjob with execution time tau served according to this
+// service curve. Entries are Inf for instances that are never completed.
+func (c *Curve) CompletionTimes(tau Value, n int) []Time {
+	out := make([]Time, n)
+	for m := 0; m < n; m++ {
+		out[m] = c.Inverse(Value(m+1) * tau)
+	}
+	return out
+}
+
+// JumpTimes returns the jump times of a staircase curve, with multiplicity
+// given by jump height divided by height. It is the inverse of Staircase
+// and panics if the curve has a non-staircase segment or a jump that is not
+// a multiple of height.
+func (c *Curve) JumpTimes(height Value) []Time {
+	if height <= 0 {
+		panic("curve: JumpTimes height must be positive")
+	}
+	var out []Time
+	pts := c.f.pts
+	if c.f.tail != 0 {
+		panic("curve: JumpTimes of non-staircase curve (unbounded tail)")
+	}
+	prev := Value(0)
+	prevX := Time(-1)
+	for _, p := range pts {
+		if p.Y < prev {
+			panic("curve: decreasing staircase")
+		}
+		if p.Y > prev {
+			if p.X != prevX && prevX >= 0 {
+				// A strictly increasing segment (slope 1) is not a staircase.
+				panic("curve: JumpTimes of curve with sloped segment")
+			}
+			d := p.Y - prev
+			if d%height != 0 {
+				panic("curve: jump not a multiple of height")
+			}
+			for k := Value(0); k < d/height; k++ {
+				out = append(out, p.X)
+			}
+			prev = p.Y
+		}
+		prevX = p.X
+	}
+	return out
+}
+
+// Tail returns the slope of the curve after its last breakpoint (0 or 1).
+func (c *Curve) Tail() int64 { return c.f.tail }
+
+// Sup returns the supremum of the curve value, or Inf-like behaviour via
+// ok=false when the curve grows without bound.
+func (c *Curve) Sup() (v Value, ok bool) {
+	if c.f.tail != 0 {
+		return 0, false
+	}
+	return c.f.pts[len(c.f.pts)-1].Y, true
+}
+
+// Breakpoints returns a copy of the breakpoint list. Primarily for tests
+// and debugging.
+func (c *Curve) Breakpoints() []Point {
+	out := make([]Point, len(c.f.pts))
+	copy(out, c.f.pts)
+	return out
+}
+
+// Validate checks all representation invariants and returns an error
+// instead of panicking. Used by tests and by code that builds curves from
+// untrusted inputs.
+func (c *Curve) Validate() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("curve: %v", r)
+		}
+	}()
+	fromPL(c.f, "Validate")
+	return nil
+}
+
+// String renders the curve compactly for debugging.
+func (c *Curve) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, p := range c.f.pts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "(%d,%d)", p.X, p.Y)
+	}
+	fmt.Fprintf(&b, " tail=%d]", c.f.tail)
+	return b.String()
+}

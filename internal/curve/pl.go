@@ -1,0 +1,555 @@
+package curve
+
+import (
+	"fmt"
+	"sort"
+)
+
+// pl is the internal, unrestricted piecewise-linear representation used to
+// build curves. Unlike the exported Curve it may be non-monotone and may
+// jump downwards, which is required for intermediate quantities such as the
+// non-preemptive availability function B of Theorem 5 (which drops by the
+// blocking time) and the difference c(s)-A(s) whose running minimum drives
+// every service transform.
+//
+// Representation invariants (checked by check()):
+//   - pts is non-empty and pts[0].X == 0;
+//   - pts is sorted by X; at most two points share an X (a jump);
+//   - between consecutive points with distinct X the function is linear
+//     and the slope (Y2-Y1)/(X2-X1) is an integer;
+//   - tail is the slope after the last point.
+//
+// Evaluation is right-continuous; evalLeft gives left limits.
+type pl struct {
+	pts  []Point
+	tail int64
+}
+
+// constPL returns the constant function v.
+func constPL(v Value) pl { return pl{pts: []Point{{0, v}}, tail: 0} }
+
+// linearPL returns the function f(t) = y0 + slope*t.
+func linearPL(y0 Value, slope int64) pl {
+	return pl{pts: []Point{{0, y0}}, tail: slope}
+}
+
+// check panics if the representation invariants are violated. It is cheap
+// (linear) and called by the exported Validate helpers and in tests.
+func (f pl) check() {
+	if len(f.pts) == 0 {
+		panic("curve: empty point list")
+	}
+	if f.pts[0].X != 0 {
+		panic(fmt.Sprintf("curve: first breakpoint at x=%d, want 0", f.pts[0].X))
+	}
+	atX := 1
+	for i := 1; i < len(f.pts); i++ {
+		p, q := f.pts[i-1], f.pts[i]
+		switch {
+		case q.X < p.X:
+			panic(fmt.Sprintf("curve: breakpoints out of order at %d: %v after %v", i, q, p))
+		case q.X == p.X:
+			atX++
+			if atX > 2 {
+				panic(fmt.Sprintf("curve: more than two breakpoints at x=%d", q.X))
+			}
+		default:
+			atX = 1
+			if (q.Y-p.Y)%(q.X-p.X) != 0 {
+				panic(fmt.Sprintf("curve: non-integer slope between %v and %v", p, q))
+			}
+		}
+	}
+}
+
+// lastIdxAtOrBefore returns the index of the last point with X <= t, or -1
+// if t precedes every point (impossible for canonical curves, which start
+// at X=0, when t >= 0).
+func (f pl) lastIdxAtOrBefore(t Time) int {
+	// sort.Search finds the first index with X > t.
+	i := sort.Search(len(f.pts), func(i int) bool { return f.pts[i].X > t })
+	return i - 1
+}
+
+// evalRight returns f(t) (right-continuous value). t must be >= 0.
+func (f pl) evalRight(t Time) Value {
+	i := f.lastIdxAtOrBefore(t)
+	if i < 0 {
+		panic(fmt.Sprintf("curve: evalRight(%d) before domain start", t))
+	}
+	p := f.pts[i]
+	if i+1 < len(f.pts) {
+		q := f.pts[i+1]
+		slope := (q.Y - p.Y) / (q.X - p.X)
+		return p.Y + slope*(t-p.X)
+	}
+	return p.Y + f.tail*(t-p.X)
+}
+
+// evalLeft returns the left limit lim_{s -> t-} f(s). For t == 0 it returns
+// f(0) as there is nothing to the left of the domain.
+func (f pl) evalLeft(t Time) Value {
+	if t <= 0 {
+		return f.evalRight(0)
+	}
+	i := f.lastIdxAtOrBefore(t)
+	p := f.pts[i]
+	if p.X == t {
+		// Use the first point at X == t: it carries the left limit.
+		if i > 0 && f.pts[i-1].X == t {
+			return f.pts[i-1].Y
+		}
+		return p.Y
+	}
+	return f.evalRight(t)
+}
+
+// canon normalises a list of points produced by an operation: it collapses
+// redundant points at equal X (keeping only first and last), drops interior
+// collinear points and returns a canonical pl. The tail slope is taken from
+// the argument.
+func canon(pts []Point, tail int64) pl {
+	if len(pts) == 0 {
+		panic("curve: canon of empty point list")
+	}
+	// Collapse runs of equal X to (first, last); drop zero jumps.
+	out := pts[:0:0]
+	for i := 0; i < len(pts); {
+		j := i
+		for j+1 < len(pts) && pts[j+1].X == pts[i].X {
+			j++
+		}
+		if pts[i].Y != pts[j].Y && i != j {
+			out = append(out, pts[i], pts[j])
+		} else {
+			out = append(out, pts[j])
+		}
+		i = j + 1
+	}
+	// Drop interior collinear points.
+	pts = out
+	out = make([]Point, 0, len(pts))
+	for i, p := range pts {
+		for len(out) >= 2 {
+			a, b := out[len(out)-2], out[len(out)-1]
+			if a.X == b.X || b.X == p.X {
+				break
+			}
+			// b is redundant if (a,b) and (b,p) have equal slope.
+			s1n, s1d := b.Y-a.Y, b.X-a.X
+			s2n, s2d := p.Y-b.Y, p.X-b.X
+			if s1n*s2d == s2n*s1d {
+				out = out[:len(out)-1]
+			} else {
+				break
+			}
+		}
+		// Drop a final breakpoint that merely restates the tail slope.
+		_ = i
+		out = append(out, p)
+	}
+	// Drop a trailing point collinear with the tail extension of the
+	// previous point.
+	for len(out) >= 2 {
+		a, b := out[len(out)-2], out[len(out)-1]
+		if a.X != b.X && b.Y-a.Y == tail*(b.X-a.X) {
+			out = out[:len(out)-1]
+		} else {
+			break
+		}
+	}
+	return pl{pts: out, tail: tail}
+}
+
+// mergedXs returns the sorted union of breakpoint X coordinates of a and b,
+// without duplicates.
+func mergedXs(a, b pl) []Time {
+	xs := make([]Time, 0, len(a.pts)+len(b.pts))
+	i, j := 0, 0
+	var last Time = -1
+	push := func(x Time) {
+		if len(xs) == 0 || x != last {
+			xs = append(xs, x)
+			last = x
+		}
+	}
+	for i < len(a.pts) || j < len(b.pts) {
+		switch {
+		case j >= len(b.pts) || (i < len(a.pts) && a.pts[i].X <= b.pts[j].X):
+			push(a.pts[i].X)
+			i++
+		default:
+			push(b.pts[j].X)
+			j++
+		}
+	}
+	return xs
+}
+
+// add returns f + g.
+func (f pl) add(g pl) pl {
+	xs := mergedXs(f, g)
+	pts := make([]Point, 0, 2*len(xs))
+	for _, x := range xs {
+		l := f.evalLeft(x) + g.evalLeft(x)
+		r := f.evalRight(x) + g.evalRight(x)
+		if x == 0 {
+			pts = append(pts, Point{x, r})
+			continue
+		}
+		if l != r {
+			pts = append(pts, Point{x, l})
+		}
+		pts = append(pts, Point{x, r})
+	}
+	return canon(pts, f.tail+g.tail)
+}
+
+// neg returns -f.
+func (f pl) neg() pl {
+	pts := make([]Point, len(f.pts))
+	for i, p := range f.pts {
+		pts[i] = Point{p.X, -p.Y}
+	}
+	return pl{pts: pts, tail: -f.tail}
+}
+
+// sub returns f - g.
+func (f pl) sub(g pl) pl { return f.add(g.neg()) }
+
+// addConst returns f + v.
+func (f pl) addConst(v Value) pl {
+	pts := make([]Point, len(f.pts))
+	for i, p := range f.pts {
+		pts[i] = Point{p.X, p.Y + v}
+	}
+	return pl{pts: pts, tail: f.tail}
+}
+
+// runningMin returns h with h(t) = inf_{0 <= s <= t} f(s). The infimum
+// accounts for left limits at jump points (the infimum over a closed
+// interval of a right-continuous function). Downward segment slopes of f
+// must be >= -1 (rising slopes are unrestricted); this keeps every crossing
+// point on the integer grid, which the analysis relies on. The result has
+// slopes in {-1, 0}.
+func (f pl) runningMin() pl {
+	return f.runningMinSeeded(f.evalRight(0))
+}
+
+// runningMinSeeded is runningMin with an additional candidate value seed
+// injected at t = 0: h(t) = min(seed, inf_{0<=s<=t} f(s)). The service
+// transforms use seed = c(0-) - A(0-) = 0, the "empty prefix" candidate of
+// the paper's min terms: without it, instances released exactly at time 0
+// would be treated as if their full workload had been served instantly.
+func (f pl) runningMinSeeded(seed Value) pl {
+	out := make([]Point, 0, len(f.pts)+4)
+	// A pre-jump marker at x = 0 is not a function value (the domain
+	// starts at 0 and evaluation is right-continuous); start from the
+	// post-jump value.
+	start := 0
+	if len(f.pts) > 1 && f.pts[1].X == 0 {
+		start = 1
+	}
+	cur := seed // running infimum so far
+	if f.pts[start].Y < cur {
+		cur = f.pts[start].Y
+	}
+	out = append(out, Point{0, cur})
+	emit := func(p Point) {
+		out = append(out, p)
+	}
+	for i := start; i < len(f.pts); i++ {
+		p := f.pts[i]
+		// Value reached at p.X from the left is evalLeft; the sweep
+		// visits points in order so jumps appear as two points.
+		if p.Y < cur {
+			// The function dips below the running minimum somewhere in
+			// (prevX, p.X]. Find where it crosses cur.
+			if i == 0 {
+				cur = p.Y
+				out[0] = Point{0, cur}
+				continue
+			}
+			q := f.pts[i-1]
+			if q.X == p.X {
+				// Downward jump below cur: minimum drops at p.X.
+				emit(Point{p.X, cur})
+				emit(Point{p.X, p.Y})
+				cur = p.Y
+				continue
+			}
+			slope := (p.Y - q.Y) / (p.X - q.X)
+			if slope >= 0 {
+				panic("curve: runningMin: non-decreasing segment dips below minimum")
+			}
+			if slope < -1 {
+				panic("curve: runningMin: slope below -1 unsupported")
+			}
+			// q.Y + slope*(x-q.X) == cur  =>  x = q.X + (cur-q.Y)/slope.
+			x := q.X + (cur-q.Y)/slope
+			emit(Point{x, cur})
+			emit(p)
+			cur = p.Y
+			continue
+		}
+		// p.Y >= cur: minimum unchanged at this breakpoint, but the
+		// segment leading *out* of p may dip; handled on next iteration.
+		// Also check the segment between this point and the next: if it
+		// decreases we will catch the dip at the next breakpoint; if this
+		// is the last point the tail may dip, handled below.
+	}
+	last := f.pts[len(f.pts)-1]
+	if f.tail < 0 {
+		if f.tail < -1 {
+			panic("curve: runningMin: tail slope below -1 unsupported")
+		}
+		if last.Y > cur {
+			// Flat at cur until the tail crosses it, then follow the tail.
+			x := last.X + (cur-last.Y)/f.tail
+			emit(Point{x, cur})
+		} else {
+			emit(Point{last.X, cur})
+		}
+		return canon(out, f.tail)
+	}
+	emit(Point{last.X, cur})
+	return canon(out, 0)
+}
+
+// runningMax returns h with h(t) = sup_{0 <= s <= t} f(s), accounting for
+// left limits at downward jumps. Segment slopes must lie in {-1, 0, 1}.
+// The result has slopes in {0, 1} and is used to make sound lower service
+// bounds monotone (a running maximum of a lower bound on a non-decreasing
+// function is still a lower bound).
+func (f pl) runningMax() pl {
+	return f.neg().runningMin().neg()
+}
+
+// clampMin returns max(f, v) pointwise. Upward crossings must happen on
+// segments of slope +1 or at breakpoints/jumps for exactness; slopes must
+// lie in {-1, 0, 1}.
+func (f pl) clampMin(v Value) pl {
+	return f.neg().clampMax(-v).neg()
+}
+
+// clampMax returns min(f, v) pointwise.
+func (f pl) clampMax(v Value) pl {
+	out := make([]Point, 0, len(f.pts)+4)
+	clip := func(y Value) Value {
+		if y > v {
+			return v
+		}
+		return y
+	}
+	out = append(out, Point{0, clip(f.pts[0].Y)})
+	// Walk segments between consecutive sweep points, inserting crossing
+	// breakpoints where the function passes through v.
+	for i := 1; i < len(f.pts); i++ {
+		q := f.pts[i]
+		p := f.pts[i-1]
+		if q.X > p.X && ((p.Y < v && q.Y > v) || (p.Y > v && q.Y < v)) {
+			slope := (q.Y - p.Y) / (q.X - p.X)
+			if slope > 1 || slope < -1 {
+				panic("curve: clamp: slope outside {-1,0,1}")
+			}
+			// Strict crossing inside the segment.
+			out = append(out, Point{p.X + (v-p.Y)/slope, v})
+		}
+		out = append(out, Point{q.X, clip(q.Y)})
+	}
+	last := f.pts[len(f.pts)-1]
+	tail := f.tail
+	switch {
+	case tail > 0 && last.Y >= v:
+		tail = 0
+	case tail > 0 && last.Y < v:
+		// Tail will hit the cap later; add the crossing then go flat.
+		if tail > 1 {
+			panic("curve: clamp: tail slope above 1")
+		}
+		out = append(out, Point{last.X + (v-last.Y)/tail, v})
+		tail = 0
+	case tail < 0 && last.Y > v:
+		// f re-enters the clamped region later: stay at v until then.
+		if tail < -1 {
+			panic("curve: clamp: tail slope below -1")
+		}
+		out = append(out, Point{last.X + (v-last.Y)/tail, v})
+	}
+	return canon(out, tail)
+}
+
+// minLower returns a piecewise-linear integer function h with
+// h <= min(f, g) pointwise and h equal to min(f, g) everywhere except
+// possibly inside unit intervals containing a fractional crossing of f and
+// g, where h is the chord between the exact integer-grid values (the chord
+// of a concave piece lies below it, so the result stays a sound *lower*
+// bound). It is used to cap lower service bounds by the arrived workload.
+func (f pl) minLower(g pl) pl {
+	xs := mergedXs(f, g)
+	type sample struct {
+		x      Time
+		fy, gy Value
+	}
+	// Expand jumps: at a jump of either function emit a left-limit sample
+	// followed by a right-value sample.
+	samples := make([]sample, 0, 2*len(xs))
+	for _, x := range xs {
+		fl, fr := f.evalLeft(x), f.evalRight(x)
+		gl, gr := g.evalLeft(x), g.evalRight(x)
+		if x > 0 && (fl != fr || gl != gr) {
+			samples = append(samples, sample{x, fl, gl})
+		}
+		samples = append(samples, sample{x, fr, gr})
+	}
+	min2 := func(a, b Value) Value {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	out := make([]Point, 0, len(samples)+8)
+	for i, s := range samples {
+		if i > 0 {
+			p := samples[i-1]
+			if s.x > p.x {
+				// Insert crossing breakpoints where f-g changes sign
+				// strictly inside the segment.
+				d1, d2 := p.fy-p.gy, s.fy-s.gy
+				if (d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0) {
+					dx := s.x - p.x
+					sf := (s.fy - p.fy) / dx
+					sg := (s.gy - p.gy) / dx
+					num, den := p.gy-p.fy, sf-sg
+					// x* = p.x + num/den with den != 0 by sign change.
+					if num%den == 0 {
+						x := p.x + num/den
+						out = append(out, Point{x, p.fy + sf*(x-p.x)})
+					} else {
+						// Fractional crossing: bracket it with the exact
+						// values at the neighbouring integer grid points.
+						x := p.x + num/den // floor or toward-zero; num,den same sign
+						if x > p.x {
+							out = append(out, Point{x, min2(p.fy+sf*(x-p.x), p.gy+sg*(x-p.x))})
+						}
+						if x+1 < s.x {
+							out = append(out, Point{x + 1, min2(p.fy+sf*(x+1-p.x), p.gy+sg*(x+1-p.x))})
+						}
+					}
+				}
+			}
+		}
+		out = append(out, Point{s.x, min2(s.fy, s.gy)})
+	}
+	tail := f.tail
+	if g.tail < tail {
+		tail = g.tail
+	}
+	// If the tails diverge, the function with the smaller tail eventually
+	// wins; add breakpoints around the tail crossing so the min is decided.
+	last := samples[len(samples)-1]
+	if f.tail != g.tail {
+		num := last.gy - last.fy
+		den := f.tail - g.tail
+		if (num > 0 && den > 0) || (num < 0 && den < 0) {
+			// Crossing strictly after the last sample at offset num/den.
+			k := num / den // exact or floor (num, den share sign)
+			at := func(k Value) Point {
+				return Point{last.x + k, min2(last.fy+f.tail*k, last.gy+g.tail*k)}
+			}
+			if num%den == 0 {
+				out = append(out, at(k))
+			} else {
+				if k > 0 {
+					out = append(out, at(k))
+				}
+				out = append(out, at(k+1))
+			}
+		}
+	}
+	return canon(out, tail)
+}
+
+// composeMonotone returns f(g(t)) for non-decreasing f and g with segment
+// slopes in {0,1} and g continuous. Breakpoints of the result are g's
+// breakpoints plus the preimages of f's breakpoints, all integers because
+// g crosses integer levels on unit-slope segments at integer times.
+func composeMonotone(f, g pl) pl {
+	// Candidate times: g's breakpoints and min{t : g(t) >= y} for every
+	// breakpoint level y of f within g's range.
+	var ts []Time
+	for _, p := range g.pts {
+		ts = append(ts, p.X)
+	}
+	gInv := func(y Value) (Time, bool) {
+		if g.pts[0].Y >= y {
+			return 0, true
+		}
+		i := sort.Search(len(g.pts), func(i int) bool { return g.pts[i].Y >= y })
+		if i == len(g.pts) {
+			last := g.pts[len(g.pts)-1]
+			if g.tail <= 0 {
+				return 0, false
+			}
+			return last.X + (y - last.Y), true
+		}
+		p, q := g.pts[i-1], g.pts[i]
+		if q.X > p.X && q.Y-p.Y == q.X-p.X {
+			return p.X + (y - p.Y), true
+		}
+		return q.X, true
+	}
+	for _, p := range f.pts {
+		// f changes slope at domain position p.X; include its preimage.
+		if t, ok := gInv(p.X); ok {
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+	pts := make([]Point, 0, len(ts)+1)
+	var last Time = -1
+	for _, t := range ts {
+		if t == last {
+			continue
+		}
+		last = t
+		pts = append(pts, Point{t, f.evalRight(g.evalRight(t))})
+	}
+	if pts[0].X != 0 {
+		pts = append([]Point{{0, f.evalRight(g.evalRight(0))}}, pts...)
+	}
+	// Tail: if g goes flat the composition does too; otherwise g grows at
+	// unit rate past every f breakpoint preimage (all were candidates), so
+	// f's tail slope applies.
+	tail := int64(0)
+	if g.tail != 0 {
+		tail = f.tail
+	}
+	return canon(pts, tail)
+}
+
+// isNonDecreasing reports whether f never decreases.
+func (f pl) isNonDecreasing() bool {
+	for i := 1; i < len(f.pts); i++ {
+		if f.pts[i].Y < f.pts[i-1].Y {
+			return false
+		}
+	}
+	return f.tail >= 0
+}
+
+// slopesWithin reports whether every segment slope (and the tail) lies in
+// [lo, hi]. Jumps are not slopes and are ignored.
+func (f pl) slopesWithin(lo, hi int64) bool {
+	for i := 1; i < len(f.pts); i++ {
+		p, q := f.pts[i-1], f.pts[i]
+		if q.X == p.X {
+			continue
+		}
+		s := (q.Y - p.Y) / (q.X - p.X)
+		if s < lo || s > hi {
+			return false
+		}
+	}
+	return f.tail >= lo && f.tail <= hi
+}

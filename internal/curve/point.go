@@ -1,0 +1,41 @@
+// Package curve implements the exact integer arithmetic on the time
+// functions that drive the response-time analysis of Li, Bettati and Zhao
+// (ICPP 1998): arrival functions, workload functions, service functions and
+// departure functions (Definitions 1-4 of the paper), together with the
+// pseudo-inverse of Definition 5 and the min-based transforms of
+// Theorems 3, 5, 6 and 7.
+//
+// All quantities are integers ("ticks"). Curves are piecewise-linear
+// functions on [0, +inf) whose breakpoints have integer coordinates and
+// whose segments have integer slope; the public Curve type additionally
+// guarantees monotonicity and segment slopes in {0, 1}, which is exactly
+// the class closed under the paper's transforms. Because of this closure
+// property no floating point is ever needed: every theorem in the paper is
+// evaluated exactly.
+package curve
+
+import "math"
+
+// Time is a point in discrete model time, measured in ticks.
+type Time = int64
+
+// Value is a function value (an instance count, or an amount of work or
+// service in ticks).
+type Value = int64
+
+// Inf is the sentinel returned by pseudo-inverses that never reach their
+// target value: the corresponding instance is never served (the processor
+// is overloaded) and the response time is unbounded.
+const Inf Time = math.MaxInt64
+
+// IsInf reports whether t is the unbounded-time sentinel.
+func IsInf(t Time) bool { return t == Inf }
+
+// Point is a breakpoint of a piecewise-linear function. Two consecutive
+// points with the same X encode a jump discontinuity: the function value at
+// X is the later point's Y (right-continuity) and the earlier point's Y is
+// the left limit.
+type Point struct {
+	X Time
+	Y Value
+}

@@ -1,0 +1,347 @@
+package curve
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Availability computes the availability function of Theorem 3,
+// Equation (10):
+//
+//	A(t) = t - sum_h S_h(t)
+//
+// where the S_h are the service functions of the subjobs with higher
+// priority on the same processor. For the exact SPP analysis the theory
+// guarantees that the sum of exact service functions grows at most at unit
+// rate, so A is a valid Curve (non-decreasing with slopes in {0,1}); a
+// violation indicates a bug and panics.
+func Availability(services []*Curve) *Curve {
+	acc := linearPL(0, 1)
+	for _, s := range services {
+		acc = acc.sub(s.f)
+	}
+	return fromPL(acc, "Availability")
+}
+
+// ServiceTransform computes the service function of Theorem 3,
+// Equation (9):
+//
+//	S(t) = min_{0<=s<=t} { A(t) - A(s) + c(s) }
+//	     = A(t) + inf_{0<=s<=t} ( c(s) - A(s) )
+//
+// for an availability curve A and a workload (demand) curve c. The same
+// transform with A(t) = t yields the utilization function of Theorem 7.
+// The infimum accounts for left limits at the workload jumps, matching the
+// minimum over the closed real interval in the paper.
+func ServiceTransform(avail, demand *Curve) *Curve {
+	// The seed 0 is the empty-prefix candidate c(0-) - A(0-): without it,
+	// workload released exactly at t = 0 would count as served instantly.
+	m := demand.f.sub(avail.f).runningMinSeeded(0)
+	return fromPL(avail.f.add(m), "ServiceTransform")
+}
+
+// Utilization computes the utilization function of Theorem 7,
+// Equation (20):
+//
+//	U(t) = min_{0<=s<=t} { t - s + G(s) }
+//
+// where G is the total workload of all subjobs on the processor
+// (Equation 21).
+func Utilization(total *Curve) *Curve {
+	return ServiceTransform(Identity(), total)
+}
+
+// LowerServiceNP computes a sound variant of Theorem 5's lower service
+// bound for static priority non-preemptive scheduling:
+//
+//	S_lower(t) = Bup(t) - b + min_{0<=s<=t} { c(s) - Blo(s) }
+//	Bup(t) = t - sum_h upper_h(t)
+//	Blo(s) = s - sum_h lower_h(s)
+//
+// where b is the blocking time of Equation (15) and upper_h / lower_h are
+// upper and lower bounds on the service consumed by the higher-priority
+// subjobs on the same processor.
+//
+// Derivation (the busy-period argument behind Theorem 5): let u be the
+// start of the backlog period of the subjob containing t, so all work
+// arrived before u is done, S(u) = c(u-). During (u, t] the subjob is
+// continuously backlogged and loses the processor only to higher-priority
+// work - at most sum_h (S_h(t) - S_h(u)) <= sum_h (upper_h(t) -
+// lower_h(u)) - and to a single non-preemptable lower-priority subjob that
+// started before u and extends at most b past it. Hence
+//
+//	S(t) >= c(u-) + (t - u) - sum_h(upper_h(t) - lower_h(u)) - b
+//	      = c(u-) + Bup(t) - Blo(u) - b,
+//
+// and taking the minimum over all candidate u (each candidate only
+// under-estimates) gives the bound. Note two deliberate deviations from
+// Equations (16)-(17) as printed, both required for soundness (our
+// simulation-dominance tests reject the printed form): the availability at
+// the interval end subtracts *upper* interference bounds while the window
+// candidates subtract *lower* ones (the printed form uses the lower bounds
+// at both ends, over-crediting availability), and the blocking enters as a
+// constant offset rather than by shrinking the minimisation window to
+// [0, t-b] (the shrunken window loses the self-capping s = t candidate and
+// can credit service beyond the arrived work).
+//
+// Two refinements keep the bound tight as well as sound. First, the
+// availability term is clamped at zero inside the minimum - the processor
+// never takes service away - so the bound reads
+//
+//	S(t) >= min_u { c(u-) + max(0, Bup(t) - Blo(u) - b) }.
+//
+// Without the clamp, candidates with u close to t drag the minimum down to
+// c(t-) - b - ... and below, and the bound of a barely-loaded processor
+// can collapse to zero. Second, the candidate set is restricted to the
+// instants where a backlog period can actually begin: the subjob's arrival
+// times and u = 0 (a finite set, which is also what makes the clamped
+// minimum efficiently computable). For the restriction to stay sound under
+// latest-arrival demand curves, Blo is replaced by its running maximum
+// (which only lowers candidates): if the true backlog period containing t
+// started at u* with j* instances fully arrived before it, the candidate
+// at the latest-arrival time L of instance j*+1 >= u* has
+// c(L-) <= j* tau = S(u*) and runmax(Blo)(L) >= Blo(u*), so that candidate
+// under-estimates S(t), and the minimum does too.
+//
+// The result is composed as F(runmax(Bup)(t) - b) where F is the lower
+// envelope of the candidate "hockey sticks" k_i + (y - v_i)^+, capped by
+// the total demand; the running maximum over the availability is sound
+// because F is monotone and a running maximum of a pointwise lower bound
+// on a non-decreasing function remains one.
+//
+// With b = 0 this is also the sound lower service bound for a *preemptive*
+// static-priority processor inside an approximate (Theorem 4) pipeline.
+func LowerServiceNP(b Value, upper, lower []*Curve, demand *Curve) *Curve {
+	if b < 0 {
+		panic("curve: negative blocking time")
+	}
+	availT := linearPL(-b, 1)
+	for _, s := range upper {
+		availT = availT.sub(s.f)
+	}
+	vhat := linearPL(0, 1)
+	for _, s := range lower {
+		vhat = vhat.sub(s.f)
+	}
+	vhat = vhat.runningMax()
+
+	// Candidate sticks (v_i, k_i): u = 0 plus every arrival instant.
+	type stick struct{ v, k Value }
+	cands := []stick{{0, 0}}
+	dp := demand.f.pts
+	for i := 1; i < len(dp); i++ {
+		p, q := dp[i-1], dp[i]
+		if q.X == p.X && q.Y > p.Y {
+			cands = append(cands, stick{vhat.evalRight(q.X), p.Y})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].v != cands[b].v {
+			return cands[a].v < cands[b].v
+		}
+		return cands[a].k < cands[b].k
+	})
+	// Lower envelope: keep v strictly increasing, k strictly increasing
+	// and k-v strictly decreasing.
+	env := cands[:0]
+	for _, c := range cands {
+		for len(env) > 0 && env[len(env)-1].k >= c.k {
+			env = env[:len(env)-1]
+		}
+		if len(env) > 0 {
+			t := env[len(env)-1]
+			if c.k-c.v >= t.k-t.v {
+				continue // its sloped part never beats the previous stick
+			}
+		}
+		env = append(env, c)
+	}
+	// Materialize F(y) = min_i (k_i + (y - v_i)^+) for y >= 0 as a pl.
+	fpts := []Point{{0, env[0].k + max64(0, 0-env[0].v)}}
+	for i, s := range env {
+		if s.v > 0 {
+			fpts = append(fpts, Point{s.v, s.k})
+		}
+		if i+1 < len(env) {
+			n := env[i+1]
+			fpts = append(fpts, Point{s.v + (n.k - s.k), n.k})
+		}
+	}
+	F := canon(fpts, 1)
+	if total, ok := (&Curve{demand.f}).Sup(); ok {
+		F = F.clampMax(total)
+	}
+
+	ahat := availT.runningMax().clampMin(0)
+	return fromPL(composeMonotone(F, ahat), "LowerServiceNP")
+}
+
+func max64(a, b Value) Value {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// UpperServiceNP computes a sound variant of Theorem 6's upper service
+// bound:
+//
+//	S_upper(t) = Blo(t) + min_{0<=s<=t} { c(s) - Bup(s) }
+//	Blo(t) = t - sum_h lower_h(t)
+//	Bup(s) = s - sum_h upper_h(s)
+//
+// For every s <= t, the service gained in (s, t] is at most the time not
+// consumed by higher-priority work, (t-s) - sum_h(S_h(t) - S_h(s)) <=
+// Blo(t) - Bup(s), and the service before s is at most the arrived work
+// c(s); so every candidate upper-bounds S(t) and so does their minimum.
+// (Equation (18) as printed uses Equation (19)'s B at both ends of the
+// window, which under-estimates the interference inside it and is not
+// sound for loose bounds; see LowerServiceNP.) The s = 0 seed candidate
+// Blo(t) bounds the service by the total availability. Blocking cannot
+// increase service, so no blocking term appears, matching the paper.
+//
+// The result is additionally capped by the arrived work c (the true
+// service never exceeds it), and the running maximum restores
+// monotonicity, which loose interference bounds can break.
+func UpperServiceNP(lower, upper []*Curve, demand *Curve) *Curve {
+	availT := linearPL(0, 1)
+	for _, s := range lower {
+		availT = availT.sub(s.f)
+	}
+	availS := linearPL(0, 1)
+	for _, s := range upper {
+		availS = availS.sub(s.f)
+	}
+	m := demand.f.sub(availS).runningMinSeeded(0)
+	raw := availT.add(m).runningMax().clampMin(0)
+	return fromPL(raw.minLower(demand.f), "UpperServiceNP")
+}
+
+// ComposeFCFS evaluates the FCFS service bounds of Theorems 8 and 9:
+//
+//	S_lower(t) = c( G^-1( U(t) ) )            (Equation 22)
+//	S_upper(t) = c( G^-1( U(t) ) ) + tau      (Equation 23)
+//
+// demand is the subjob's workload staircase c, total the processor
+// workload G, util the utilization function U. The function returns the
+// composed staircase c(G^-1(U(t))); Theorem 9's +tau is added by the
+// caller.
+//
+// The thresholds differ between the two directions, and the lower one
+// deviates from Theorem 8 as printed, which is not sound under adversarial
+// tie-breaking of simultaneous arrivals (FCFS "arbitrarily picks" among
+// them, as the paper itself notes):
+//
+//   - Lower bound: the instances arriving at x_j are certainly complete
+//     once ALL work arrived in [0, x_j] is - including work arriving
+//     simultaneously at x_j, which an adversarial tie-break serves first.
+//     The composition therefore jumps at the first t with U(t) >= G(x_j)
+//     (right value). The printed G(x_j-) would credit completion before
+//     same-instant competitors are accounted for.
+//   - Upper bound: work arriving after x_j cannot be served while any of
+//     the first G(x_j-) units are pending, so service beyond level
+//     c(x_j-) is impossible before U(t) exceeds G(x_j-) (left value);
+//     jumping at U^-1(G(x_j-)) is at most one tick early, staying sound.
+func ComposeFCFS(demand, total, util *Curve, upper bool) *Curve {
+	pts := []Point{{0, 0}}
+	level := Value(0)
+	dp := demand.f.pts
+	for i := 1; i < len(dp); i++ {
+		p, q := dp[i-1], dp[i]
+		if q.X != p.X || q.Y <= p.Y {
+			if q.X != p.X && q.Y != p.Y {
+				panic("curve: ComposeFCFS demand is not a staircase")
+			}
+			continue
+		}
+		var y Value
+		if upper {
+			// G(x-): for x = 0 the left limit over the empty past is 0
+			// (EvalLeft would return the post-jump value).
+			if q.X > 0 {
+				y = total.EvalLeft(q.X)
+			}
+		} else {
+			y = total.Eval(q.X)
+		}
+		theta := util.Inverse(y)
+		if IsInf(theta) {
+			break
+		}
+		if level > 0 || theta > 0 {
+			pts = append(pts, Point{theta, level})
+		}
+		level = q.Y
+		pts = append(pts, Point{theta, level})
+	}
+	return fromPL(canon(pts, 0), "ComposeFCFS")
+}
+
+// AddConst returns the curve shifted up by v >= 0 (Theorem 9's +tau).
+func (c *Curve) AddConst(v Value) *Curve {
+	if v < 0 {
+		panic("curve: AddConst with negative value")
+	}
+	return fromPL(c.f.addConst(v), "AddConst")
+}
+
+// MaxVerticalDeviation returns the largest vertical distance
+// max_t (upper(t) - lower(t)) between two curves, or ok=false when the
+// gap grows without bound (diverging tails). For an arrival upper bound
+// and a departure lower bound of one subjob this is the maximum backlog -
+// the number of instances simultaneously pending - which sizes the
+// subjob's input queue.
+func MaxVerticalDeviation(upper, lower *Curve) (Value, bool) {
+	if upper.f.tail > lower.f.tail {
+		return 0, false
+	}
+	// The difference is piecewise linear; its maximum sits at a
+	// breakpoint of either curve (evaluating both one-sided limits
+	// handles jumps).
+	var best Value
+	for _, f := range [2]pl{upper.f, lower.f} {
+		for _, p := range f.pts {
+			if d := upper.f.evalRight(p.X) - lower.f.evalRight(p.X); d > best {
+				best = d
+			}
+			if p.X > 0 {
+				if d := upper.f.evalLeft(p.X) - lower.f.evalLeft(p.X); d > best {
+					best = d
+				}
+			}
+		}
+	}
+	return best, true
+}
+
+// MaxHorizontalDeviation returns the largest horizontal distance from the
+// reference staircase to this curve over the first n instances:
+//
+//	max_{1<=m<=n} ( this^-1(m) - ref^-1(m) )
+//
+// This is Theorem 1 when this is the final departure function and ref the
+// first arrival function, and Equation (12) of Theorem 4 when they are the
+// per-hop departure lower bound and arrival upper bound. The returned
+// value is Inf if any instance is never completed; it is never negative
+// for sound inputs (a departure cannot precede its release), and the
+// method panics if it would be, as that indicates an analysis bug.
+func MaxHorizontalDeviation(this, ref *Curve, n int) Time {
+	var d Time
+	for m := 1; m <= n; m++ {
+		td := this.Inverse(Value(m))
+		if IsInf(td) {
+			return Inf
+		}
+		ta := ref.Inverse(Value(m))
+		if IsInf(ta) {
+			panic(fmt.Sprintf("curve: reference staircase has no instance %d", m))
+		}
+		if td < ta {
+			panic(fmt.Sprintf("curve: instance %d departs at %d before reference %d", m, td, ta))
+		}
+		if td-ta > d {
+			d = td - ta
+		}
+	}
+	return d
+}

@@ -1,0 +1,62 @@
+// Package dot exports a system's structure as a Graphviz digraph: one
+// cluster per processor (labeled with its scheduler), one node per
+// subjob, solid edges for the job chains (annotated with communication
+// latency), and dashed edges for the same-processor priority order. The
+// picture answers the two questions an analyst asks first: where do the
+// chains cross, and who can preempt whom.
+package dot
+
+import (
+	"fmt"
+	"io"
+
+	"rta/internal/model"
+)
+
+// Write emits the digraph.
+func Write(w io.Writer, sys *model.System) {
+	fmt.Fprintln(w, "digraph system {")
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, "  node [shape=box, fontsize=10];")
+
+	node := func(r model.SubjobRef) string {
+		return fmt.Sprintf("\"j%dh%d\"", r.Job, r.Hop)
+	}
+
+	for p := range sys.Procs {
+		fmt.Fprintf(w, "  subgraph cluster_p%d {\n", p)
+		fmt.Fprintf(w, "    label=\"%s (%s)\";\n", sys.ProcName(p), sys.Procs[p].Sched)
+		refs := sys.ByPriority(p)
+		for _, r := range refs {
+			sj := sys.Subjob(r)
+			extra := ""
+			if len(sj.CS) > 0 {
+				extra = "\\nlocks:"
+				for _, cs := range sj.CS {
+					extra += fmt.Sprintf(" R%d", cs.Resource)
+				}
+			}
+			fmt.Fprintf(w, "    %s [label=\"%s hop %d\\nexec %d, prio %d%s\"];\n",
+				node(r), sys.JobName(r.Job), r.Hop+1, sj.Exec, sj.Priority, extra)
+		}
+		// Priority order as dashed edges from higher to lower.
+		for i := 1; i < len(refs); i++ {
+			fmt.Fprintf(w, "    %s -> %s [style=dashed, color=gray, constraint=false];\n",
+				node(refs[i-1]), node(refs[i]))
+		}
+		fmt.Fprintln(w, "  }")
+	}
+
+	for k := range sys.Jobs {
+		for j := 1; j < len(sys.Jobs[k].Subjobs); j++ {
+			label := ""
+			if d := sys.Jobs[k].Subjobs[j-1].PostDelay; d > 0 {
+				label = fmt.Sprintf(" [label=\"+%d\"]", d)
+			}
+			fmt.Fprintf(w, "  %s -> %s%s;\n",
+				node(model.SubjobRef{Job: k, Hop: j - 1}),
+				node(model.SubjobRef{Job: k, Hop: j}), label)
+		}
+	}
+	fmt.Fprintln(w, "}")
+}

@@ -1,0 +1,45 @@
+package dot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rta/internal/model"
+)
+
+func TestWriteStructure(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Name: "CPU", Sched: model.SPP}, {Name: "NET", Sched: model.SPNP}},
+		Jobs: []model.Job{
+			{Name: "ctl", Deadline: 100, Releases: []model.Ticks{0},
+				Subjobs: []model.Subjob{
+					{Proc: 0, Exec: 3, Priority: 0, PostDelay: 7,
+						CS: []model.CriticalSection{{Resource: 2, Start: 0, Duration: 1}}},
+					{Proc: 1, Exec: 2, Priority: 0},
+				}},
+			{Name: "log", Deadline: 100, Releases: []model.Ticks{0},
+				Subjobs: []model.Subjob{{Proc: 0, Exec: 5, Priority: 1}}},
+		},
+	}
+	var buf bytes.Buffer
+	Write(&buf, sys)
+	out := buf.String()
+	for _, want := range []string{
+		"digraph system {",
+		`label="CPU (SPP)"`,
+		`label="NET (SPNP)"`,
+		`"j0h0" -> "j0h1" [label="+7"]`, // chain edge with latency
+		"style=dashed",                  // priority edge
+		"locks: R2",                     // critical section annotation
+		`exec 5, prio 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces")
+	}
+}

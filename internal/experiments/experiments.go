@@ -1,0 +1,447 @@
+// Package experiments regenerates the paper's evaluation (Section 5): the
+// admission-probability-versus-utilization curves of Figures 3 and 4.
+//
+// For every utilization point, Sets random job shops are drawn; each draw
+// is analyzed by every method on the *same* topology, execution times,
+// release trace and deadlines (only the processors' scheduler changes),
+// and the admission probability is the fraction of draws every job of
+// which meets its end-to-end deadline under that method's bound. Draws
+// are analyzed concurrently by a worker pool; results are deterministic
+// in the master seed regardless of parallelism.
+package experiments
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"rta/internal/analysis"
+	"rta/internal/model"
+	"rta/internal/plot"
+	"rta/internal/spp"
+	"rta/internal/stats"
+	"rta/internal/sunliu"
+	"rta/internal/workload"
+)
+
+// Method identifies one of the four analysis methods of Section 5.1.
+type Method string
+
+const (
+	// SPPExact is the exact analysis of Section 4.1 on SPP processors.
+	SPPExact Method = "SPP/Exact"
+	// SPNPApp is the approximate analysis of Section 4.2.2 on SPNP
+	// processors.
+	SPNPApp Method = "SPNP/App"
+	// FCFSApp is the approximate analysis of Section 4.2.3 on FCFS
+	// processors.
+	FCFSApp Method = "FCFS/App"
+	// SunLiu is the baseline holistic analysis on SPP processors
+	// (periodic workloads only).
+	SunLiu Method = "SPP/S&L"
+	// SPNPAppTight and FCFSAppTight are extension variants of the App
+	// methods that admit on the per-instance pipeline bound instead of
+	// the paper's Equation (11) sum (see analysis.Result.WCRT).
+	SPNPAppTight Method = "SPNP/App+"
+	FCFSAppTight Method = "FCFS/App+"
+)
+
+// Point is one utilization sample of a panel.
+type Point struct {
+	Utilization float64
+	// Admission[m] is the estimated admission probability of method m.
+	Admission map[Method]stats.Proportion
+}
+
+// Panel is one subplot of a figure: a fixed configuration swept over
+// utilization.
+type Panel struct {
+	Name   string
+	Config workload.Config
+	Points []Point
+}
+
+// Options control a sweep.
+type Options struct {
+	// Seed is the master seed; every draw derives deterministically.
+	Seed int64
+	// Sets is the number of random job sets per utilization point (the
+	// paper uses 1000).
+	Sets int
+	// Utilizations is the sweep grid.
+	Utilizations []float64
+	// Methods to evaluate.
+	Methods []Method
+	// Workers caps the worker pool (defaults to GOMAXPROCS).
+	Workers int
+}
+
+// DefaultUtilizations is the sweep grid used by the reproduction.
+func DefaultUtilizations() []float64 {
+	var out []float64
+	for u := 0.1; u < 0.96; u += 0.05 {
+		out = append(out, u)
+	}
+	return out
+}
+
+// Admit runs every requested method on one draw and reports the per-method
+// admission decision.
+func Admit(d *workload.Draw, methods []Method) map[Method]bool {
+	out := make(map[Method]bool, len(methods))
+	for _, m := range methods {
+		out[m] = admitOne(d, m)
+	}
+	return out
+}
+
+func admitOne(d *workload.Draw, m Method) bool {
+	switch m {
+	case SPPExact:
+		res, err := spp.Analyze(d.WithScheduler(model.SPP))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: exact analysis failed: %v", err))
+		}
+		return res.Schedulable(d.System)
+	case SPNPApp:
+		sys := d.WithScheduler(model.SPNP)
+		res, err := analysis.Approximate(sys)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: SPNP analysis failed: %v", err))
+		}
+		return res.Schedulable(sys)
+	case FCFSApp:
+		sys := d.WithScheduler(model.FCFS)
+		res, err := analysis.Approximate(sys)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: FCFS analysis failed: %v", err))
+		}
+		return res.Schedulable(sys)
+	case SPNPAppTight:
+		sys := d.WithScheduler(model.SPNP)
+		res, err := analysis.Approximate(sys)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: SPNP analysis failed: %v", err))
+		}
+		return res.SchedulableTight(sys)
+	case FCFSAppTight:
+		sys := d.WithScheduler(model.FCFS)
+		res, err := analysis.Approximate(sys)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: FCFS analysis failed: %v", err))
+		}
+		return res.SchedulableTight(sys)
+	case SunLiu:
+		ts := d.SunLiu()
+		res, err := sunliu.Analyze(ts)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: S&L analysis failed: %v", err))
+		}
+		return res.Schedulable(ts)
+	}
+	panic("experiments: unknown method " + string(m))
+}
+
+// Sweep estimates the admission probability of each method over the
+// utilization grid for one panel configuration.
+func Sweep(cfg workload.Config, opts Options) Panel {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	panel := Panel{Config: cfg}
+	for ui, u := range opts.Utilizations {
+		c := cfg
+		c.Utilization = u
+		pt := Point{Utilization: u, Admission: map[Method]stats.Proportion{}}
+
+		type verdict struct {
+			set int
+			ok  map[Method]bool
+		}
+		jobs := make(chan int)
+		results := make(chan verdict, opts.Sets)
+		var wg sync.WaitGroup
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for set := range jobs {
+					r := stats.NewRand(opts.Seed, int64(ui)*1_000_003+int64(set))
+					d, err := workload.Generate(r, c)
+					if err != nil {
+						panic(err)
+					}
+					results <- verdict{set, Admit(d, opts.Methods)}
+				}
+			}()
+		}
+		go func() {
+			for set := 0; set < opts.Sets; set++ {
+				jobs <- set
+			}
+			close(jobs)
+			wg.Wait()
+			close(results)
+		}()
+		for v := range results {
+			for m, ok := range v.ok {
+				p := pt.Admission[m]
+				p.Add(ok)
+				pt.Admission[m] = p
+			}
+		}
+		panel.Points = append(panel.Points, pt)
+	}
+	return panel
+}
+
+// Figure 3/4 panel constants, calibrated so the sweep exercises the full
+// admission range (the paper does not report its exact values; these
+// reproduce the published curve shapes - see EXPERIMENTS.md).
+var (
+	// Figure3Stages are the row values: single stage (where SPP/Exact and
+	// SPP/S&L must coincide) through the deep pipeline where they split.
+	Figure3Stages = []int{1, 2, 4}
+	// Figure3DeadlineFactors are the column values; the paper doubles the
+	// deadline from left to right.
+	Figure3DeadlineFactors = []float64{2, 4}
+	// Figure4Means are the column values of the deadline mean (time
+	// units); the paper grows the average left to right.
+	Figure4Means = []float64{6, 10}
+	// Figure4Scales are the row values of the deadline standard
+	// deviation; the paper grows the variance top to bottom.
+	Figure4Scales = []float64{1, 2, 4}
+)
+
+// Figure3 regenerates the periodic-arrival figure: rows sweep the number
+// of stages, columns the deadline factor.
+func Figure3(base workload.Config, stages []int, deadlineFactors []float64, opts Options) []Panel {
+	if opts.Methods == nil {
+		opts.Methods = []Method{SPPExact, SunLiu, SPNPApp, FCFSApp}
+	}
+	var panels []Panel
+	names := "abcdefghijklmnopqrstuvwxyz"
+	i := 0
+	for _, df := range deadlineFactors {
+		for _, st := range stages {
+			cfg := base
+			cfg.Arrival = workload.Periodic
+			cfg.Stages = st
+			cfg.DeadlineFactor = df
+			p := Sweep(cfg, opts)
+			p.Name = fmt.Sprintf("Figure 3(%c): %d stage(s), deadline = %gx period",
+				names[i%len(names)], st, df)
+			panels = append(panels, p)
+			i++
+		}
+	}
+	return panels
+}
+
+// Figure4 regenerates the aperiodic-arrival figure: rows sweep the
+// deadline variance (the shifted-exponential scale), columns its mean.
+func Figure4(base workload.Config, means, scales []float64, opts Options) []Panel {
+	if opts.Methods == nil {
+		opts.Methods = []Method{SPPExact, SPNPApp, FCFSApp}
+	}
+	var panels []Panel
+	names := "abcdefghijklmnopqrstuvwxyz"
+	i := 0
+	for _, mean := range means {
+		for _, scale := range scales {
+			cfg := base
+			cfg.Arrival = workload.Aperiodic
+			cfg.DeadlineScale = scale
+			cfg.DeadlineOffset = mean - scale
+			if cfg.DeadlineOffset < 0 {
+				cfg.DeadlineOffset = 0
+			}
+			p := Sweep(cfg, opts)
+			p.Name = fmt.Sprintf("Figure 4(%c): deadline mean %g, std %g",
+				names[i%len(names)], mean, scale)
+			panels = append(panels, p)
+			i++
+		}
+	}
+	return panels
+}
+
+// Render writes the panels as aligned text tables, one row per
+// utilization point and one column per method, in the spirit of the
+// paper's plots. The trailing column notes the half-width of the widest
+// 95% Wilson interval in the row, so readers can judge the sampling
+// noise without replotting.
+func Render(w io.Writer, panels []Panel) {
+	for _, p := range panels {
+		fmt.Fprintf(w, "%s\n", p.Name)
+		methods := methodsOf(p)
+		fmt.Fprintf(w, "%-12s", "util")
+		for _, m := range methods {
+			fmt.Fprintf(w, "%12s", string(m))
+		}
+		fmt.Fprintf(w, "%10s\n", "+-95%")
+		for _, pt := range p.Points {
+			fmt.Fprintf(w, "%-12.2f", pt.Utilization)
+			worst := 0.0
+			for _, m := range methods {
+				pr := pt.Admission[m]
+				fmt.Fprintf(w, "%12.3f", pr.Estimate())
+				lo, hi := pr.Wilson(1.96)
+				if h := (hi - lo) / 2; h > worst {
+					worst = h
+				}
+			}
+			fmt.Fprintf(w, "%10.3f\n", worst)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderCSV writes the panels as a single CSV stream suitable for
+// replotting.
+func RenderCSV(w io.Writer, panels []Panel) {
+	fmt.Fprintln(w, "panel,utilization,method,admission,sets")
+	for _, p := range panels {
+		for _, pt := range p.Points {
+			for _, m := range methodsOf(p) {
+				pr := pt.Admission[m]
+				fmt.Fprintf(w, "%q,%.3f,%q,%.4f,%d\n",
+					p.Name, pt.Utilization, string(m), pr.Estimate(), pr.Trials)
+			}
+		}
+	}
+}
+
+func methodsOf(p Panel) []Method {
+	if len(p.Points) == 0 {
+		return nil
+	}
+	var ms []Method
+	for m := range p.Points[0].Admission {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(a, b int) bool { return order(ms[a]) < order(ms[b]) })
+	return ms
+}
+
+func order(m Method) int {
+	switch m {
+	case SPPExact:
+		return 0
+	case SunLiu:
+		return 1
+	case SPNPApp:
+		return 2
+	case SPNPAppTight:
+		return 3
+	case FCFSApp:
+		return 4
+	case FCFSAppTight:
+		return 5
+	}
+	return 6
+}
+
+// PanelPlot converts a panel into a plot definition (admission vs
+// utilization, one series per method) ready for SVG rendering.
+func PanelPlot(p Panel) *plot.Plot {
+	out := &plot.Plot{
+		Title:  p.Name,
+		XLabel: "system utilization",
+		YLabel: "admission probability",
+		YMin:   0, YMax: 1.02,
+	}
+	for _, m := range methodsOf(p) {
+		s := plot.Series{Name: string(m)}
+		for _, pt := range p.Points {
+			s.X = append(s.X, pt.Utilization)
+			s.Y = append(s.Y, pt.Admission[m].Estimate())
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out
+}
+
+// WriteSVGs renders every panel to dir as figure-<n>.svg.
+func WriteSVGs(dir string, panels []Panel) error {
+	for i, p := range panels {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("panel-%02d.svg", i+1)))
+		if err != nil {
+			return err
+		}
+		if err := PanelPlot(p).WriteSVG(f, 560, 380); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseCSV reads back a RenderCSV stream into panels (inverse of
+// RenderCSV up to the per-draw verdicts), so saved results can be
+// re-rendered without re-running the sweep.
+func ParseCSV(r io.Reader) ([]Panel, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("experiments: empty CSV")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "panel,utilization,method,admission,sets" {
+		return nil, fmt.Errorf("experiments: unexpected CSV header %q", got)
+	}
+	var panels []Panel
+	idx := map[string]int{}
+	line := 1
+	for sc.Scan() {
+		line++
+		rec, err := splitCSV(sc.Text())
+		if err != nil || len(rec) != 5 {
+			return nil, fmt.Errorf("experiments: line %d: malformed record", line)
+		}
+		util, err1 := strconv.ParseFloat(rec[1], 64)
+		adm, err2 := strconv.ParseFloat(rec[3], 64)
+		sets, err3 := strconv.Atoi(rec[4])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("experiments: line %d: bad numbers", line)
+		}
+		pi, ok := idx[rec[0]]
+		if !ok {
+			pi = len(panels)
+			idx[rec[0]] = pi
+			panels = append(panels, Panel{Name: rec[0]})
+		}
+		p := &panels[pi]
+		var pt *Point
+		for i := range p.Points {
+			if p.Points[i].Utilization == util {
+				pt = &p.Points[i]
+				break
+			}
+		}
+		if pt == nil {
+			p.Points = append(p.Points, Point{Utilization: util, Admission: map[Method]stats.Proportion{}})
+			pt = &p.Points[len(p.Points)-1]
+		}
+		pt.Admission[Method(rec[2])] = stats.Proportion{
+			Successes: int(adm*float64(sets) + 0.5), Trials: sets,
+		}
+	}
+	return panels, sc.Err()
+}
+
+// splitCSV handles the minimal quoting RenderCSV emits (quoted first and
+// third fields, no embedded quotes-of-quotes).
+func splitCSV(line string) ([]string, error) {
+	rd := csv.NewReader(strings.NewReader(line))
+	return rd.Read()
+}

@@ -1,0 +1,43 @@
+// Package fcfs computes the per-subjob service bounds of Section 4.2.3 for
+// first-come-first-served processors: the utilization function of
+// Theorem 7 and the service bounds of Theorems 8 and 9.
+//
+// Inside the approximate (Theorem 4) pipeline the arrival functions of the
+// subjobs sharing the processor are only known as bounds, so each
+// ingredient is instantiated with the sound polarity:
+//
+//   - the *lower* service bound composes the subjob's latest-arrival
+//     workload with the utilization of the latest-arrival total workload
+//     against the earliest-arrival total workload threshold (all three
+//     choices make the bound smaller, i.e. completions later);
+//   - the *upper* service bound composes the earliest-arrival workload
+//     with the utilization of the earliest-arrival total against the
+//     latest-arrival total threshold, plus Theorem 9's +tau, capped by the
+//     arrived work.
+//
+// With exact arrivals (e.g. on the first hop) both collapse to the paper's
+// formulas, up to the simultaneous-arrival tie-breaking correction
+// documented at curve.ComposeFCFS.
+package fcfs
+
+import (
+	"rta/internal/curve"
+	"rta/internal/model"
+)
+
+// Bounds computes the (lower, upper) service bounds for one subjob on a
+// FCFS processor.
+//
+// demandLo/demandHi are the subjob's workload staircases from latest and
+// earliest arrivals; totalLo/totalHi the processor-wide sums of the same
+// (Equation 21, including the subjob itself); exec the subjob's execution
+// time tau.
+func Bounds(exec model.Ticks, demandLo, demandHi, totalLo, totalHi *curve.Curve) (lo, hi *curve.Curve) {
+	utilLo := curve.Utilization(totalLo)                     // Theorem 7 on the sparsest workload
+	utilHi := curve.Utilization(totalHi)                     // and on the densest
+	lo = curve.ComposeFCFS(demandLo, totalHi, utilLo, false) // Theorem 8
+	hi = curve.ComposeFCFS(demandHi, totalLo, utilHi, true). // Theorem 9
+									AddConst(exec).
+									Min(demandHi)
+	return lo, hi
+}

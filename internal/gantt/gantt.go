@@ -1,0 +1,115 @@
+// Package gantt renders simulator schedules as text Gantt charts, one
+// timeline per processor. It exists for the same reason the simulator
+// does: worst-case bounds are only trustworthy when the schedules behind
+// them can be inspected, and a preemption-accurate timeline is the
+// fastest way to see why an instance finished when it did.
+package gantt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rta/internal/model"
+	"rta/internal/sim"
+)
+
+// Options configure rendering.
+type Options struct {
+	// Width is the number of character cells for the time axis.
+	Width int
+	// From/To clip the rendered window; To = 0 means "end of schedule".
+	From, To model.Ticks
+}
+
+// Render writes one labeled timeline per processor. Each execution
+// segment is drawn with the job's letter (A, B, C, ... by job index);
+// idle time is drawn with dots. Cell boundaries are marked with the
+// dominant occupant of the cell's interval.
+func Render(w io.Writer, sys *model.System, res *sim.Result, opts Options) {
+	if opts.Width <= 0 {
+		opts.Width = 72
+	}
+	end := opts.To
+	if end == 0 {
+		for p := range res.Segments {
+			for _, s := range res.Segments[p] {
+				if s.To > end {
+					end = s.To
+				}
+			}
+		}
+	}
+	if end <= opts.From {
+		fmt.Fprintln(w, "(empty schedule window)")
+		return
+	}
+	span := end - opts.From
+
+	for p := range sys.Procs {
+		cells := make([]byte, opts.Width)
+		for i := range cells {
+			cells[i] = '.'
+		}
+		// occupancy[i] = ticks of execution attributed to the letter
+		// currently shown in cell i; the dominant job wins the cell.
+		occupancy := make([]model.Ticks, opts.Width)
+		for _, s := range res.Segments[p] {
+			from, to := s.From, s.To
+			if to <= opts.From || from >= end {
+				continue
+			}
+			if from < opts.From {
+				from = opts.From
+			}
+			if to > end {
+				to = end
+			}
+			letter := jobLetter(s.Job)
+			// Distribute the segment across cells. All interval math is
+			// done in width-scaled units so fractional cell boundaries
+			// stay exact: cell c covers [c*span, (c+1)*span) and the
+			// segment [(from-From)*W, (to-From)*W).
+			w := model.Ticks(opts.Width)
+			segFrom := (from - opts.From) * w
+			segTo := (to - opts.From) * w
+			c0 := int(segFrom / span)
+			c1 := int((segTo - 1) / span)
+			for c := c0; c <= c1 && c < opts.Width; c++ {
+				ov := overlap(segFrom, segTo, model.Ticks(c)*span, model.Ticks(c+1)*span)
+				if ov > occupancy[c] {
+					occupancy[c] = ov
+					cells[c] = letter
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-10s |%s|\n", sys.ProcName(p), string(cells))
+	}
+	// Axis line.
+	fmt.Fprintf(w, "%-10s  %-*d%d\n", "", opts.Width-len(fmt.Sprint(end)), opts.From, end)
+	// Legend.
+	var legend []string
+	for k := range sys.Jobs {
+		legend = append(legend, fmt.Sprintf("%c=%s", jobLetter(k), sys.JobName(k)))
+	}
+	fmt.Fprintf(w, "%-10s  %s\n", "", strings.Join(legend, " "))
+}
+
+func jobLetter(k int) byte {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+	return letters[k%len(letters)]
+}
+
+func overlap(a0, a1, b0, b1 model.Ticks) model.Ticks {
+	lo, hi := a0, a1
+	if b0 > lo {
+		lo = b0
+	}
+	if b1 < hi {
+		hi = b1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}

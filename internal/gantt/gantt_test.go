@@ -1,0 +1,103 @@
+package gantt
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rta/internal/model"
+	"rta/internal/randsys"
+	"rta/internal/sim"
+)
+
+func TestRenderSimpleSchedule(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Name: "CPU", Sched: model.SPP}},
+		Jobs: []model.Job{
+			{Name: "hi", Deadline: 100, Subjobs: []model.Subjob{{Proc: 0, Exec: 4, Priority: 0}},
+				Releases: []model.Ticks{4}},
+			{Name: "lo", Deadline: 100, Subjobs: []model.Subjob{{Proc: 0, Exec: 8, Priority: 1}},
+				Releases: []model.Ticks{0}},
+		},
+	}
+	res := sim.Run(sys)
+	var buf bytes.Buffer
+	Render(&buf, sys, res, Options{Width: 12})
+	out := buf.String()
+	// Schedule: lo 0-4, hi 4-8, lo 8-12. With 12 cells over 12 ticks the
+	// chart is exact.
+	if !strings.Contains(out, "CPU        |BBBBAAAABBBB|") {
+		t.Fatalf("unexpected chart:\n%s", out)
+	}
+	if !strings.Contains(out, "A=hi") || !strings.Contains(out, "B=lo") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestSegmentsAreConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		cfg := randsys.Default
+		cfg.Schedulers = []model.Scheduler{model.SPP, model.SPNP, model.FCFS}
+		sys := randsys.New(r, cfg)
+		res := sim.Run(sys)
+		// Per processor: segments are chronological and non-overlapping;
+		// per instance: total segment length equals the execution time and
+		// the last segment ends at the departure.
+		type key struct{ j, h, i int }
+		total := map[key]model.Ticks{}
+		last := map[key]model.Ticks{}
+		for p := range res.Segments {
+			var prevEnd model.Ticks
+			for _, s := range res.Segments[p] {
+				if s.To <= s.From {
+					t.Fatalf("trial %d: empty segment %+v", trial, s)
+				}
+				if s.From < prevEnd {
+					t.Fatalf("trial %d: overlapping segments on P%d", trial, p)
+				}
+				prevEnd = s.To
+				k := key{s.Job, s.Hop, s.Idx}
+				total[k] += s.To - s.From
+				if s.To > last[k] {
+					last[k] = s.To
+				}
+			}
+		}
+		for k := range sys.Jobs {
+			for j := range sys.Jobs[k].Subjobs {
+				for i := range sys.Jobs[k].Releases {
+					kk := key{k, j, i}
+					if total[kk] != sys.Jobs[k].Subjobs[j].Exec {
+						t.Fatalf("trial %d: T_{%d,%d} inst %d executed %d, want %d",
+							trial, k+1, j+1, i, total[kk], sys.Jobs[k].Subjobs[j].Exec)
+					}
+					if last[kk] != res.Departure[k][j][i] {
+						t.Fatalf("trial %d: T_{%d,%d} inst %d last segment ends %d, departs %d",
+							trial, k+1, j+1, i, last[kk], res.Departure[k][j][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRenderWindowAndEmpty(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Sched: model.SPP}},
+		Jobs: []model.Job{{Deadline: 10, Subjobs: []model.Subjob{{Proc: 0, Exec: 2}},
+			Releases: []model.Ticks{0}}},
+	}
+	res := sim.Run(sys)
+	var buf bytes.Buffer
+	Render(&buf, sys, res, Options{Width: 8, From: 5, To: 5})
+	if !strings.Contains(buf.String(), "empty schedule window") {
+		t.Fatalf("empty window not handled:\n%s", buf.String())
+	}
+	buf.Reset()
+	Render(&buf, sys, res, Options{Width: 8, From: 0, To: 4})
+	if !strings.Contains(buf.String(), "AAAA....") {
+		t.Fatalf("clipped window wrong:\n%s", buf.String())
+	}
+}

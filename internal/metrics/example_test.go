@@ -1,0 +1,31 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"rta/internal/metrics"
+	"rta/internal/model"
+	"rta/internal/sim"
+)
+
+// Example summarizes a simulation: distribution quantiles and processor
+// utilization.
+func Example() {
+	sys := &model.System{
+		Procs: []model.Processor{{Name: "CPU", Sched: model.SPP}},
+		Jobs: []model.Job{
+			{Name: "hi", Deadline: 10, Subjobs: []model.Subjob{{Proc: 0, Exec: 2, Priority: 0}},
+				Releases: []model.Ticks{0, 10, 20, 30}},
+			{Name: "lo", Deadline: 20, Subjobs: []model.Subjob{{Proc: 0, Exec: 5, Priority: 1}},
+				Releases: []model.Ticks{0, 20}},
+		},
+	}
+	rep := metrics.Summarize(sys, sim.Run(sys))
+	fmt.Printf("hi: mean %.1f max %d misses %d\n", rep.Jobs[0].Mean, rep.Jobs[0].Max, rep.Jobs[0].Misses)
+	fmt.Printf("lo: mean %.1f max %d\n", rep.Jobs[1].Mean, rep.Jobs[1].Max)
+	fmt.Printf("CPU utilization %.2f\n", rep.Procs[0].Utilization())
+	// Output:
+	// hi: mean 2.0 max 2 misses 0
+	// lo: mean 7.0 max 7
+	// CPU utilization 0.56
+}

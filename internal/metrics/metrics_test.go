@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rta/internal/model"
+	"rta/internal/randsys"
+	"rta/internal/sim"
+)
+
+func TestSummarizeHandComputed(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Sched: model.SPP}},
+		Jobs: []model.Job{
+			{Deadline: 5, Subjobs: []model.Subjob{{Proc: 0, Exec: 2, Priority: 0}},
+				Releases: []model.Ticks{0, 10, 20, 30}},
+			{Deadline: 6, Subjobs: []model.Subjob{{Proc: 0, Exec: 4, Priority: 1}},
+				Releases: []model.Ticks{0, 10}},
+		},
+	}
+	res := sim.Run(sys)
+	rep := Summarize(sys, res)
+
+	hi := rep.Jobs[0]
+	if hi.Count != 4 || hi.Min != 2 || hi.Max != 2 || hi.Mean != 2 || hi.Misses != 0 {
+		t.Fatalf("high metrics = %+v", hi)
+	}
+	lo := rep.Jobs[1]
+	// Low responses: starts after high (2..6) -> 6, both instances.
+	if lo.Count != 2 || lo.Min != 6 || lo.Max != 6 {
+		t.Fatalf("low metrics = %+v", lo)
+	}
+	if lo.Misses != 0 {
+		t.Fatalf("low misses = %d, want 0 (deadline 6)", lo.Misses)
+	}
+	cpu := rep.Procs[0]
+	if cpu.Busy != 4*2+2*4 {
+		t.Fatalf("busy = %d, want 16", cpu.Busy)
+	}
+	if cpu.Preemptions != 0 {
+		t.Fatalf("preemptions = %d, want 0 (no overlap in this schedule)", cpu.Preemptions)
+	}
+}
+
+func TestMissCounting(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Sched: model.SPP}},
+		Jobs: []model.Job{
+			{Deadline: 3, Subjobs: []model.Subjob{{Proc: 0, Exec: 4, Priority: 0}},
+				Releases: []model.Ticks{0, 10}},
+		},
+	}
+	rep := Summarize(sys, sim.Run(sys))
+	if rep.Jobs[0].Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (response 4 > deadline 3)", rep.Jobs[0].Misses)
+	}
+	if r := rep.Jobs[0].MissRatio(); r != 1 {
+		t.Fatalf("miss ratio = %v, want 1", r)
+	}
+}
+
+// TestInvariants: on random systems the metrics must satisfy structural
+// relations: min <= p50 <= p90 <= p99 <= max, busy = total work,
+// utilization <= 1.
+func TestInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		cfg := randsys.Default
+		cfg.Schedulers = []model.Scheduler{model.SPP, model.SPNP, model.FCFS}
+		sys := randsys.New(r, cfg)
+		rep := Summarize(sys, sim.Run(sys))
+		for k, m := range rep.Jobs {
+			if !(m.Min <= m.P50 && m.P50 <= m.P90 && m.P90 <= m.P99 && m.P99 <= m.Max) {
+				t.Fatalf("trial %d job %d: quantiles out of order: %+v", trial, k, m)
+			}
+			if float64(m.Min) > m.Mean || m.Mean > float64(m.Max) {
+				t.Fatalf("trial %d job %d: mean outside range: %+v", trial, k, m)
+			}
+		}
+		for p, pm := range rep.Procs {
+			if pm.Busy != sys.TotalWork(p) {
+				t.Fatalf("trial %d: P%d busy %d != total work %d", trial, p+1, pm.Busy, sys.TotalWork(p))
+			}
+			if pm.Span > 0 && pm.Utilization() > 1.0000001 {
+				t.Fatalf("trial %d: P%d utilization %v > 1", trial, p+1, pm.Utilization())
+			}
+			if pm.Preemptions < 0 {
+				t.Fatalf("trial %d: negative preemptions", trial)
+			}
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Name: "CPU", Sched: model.SPP}},
+		Jobs: []model.Job{
+			{Name: "a", Deadline: 10, Subjobs: []model.Subjob{{Proc: 0, Exec: 1}},
+				Releases: []model.Ticks{0}},
+		},
+	}
+	var buf bytes.Buffer
+	Render(&buf, sys, Summarize(sys, sim.Run(sys)))
+	out := buf.String()
+	if !strings.Contains(out, "CPU") || !strings.Contains(out, "p99") || !strings.Contains(out, "a") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestMaxBacklogAgainstExact(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		sys := randsys.New(r, randsys.Default)
+		res := sim.Run(sys)
+		for k := range sys.Jobs {
+			for j := range sys.Jobs[k].Subjobs {
+				// Every instance pends from its arrival until its
+				// completion (execution takes at least one tick), so the
+				// maximum is at least one.
+				if b := MaxBacklog(res, k, j); b < 1 {
+					t.Fatalf("trial %d: backlog %d below 1", trial, b)
+				}
+			}
+		}
+	}
+	// Hand case: burst of 3 simultaneous releases, exec 2 each.
+	sys := &model.System{
+		Procs: []model.Processor{{Sched: model.SPP}},
+		Jobs: []model.Job{{Deadline: 100,
+			Subjobs:  []model.Subjob{{Proc: 0, Exec: 2}},
+			Releases: []model.Ticks{5, 5, 5}}},
+	}
+	if b := MaxBacklog(sim.Run(sys), 0, 0); b != 3 {
+		t.Fatalf("burst backlog = %d, want 3", b)
+	}
+}

@@ -1,0 +1,139 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON document format used by the command-line tools:
+//
+//	{
+//	  "processors": [ {"name": "P1", "scheduler": "SPP"}, ... ],
+//	  "jobs": [
+//	    {
+//	      "name": "T1",
+//	      "deadline": 1000000,
+//	      "subjobs":  [ {"proc": 0, "exec": 250000, "priority": 1}, ... ],
+//	      "releases": [ 0, 1000000, 2000000 ]
+//	    }, ...
+//	  ]
+//	}
+//
+// Times are integer ticks; scheduler names follow the paper (SPP, SPNP,
+// FCFS).
+
+// MarshalJSON encodes the scheduler as its paper abbreviation.
+func (s Scheduler) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes a scheduler from its paper abbreviation.
+func (s *Scheduler) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	v, err := ParseScheduler(name)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+type jsonProc struct {
+	Name  string    `json:"name,omitempty"`
+	Sched Scheduler `json:"scheduler"`
+}
+
+type jsonCS struct {
+	Resource int   `json:"resource"`
+	Start    Ticks `json:"start"`
+	Duration Ticks `json:"duration"`
+}
+
+type jsonSubjob struct {
+	Proc      int      `json:"proc"`
+	Exec      Ticks    `json:"exec"`
+	Priority  int      `json:"priority,omitempty"`
+	PostDelay Ticks    `json:"postDelay,omitempty"`
+	CS        []jsonCS `json:"criticalSections,omitempty"`
+}
+
+type jsonJob struct {
+	Name     string       `json:"name,omitempty"`
+	Deadline Ticks        `json:"deadline"`
+	Subjobs  []jsonSubjob `json:"subjobs"`
+	Releases []Ticks      `json:"releases"`
+}
+
+type jsonSystem struct {
+	Procs []jsonProc `json:"processors"`
+	Jobs  []jsonJob  `json:"jobs"`
+}
+
+// MarshalJSON encodes the system in the documented format.
+func (s *System) MarshalJSON() ([]byte, error) {
+	doc := jsonSystem{}
+	for _, p := range s.Procs {
+		doc.Procs = append(doc.Procs, jsonProc{Name: p.Name, Sched: p.Sched})
+	}
+	for _, j := range s.Jobs {
+		jj := jsonJob{Name: j.Name, Deadline: j.Deadline, Releases: j.Releases}
+		for _, sj := range j.Subjobs {
+			js := jsonSubjob{Proc: sj.Proc, Exec: sj.Exec, Priority: sj.Priority, PostDelay: sj.PostDelay}
+			for _, cs := range sj.CS {
+				js.CS = append(js.CS, jsonCS{Resource: cs.Resource, Start: cs.Start, Duration: cs.Duration})
+			}
+			jj.Subjobs = append(jj.Subjobs, js)
+		}
+		doc.Jobs = append(doc.Jobs, jj)
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes the documented format and validates the result.
+func (s *System) UnmarshalJSON(data []byte) error {
+	var doc jsonSystem
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	out := System{}
+	for _, p := range doc.Procs {
+		out.Procs = append(out.Procs, Processor{Name: p.Name, Sched: p.Sched})
+	}
+	for _, j := range doc.Jobs {
+		job := Job{Name: j.Name, Deadline: j.Deadline, Releases: j.Releases}
+		for _, sj := range j.Subjobs {
+			ms := Subjob{Proc: sj.Proc, Exec: sj.Exec, Priority: sj.Priority, PostDelay: sj.PostDelay}
+			for _, cs := range sj.CS {
+				ms.CS = append(ms.CS, CriticalSection{Resource: cs.Resource, Start: cs.Start, Duration: cs.Duration})
+			}
+			job.Subjobs = append(job.Subjobs, ms)
+		}
+		out.Jobs = append(out.Jobs, job)
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*s = out
+	return nil
+}
+
+// Load reads and validates a system from JSON.
+func Load(r io.Reader) (*System, error) {
+	var s System
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("model: decoding system: %w", err)
+	}
+	return &s, nil
+}
+
+// Dump writes the system as indented JSON.
+func Dump(w io.Writer, s *System) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,467 @@
+// Package model defines the distributed real-time system model of Section 3
+// of Li/Bettati/Zhao (ICPP 1998): processors with static-priority or FCFS
+// schedulers, jobs made of chains of subjobs, and concrete release traces
+// with arbitrary (bursty) arrival patterns.
+//
+// All durations and instants are integer ticks; generators scale continuous
+// model time (see the workload package) so that the analysis stays exact.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ticks is a duration or instant in integer model time.
+type Ticks = int64
+
+// Scheduler identifies the scheduling algorithm a processor runs
+// (Section 3.2 of the paper).
+type Scheduler int
+
+const (
+	// SPP is static priority preemptive scheduling.
+	SPP Scheduler = iota
+	// SPNP is static priority non-preemptive scheduling.
+	SPNP
+	// FCFS is first-come-first-served scheduling.
+	FCFS
+)
+
+// String returns the conventional abbreviation used in the paper.
+func (s Scheduler) String() string {
+	switch s {
+	case SPP:
+		return "SPP"
+	case SPNP:
+		return "SPNP"
+	case FCFS:
+		return "FCFS"
+	}
+	return fmt.Sprintf("Scheduler(%d)", int(s))
+}
+
+// ParseScheduler converts the paper's abbreviation back to a Scheduler.
+func ParseScheduler(s string) (Scheduler, error) {
+	switch s {
+	case "SPP":
+		return SPP, nil
+	case "SPNP":
+		return SPNP, nil
+	case "FCFS":
+		return FCFS, nil
+	}
+	return 0, fmt.Errorf("model: unknown scheduler %q", s)
+}
+
+// Processor is a single processing resource.
+type Processor struct {
+	// Name is a human-readable identifier (defaults to "P<i+1>" as in the
+	// paper's figures).
+	Name string
+	// Sched is the scheduling algorithm the processor runs. Different
+	// processors may run different schedulers (heterogeneous systems).
+	Sched Scheduler
+}
+
+// Subjob is one hop of a job's chain: tau_{k,j} time units of execution on
+// processor P(k,j) with static priority phi_{k,j}.
+type Subjob struct {
+	// Proc indexes into System.Procs.
+	Proc int
+	// Exec is the execution time tau in ticks; must be positive.
+	Exec Ticks
+	// Priority is phi_{k,j}: smaller means higher priority. It is
+	// meaningful only on SPP/SPNP processors and only relative to the
+	// other subjobs on the same processor. Ties are broken deterministically
+	// by (job, hop) order, both in the analysis and in the simulator.
+	Priority int
+	// PostDelay is the constant communication latency between this
+	// subjob's completion and the release of the job's next subjob
+	// (Section 3.2 assumes this overhead is constant; the paper sets it
+	// to zero and so does every generator here by default, but the
+	// analyses and the simulator honor it exactly). It is ignored on the
+	// last hop. Must be non-negative.
+	PostDelay Ticks
+	// CS are the subjob's critical sections on shared local resources
+	// (see resources.go); empty for the paper's resource-free model.
+	CS []CriticalSection
+}
+
+// SyncPolicy selects how the completion of a subjob releases the job's
+// next subjob. The paper analyzes Direct Synchronization (its Section 3.2
+// assumption); Phase Modification and Release Guard are the alternatives
+// of Sun&Liu [1] that re-shape downstream arrivals so that classical
+// periodic analysis applies, at the cost of added average latency. All
+// three are supported by the simulator and by the exact analysis (the
+// release transformations are deterministic functions of the departure
+// times, so the trace-exact machinery prices them exactly).
+type SyncPolicy int
+
+const (
+	// DirectSync releases the next subjob the moment its predecessor
+	// completes (plus the hop's PostDelay) - the paper's model.
+	DirectSync SyncPolicy = iota
+	// PhaseModification delays the release of hop j until the instance's
+	// first-hop release time plus the job's fixed per-hop phase offset
+	// Phases[j]; arrivals at every hop replicate the first-hop pattern.
+	PhaseModification
+	// ReleaseGuard delays the release of hop j until at least Period has
+	// passed since the previous release at that hop, restoring the
+	// minimum separation without synchronized clocks.
+	ReleaseGuard
+)
+
+// String names the policy as in the literature.
+func (p SyncPolicy) String() string {
+	switch p {
+	case DirectSync:
+		return "DS"
+	case PhaseModification:
+		return "PM"
+	case ReleaseGuard:
+		return "RG"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Job is a chain of subjobs executed sequentially on (typically) different
+// processors, together with its end-to-end deadline and the concrete
+// release trace of its first subjob.
+type Job struct {
+	// Name is a human-readable identifier (defaults to "T<k+1>").
+	Name string
+	// Deadline is the relative end-to-end deadline D_k in ticks.
+	Deadline Ticks
+	// Subjobs is the chain T_{k,1} ... T_{k,n_k}; must be non-empty.
+	Subjobs []Subjob
+	// Releases are the release times t_{k,1,i} of the first subjob's
+	// instances, sorted ascending (Section 3.1). Duplicates are allowed
+	// and model simultaneous bursts. The analysis computes the worst-case
+	// response over exactly these instances.
+	Releases []Ticks
+	// Sync selects the inter-hop synchronization policy (DirectSync, the
+	// paper's model, by default).
+	Sync SyncPolicy
+	// Phases are the per-hop release offsets for PhaseModification
+	// (Phases[0] must be 0; len must equal len(Subjobs)). An instance's
+	// hop j is not released before Releases[i] + Phases[j].
+	Phases []Ticks
+	// Period is the minimum release separation enforced per hop by
+	// ReleaseGuard; must be positive for that policy.
+	Period Ticks
+}
+
+// SubjobRef addresses one subjob in a System.
+type SubjobRef struct {
+	Job int // index into System.Jobs
+	Hop int // index into Job.Subjobs
+}
+
+// String formats the reference in the paper's T_{k,j} notation (1-based).
+func (r SubjobRef) String() string { return fmt.Sprintf("T_{%d,%d}", r.Job+1, r.Hop+1) }
+
+// System is a complete analyzable system: processors, jobs and release
+// traces.
+type System struct {
+	Procs []Processor
+	Jobs  []Job
+}
+
+// Validate checks structural well-formedness. Analyses require a valid
+// system and may panic on invalid ones.
+func (s *System) Validate() error {
+	if len(s.Procs) == 0 {
+		return errors.New("model: system has no processors")
+	}
+	if len(s.Jobs) == 0 {
+		return errors.New("model: system has no jobs")
+	}
+	for k := range s.Jobs {
+		job := &s.Jobs[k]
+		if len(job.Subjobs) == 0 {
+			return fmt.Errorf("model: job %d has no subjobs", k)
+		}
+		if job.Deadline <= 0 {
+			return fmt.Errorf("model: job %d has non-positive deadline %d", k, job.Deadline)
+		}
+		for j, sj := range job.Subjobs {
+			if sj.Proc < 0 || sj.Proc >= len(s.Procs) {
+				return fmt.Errorf("model: job %d hop %d references processor %d of %d", k, j, sj.Proc, len(s.Procs))
+			}
+			if sj.Exec <= 0 {
+				return fmt.Errorf("model: job %d hop %d has non-positive execution time %d", k, j, sj.Exec)
+			}
+			if sj.PostDelay < 0 {
+				return fmt.Errorf("model: job %d hop %d has negative post delay %d", k, j, sj.PostDelay)
+			}
+		}
+		if len(job.Releases) == 0 {
+			return fmt.Errorf("model: job %d has no release instances", k)
+		}
+		for i, t := range job.Releases {
+			if t < 0 {
+				return fmt.Errorf("model: job %d release %d is negative", k, i)
+			}
+			if i > 0 && t < job.Releases[i-1] {
+				return fmt.Errorf("model: job %d releases not sorted at %d", k, i)
+			}
+		}
+		switch job.Sync {
+		case DirectSync:
+		case PhaseModification:
+			if len(job.Phases) != len(job.Subjobs) {
+				return fmt.Errorf("model: job %d needs one phase per hop, got %d for %d hops",
+					k, len(job.Phases), len(job.Subjobs))
+			}
+			if job.Phases[0] != 0 {
+				return fmt.Errorf("model: job %d first phase must be 0", k)
+			}
+			for j := 1; j < len(job.Phases); j++ {
+				if job.Phases[j] < job.Phases[j-1] {
+					return fmt.Errorf("model: job %d phases must be non-decreasing", k)
+				}
+			}
+		case ReleaseGuard:
+			if job.Period <= 0 {
+				return fmt.Errorf("model: job %d needs a positive period for release guard", k)
+			}
+		default:
+			return fmt.Errorf("model: job %d has unknown sync policy %d", k, job.Sync)
+		}
+	}
+	return s.ValidateResources()
+}
+
+// ProcName returns the processor's name, defaulting to the paper's P<i+1>.
+func (s *System) ProcName(i int) string {
+	if s.Procs[i].Name != "" {
+		return s.Procs[i].Name
+	}
+	return fmt.Sprintf("P%d", i+1)
+}
+
+// JobName returns the job's name, defaulting to the paper's T<k+1>.
+func (s *System) JobName(k int) string {
+	if s.Jobs[k].Name != "" {
+		return s.Jobs[k].Name
+	}
+	return fmt.Sprintf("T%d", k+1)
+}
+
+// Subjob returns the referenced subjob.
+func (s *System) Subjob(r SubjobRef) *Subjob {
+	return &s.Jobs[r.Job].Subjobs[r.Hop]
+}
+
+// OnProc returns the subjobs assigned to processor p in deterministic
+// (job, hop) order.
+func (s *System) OnProc(p int) []SubjobRef {
+	var out []SubjobRef
+	for k := range s.Jobs {
+		for j := range s.Jobs[k].Subjobs {
+			if s.Jobs[k].Subjobs[j].Proc == p {
+				out = append(out, SubjobRef{k, j})
+			}
+		}
+	}
+	return out
+}
+
+// ByPriority returns the subjobs on processor p sorted from highest to
+// lowest priority, with the deterministic (job, hop) tie-break shared by
+// the analysis and the simulator.
+func (s *System) ByPriority(p int) []SubjobRef {
+	refs := s.OnProc(p)
+	sort.SliceStable(refs, func(a, b int) bool {
+		pa := s.Subjob(refs[a]).Priority
+		pb := s.Subjob(refs[b]).Priority
+		if pa != pb {
+			return pa < pb
+		}
+		if refs[a].Job != refs[b].Job {
+			return refs[a].Job < refs[b].Job
+		}
+		return refs[a].Hop < refs[b].Hop
+	})
+	return refs
+}
+
+// HigherPriority reports whether subjob a beats subjob b on the same
+// processor, using the deterministic tie-break.
+func (s *System) HigherPriority(a, b SubjobRef) bool {
+	pa, pb := s.Subjob(a).Priority, s.Subjob(b).Priority
+	if pa != pb {
+		return pa < pb
+	}
+	if a.Job != b.Job {
+		return a.Job < b.Job
+	}
+	return a.Hop < b.Hop
+}
+
+// Blocking returns the maximum blocking time b_{k,j} of Equation (15): the
+// largest execution time among strictly lower-priority subjobs on the same
+// processor. It is zero when no lower-priority subjob exists.
+func (s *System) Blocking(r SubjobRef) Ticks {
+	self := s.Subjob(r)
+	var b Ticks
+	for _, o := range s.OnProc(self.Proc) {
+		if o == r {
+			continue
+		}
+		if s.HigherPriority(r, o) && s.Subjob(o).Exec > b {
+			b = s.Subjob(o).Exec
+		}
+	}
+	return b
+}
+
+// Revisits reports whether any job visits the same processor on two
+// different hops (a "physical loop" in the paper's terminology). The exact
+// analysis of Section 4.1 does not apply to such systems; the iterative
+// extension in the analysis package handles them.
+func (s *System) Revisits() bool {
+	for k := range s.Jobs {
+		seen := map[int]bool{}
+		for _, sj := range s.Jobs[k].Subjobs {
+			if seen[sj.Proc] {
+				return true
+			}
+			seen[sj.Proc] = true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the system.
+func (s *System) Clone() *System {
+	out := &System{
+		Procs: append([]Processor(nil), s.Procs...),
+		Jobs:  make([]Job, len(s.Jobs)),
+	}
+	for k := range s.Jobs {
+		j := s.Jobs[k]
+		j.Subjobs = append([]Subjob(nil), j.Subjobs...)
+		for x := range j.Subjobs {
+			j.Subjobs[x].CS = append([]CriticalSection(nil), j.Subjobs[x].CS...)
+		}
+		j.Releases = append([]Ticks(nil), j.Releases...)
+		j.Phases = append([]Ticks(nil), j.Phases...)
+		out.Jobs[k] = j
+	}
+	return out
+}
+
+// MaxRelease returns the latest release time across all jobs.
+func (s *System) MaxRelease() Ticks {
+	var m Ticks
+	for k := range s.Jobs {
+		if n := len(s.Jobs[k].Releases); n > 0 {
+			if t := s.Jobs[k].Releases[n-1]; t > m {
+				m = t
+			}
+		}
+	}
+	return m
+}
+
+// TotalWork returns the total execution demand of all instances of all
+// subjobs on processor p.
+func (s *System) TotalWork(p int) Ticks {
+	var w Ticks
+	for _, r := range s.OnProc(p) {
+		w += s.Subjob(r).Exec * Ticks(len(s.Jobs[r.Job].Releases))
+	}
+	return w
+}
+
+// NextReleases maps the completion times of hop `hop` of job k to the
+// release times of hop hop+1 under the job's synchronization policy (plus
+// the hop's constant PostDelay). Inf entries (instances never certified to
+// complete) stay Inf. The same deterministic transformation applies to
+// exact departure times and to departure-time bounds: it is monotone in
+// every input, so applying it to a sound upper (lower) bound vector
+// yields a sound upper (lower) bound on the releases.
+func (s *System) NextReleases(k, hop int, dep []Ticks) []Ticks {
+	job := &s.Jobs[k]
+	delay := job.Subjobs[hop].PostDelay
+	const inf = Ticks(1<<63 - 1)
+	out := make([]Ticks, len(dep))
+	var prev Ticks = -1
+	for i, d := range dep {
+		t := d
+		if t != inf {
+			t += delay
+		}
+		switch job.Sync {
+		case PhaseModification:
+			if i < len(job.Releases) {
+				if nominal := job.Releases[i] + job.Phases[hop+1]; t != inf && nominal > t {
+					t = nominal
+				}
+			}
+		case ReleaseGuard:
+			if prev == inf {
+				t = inf
+			} else if prev >= 0 && t != inf && prev+job.Period > t {
+				t = prev + job.Period
+			}
+		}
+		out[i] = t
+		prev = t
+	}
+	return out
+}
+
+// InstanceCount returns the total number of job instances in the system.
+func (s *System) InstanceCount() int {
+	n := 0
+	for k := range s.Jobs {
+		n += len(s.Jobs[k].Releases)
+	}
+	return n
+}
+
+// SubjobCount returns the total number of subjobs across all jobs.
+func (s *System) SubjobCount() int {
+	n := 0
+	for k := range s.Jobs {
+		n += len(s.Jobs[k].Subjobs)
+	}
+	return n
+}
+
+// TraceUtilization returns processor p's demanded utilization over the
+// release span: total work of its subjobs divided by the span from the
+// first release to the last release plus the trailing work. A value
+// above 1 guarantees unbounded backlog growth within the trace.
+func (s *System) TraceUtilization(p int) float64 {
+	work := s.TotalWork(p)
+	if work == 0 {
+		return 0
+	}
+	span := s.MaxRelease()
+	if span == 0 {
+		return 1
+	}
+	return float64(work) / float64(span)
+}
+
+// String summarizes the system in one line for logs and error messages.
+func (s *System) String() string {
+	scheds := map[Scheduler]int{}
+	for _, p := range s.Procs {
+		scheds[p.Sched]++
+	}
+	parts := make([]string, 0, 3)
+	for _, sc := range []Scheduler{SPP, SPNP, FCFS} {
+		if n := scheds[sc]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, sc))
+		}
+	}
+	return fmt.Sprintf("system{%s; %d jobs, %d subjobs, %d instances}",
+		strings.Join(parts, ", "), len(s.Jobs), s.SubjobCount(), s.InstanceCount())
+}

@@ -1,0 +1,170 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func validSystem() *System {
+	return &System{
+		Procs: []Processor{{Name: "P1", Sched: SPP}, {Name: "P2", Sched: FCFS}},
+		Jobs: []Job{
+			{Name: "T1", Deadline: 100, Subjobs: []Subjob{
+				{Proc: 0, Exec: 5, Priority: 1},
+				{Proc: 1, Exec: 3, Priority: 0},
+			}, Releases: []Ticks{0, 10, 10, 25}},
+			{Name: "T2", Deadline: 50, Subjobs: []Subjob{
+				{Proc: 1, Exec: 7, Priority: 2},
+			}, Releases: []Ticks{5}},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validSystem().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*System)
+		want   string
+	}{
+		{"no processors", func(s *System) { s.Procs = nil }, "no processors"},
+		{"no jobs", func(s *System) { s.Jobs = nil }, "no jobs"},
+		{"no subjobs", func(s *System) { s.Jobs[0].Subjobs = nil }, "no subjobs"},
+		{"bad deadline", func(s *System) { s.Jobs[0].Deadline = 0 }, "deadline"},
+		{"bad proc", func(s *System) { s.Jobs[0].Subjobs[0].Proc = 9 }, "processor"},
+		{"bad exec", func(s *System) { s.Jobs[0].Subjobs[0].Exec = 0 }, "execution time"},
+		{"no releases", func(s *System) { s.Jobs[1].Releases = nil }, "no release"},
+		{"negative release", func(s *System) { s.Jobs[0].Releases[0] = -1 }, "negative"},
+		{"unsorted releases", func(s *System) { s.Jobs[0].Releases[3] = 1 }, "not sorted"},
+	}
+	for _, tc := range cases {
+		s := validSystem()
+		tc.mutate(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := validSystem()
+	var buf bytes.Buffer
+	if err := Dump(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Procs) != 2 || got.Procs[1].Sched != FCFS {
+		t.Fatalf("processors mangled: %+v", got.Procs)
+	}
+	if len(got.Jobs) != 2 || got.Jobs[0].Subjobs[0].Exec != 5 {
+		t.Fatalf("jobs mangled: %+v", got.Jobs)
+	}
+	if got.Jobs[0].Releases[2] != 10 {
+		t.Fatalf("releases mangled: %v", got.Jobs[0].Releases)
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	_, err := Load(strings.NewReader(`{"processors":[{"scheduler":"SPP"}],"jobs":[]}`))
+	if err == nil {
+		t.Fatal("want validation error for empty job list")
+	}
+	_, err = Load(strings.NewReader(`{"processors":[{"scheduler":"WFQ"}],"jobs":[]}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown scheduler") {
+		t.Fatalf("err = %v, want unknown scheduler", err)
+	}
+}
+
+func TestByPriorityAndBlocking(t *testing.T) {
+	s := validSystem()
+	refs := s.ByPriority(1)
+	// P2 hosts T1 hop 2 (prio 0) and T2 hop 1 (prio 2).
+	if len(refs) != 2 || refs[0] != (SubjobRef{0, 1}) || refs[1] != (SubjobRef{1, 0}) {
+		t.Fatalf("ByPriority = %v", refs)
+	}
+	if b := s.Blocking(SubjobRef{0, 1}); b != 7 {
+		t.Errorf("Blocking(T1,2) = %d, want 7", b)
+	}
+	if b := s.Blocking(SubjobRef{1, 0}); b != 0 {
+		t.Errorf("Blocking(T2,1) = %d, want 0 (lowest priority)", b)
+	}
+}
+
+func TestRevisits(t *testing.T) {
+	s := validSystem()
+	if s.Revisits() {
+		t.Error("valid system should not revisit")
+	}
+	s.Jobs[0].Subjobs = append(s.Jobs[0].Subjobs, Subjob{Proc: 0, Exec: 1})
+	if !s.Revisits() {
+		t.Error("revisit not detected")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := validSystem()
+	c := s.Clone()
+	c.Jobs[0].Releases[0] = 999
+	c.Jobs[0].Subjobs[0].Exec = 999
+	c.Procs[0].Sched = FCFS
+	if s.Jobs[0].Releases[0] == 999 || s.Jobs[0].Subjobs[0].Exec == 999 || s.Procs[0].Sched == FCFS {
+		t.Error("Clone shares memory with the original")
+	}
+}
+
+func TestNamesAndHelpers(t *testing.T) {
+	s := validSystem()
+	if s.JobName(0) != "T1" || s.ProcName(1) != "P2" {
+		t.Error("explicit names not used")
+	}
+	s.Jobs[0].Name = ""
+	s.Procs[0].Name = ""
+	if s.JobName(0) != "T1" || s.ProcName(0) != "P1" {
+		t.Error("default names wrong")
+	}
+	if s.MaxRelease() != 25 {
+		t.Errorf("MaxRelease = %d, want 25", s.MaxRelease())
+	}
+	// TotalWork on P2: T1 hop2 (3x4 releases) + T2 (7x1).
+	if w := s.TotalWork(1); w != 19 {
+		t.Errorf("TotalWork(P2) = %d, want 19", w)
+	}
+	if got := (SubjobRef{1, 0}).String(); got != "T_{2,1}" {
+		t.Errorf("SubjobRef.String = %q", got)
+	}
+	if SPNP.String() != "SPNP" {
+		t.Errorf("Scheduler.String = %q", SPNP.String())
+	}
+	if _, err := ParseScheduler("nope"); err == nil {
+		t.Error("ParseScheduler accepted junk")
+	}
+}
+
+func TestSummaryHelpers(t *testing.T) {
+	s := validSystem()
+	if n := s.InstanceCount(); n != 5 {
+		t.Errorf("InstanceCount = %d, want 5", n)
+	}
+	if n := s.SubjobCount(); n != 3 {
+		t.Errorf("SubjobCount = %d, want 3", n)
+	}
+	if u := s.TraceUtilization(1); u <= 0 {
+		t.Errorf("TraceUtilization = %v, want positive", u)
+	}
+	str := s.String()
+	for _, want := range []string{"1 SPP", "1 FCFS", "2 jobs", "3 subjobs", "5 instances"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package network maps store-and-forward packet networks onto the
+// distributed job model, the application domain of the authors' companion
+// work on static-priority ATM scheduling [17 in the paper's references]:
+// links are processors (transmission is the "execution"), flows are jobs
+// (one subjob per traversed link), packet emission traces are release
+// traces, and link propagation delays are inter-hop latencies. All of the
+// paper's analyses then apply unchanged: exact worst-case end-to-end
+// packet delays for priority-scheduled networks, Theorem 4 bounds for
+// non-preemptive and FCFS links.
+//
+// Transmission on a real link is non-preemptable, so SPNP is the natural
+// link scheduler; SPP models idealized bitwise-preemptive links (a useful
+// upper bound on priority schemes), FCFS models plain output queues.
+package network
+
+import (
+	"fmt"
+
+	"rta/internal/envelope"
+	"rta/internal/model"
+)
+
+// Link is a transmission resource.
+type Link struct {
+	// Name identifies the link (e.g. "swA->swB").
+	Name string
+	// Sched is the link scheduling discipline (SPNP for real links).
+	Sched model.Scheduler
+	// BytesPerTick is the transmission rate; exec time of a packet is
+	// ceil(bytes / BytesPerTick), at least one tick.
+	BytesPerTick int64
+	// Propagation is the constant propagation delay added after a packet
+	// leaves the link (ignored on a flow's last hop, like PostDelay).
+	Propagation model.Ticks
+}
+
+// Flow is a stream of fixed-size packets through a path of links.
+type Flow struct {
+	// Name identifies the flow.
+	Name string
+	// Path lists link names in traversal order; must be non-empty and
+	// must not repeat a link (use analysis.Iterative manually for loops).
+	Path []string
+	// PacketBytes is the fixed packet size (ATM-style; 53 for cells).
+	PacketBytes int64
+	// Priority applies on every link of the path (smaller = higher).
+	Priority int
+	// Deadline is the end-to-end packet delay budget.
+	Deadline model.Ticks
+	// Releases are packet emission times at the source. Exactly one of
+	// Releases and Envelope must be set.
+	Releases []model.Ticks
+	// Envelope, with Packets, generates the critical-instant maximal
+	// trace instead of a concrete one.
+	Envelope *envelope.Envelope
+	// Packets is the number of instances generated from Envelope.
+	Packets int
+}
+
+// Net is a set of links and flows.
+type Net struct {
+	Links []Link
+	Flows []Flow
+}
+
+// Build converts the network into an analyzable system. The i-th job of
+// the result corresponds to the i-th flow.
+func (n *Net) Build() (*model.System, error) {
+	if len(n.Links) == 0 || len(n.Flows) == 0 {
+		return nil, fmt.Errorf("network: need at least one link and one flow")
+	}
+	idx := map[string]int{}
+	sys := &model.System{}
+	for _, l := range n.Links {
+		if _, dup := idx[l.Name]; dup {
+			return nil, fmt.Errorf("network: duplicate link %q", l.Name)
+		}
+		if l.BytesPerTick <= 0 {
+			return nil, fmt.Errorf("network: link %q has non-positive rate", l.Name)
+		}
+		if l.Propagation < 0 {
+			return nil, fmt.Errorf("network: link %q has negative propagation", l.Name)
+		}
+		idx[l.Name] = len(sys.Procs)
+		sys.Procs = append(sys.Procs, model.Processor{Name: l.Name, Sched: l.Sched})
+	}
+	for _, f := range n.Flows {
+		if len(f.Path) == 0 {
+			return nil, fmt.Errorf("network: flow %q has an empty path", f.Name)
+		}
+		if f.PacketBytes <= 0 {
+			return nil, fmt.Errorf("network: flow %q has non-positive packet size", f.Name)
+		}
+		job := model.Job{Name: f.Name, Deadline: f.Deadline}
+		seen := map[string]bool{}
+		for hop, name := range f.Path {
+			p, ok := idx[name]
+			if !ok {
+				return nil, fmt.Errorf("network: flow %q references unknown link %q", f.Name, name)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("network: flow %q revisits link %q", f.Name, name)
+			}
+			seen[name] = true
+			l := n.Links[p]
+			exec := (f.PacketBytes + l.BytesPerTick - 1) / l.BytesPerTick
+			if exec < 1 {
+				exec = 1
+			}
+			sj := model.Subjob{Proc: p, Exec: exec, Priority: f.Priority}
+			if hop < len(f.Path)-1 {
+				sj.PostDelay = l.Propagation
+			}
+			job.Subjobs = append(job.Subjobs, sj)
+		}
+		switch {
+		case len(f.Releases) > 0 && f.Envelope != nil:
+			return nil, fmt.Errorf("network: flow %q sets both Releases and Envelope", f.Name)
+		case len(f.Releases) > 0:
+			job.Releases = append([]model.Ticks(nil), f.Releases...)
+		case f.Envelope != nil:
+			if f.Packets <= 0 {
+				return nil, fmt.Errorf("network: flow %q needs Packets with Envelope", f.Name)
+			}
+			job.Releases = f.Envelope.MaximalTrace(f.Packets)
+		default:
+			return nil, fmt.Errorf("network: flow %q has neither Releases nor Envelope", f.Name)
+		}
+		sys.Jobs = append(sys.Jobs, job)
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	return sys, nil
+}

@@ -1,0 +1,163 @@
+// Package plot renders line charts as standalone SVG, with axes, ticks,
+// grid and legend - just enough to regenerate the paper's figures as
+// actual figures without any dependency. The output is deterministic
+// (testable) and readable by any browser.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labeled line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot is a chart definition.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Fixed axis ranges; when Max <= Min the range is derived from data.
+	XMin, XMax float64
+	YMin, YMax float64
+}
+
+// Palette of stroke styles cycled by series index.
+var strokes = []struct {
+	color string
+	dash  string
+}{
+	{"#1f77b4", ""},
+	{"#d62728", "6,3"},
+	{"#2ca02c", "2,3"},
+	{"#9467bd", "8,3,2,3"},
+	{"#ff7f0e", "4,2"},
+	{"#8c564b", "1,2"},
+}
+
+const (
+	marginL = 62.0
+	marginR = 16.0
+	marginT = 34.0
+	marginB = 46.0
+)
+
+// WriteSVG renders the chart.
+func (p *Plot) WriteSVG(w io.Writer, width, height int) error {
+	if width <= 0 {
+		width = 560
+	}
+	if height <= 0 {
+		height = 380
+	}
+	xmin, xmax := p.XMin, p.XMax
+	ymin, ymax := p.YMin, p.YMax
+	if xmax <= xmin || ymax <= ymin {
+		dxmin, dxmax := math.Inf(1), math.Inf(-1)
+		dymin, dymax := math.Inf(1), math.Inf(-1)
+		for _, s := range p.Series {
+			for i := range s.X {
+				dxmin = math.Min(dxmin, s.X[i])
+				dxmax = math.Max(dxmax, s.X[i])
+				dymin = math.Min(dymin, s.Y[i])
+				dymax = math.Max(dymax, s.Y[i])
+			}
+		}
+		if xmax <= xmin {
+			xmin, xmax = dxmin, dxmax
+		}
+		if ymax <= ymin {
+			ymin, ymax = dymin, dymax
+		}
+		if !(xmax > xmin) {
+			xmin, xmax = 0, 1
+		}
+		if !(ymax > ymin) {
+			ymin, ymax = 0, 1
+		}
+	}
+	pw := float64(width) - marginL - marginR
+	ph := float64(height) - marginT - marginB
+	tx := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*pw }
+	ty := func(y float64) float64 { return marginT + ph - (y-ymin)/(ymax-ymin)*ph }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%.0f" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n",
+		marginL+pw/2, escape(p.Title))
+
+	// Grid and ticks: 5 divisions per axis.
+	fmt.Fprintln(&b, `<g font-family="sans-serif" font-size="10" fill="#444">`)
+	for i := 0; i <= 5; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/5
+		fy := ymin + (ymax-ymin)*float64(i)/5
+		X := tx(fx)
+		Y := ty(fy)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			X, marginT, X, marginT+ph)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, Y, marginL+pw, Y)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%.2g</text>`+"\n",
+			X, marginT+ph+14, fx)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%.2g</text>`+"\n",
+			marginL-6, Y+3, fy)
+	}
+	fmt.Fprintln(&b, `</g>`)
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#000"/>`+"\n",
+		marginL, marginT, pw, ph)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		marginL+pw/2, float64(height)-8, escape(p.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		marginT+ph/2, marginT+ph/2, escape(p.YLabel))
+
+	// Series.
+	for i, s := range p.Series {
+		st := strokes[i%len(strokes)]
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", tx(s.X[j]), ty(s.Y[j])))
+		}
+		dash := ""
+		if st.dash != "" {
+			dash = fmt.Sprintf(` stroke-dasharray="%s"`, st.dash)
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8"%s points="%s"/>`+"\n",
+			st.color, dash, strings.Join(pts, " "))
+	}
+
+	// Legend (top-right inside the plot).
+	lx := marginL + pw - 150
+	ly := marginT + 10.0
+	fmt.Fprintf(&b, `<g font-family="sans-serif" font-size="11">`+"\n")
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="146" height="%d" fill="white" fill-opacity="0.85" stroke="#999"/>`+"\n",
+		lx-4, ly-4, 16*len(p.Series)+6)
+	for i, s := range p.Series {
+		st := strokes[i%len(strokes)]
+		y := ly + float64(16*i) + 6
+		dash := ""
+		if st.dash != "" {
+			dash = fmt.Sprintf(` stroke-dasharray="%s"`, st.dash)
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.8"%s/>`+"\n",
+			lx, y, lx+26, y, st.color, dash)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">%s</text>`+"\n", lx+32, y+4, escape(s.Name))
+	}
+	fmt.Fprintln(&b, `</g>`)
+	fmt.Fprintln(&b, `</svg>`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,71 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func demo() *Plot {
+	return &Plot{
+		Title: "Admission vs Utilization", XLabel: "utilization", YLabel: "admission",
+		YMin: 0, YMax: 1,
+		Series: []Series{
+			{Name: "SPP/Exact", X: []float64{0.1, 0.5, 0.9}, Y: []float64{1, 1, 0.6}},
+			{Name: "SPP/S&L", X: []float64{0.1, 0.5, 0.9}, Y: []float64{1, 0.9, 0.1}},
+		},
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demo().WriteSVG(&buf, 560, 380); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, out)
+		}
+	}
+	for _, want := range []string{
+		"Admission vs Utilization",
+		"SPP/Exact",
+		"SPP/S&amp;L", // escaped
+		"polyline",
+		"utilization",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestAutoRange(t *testing.T) {
+	p := &Plot{Series: []Series{{Name: "s", X: []float64{2, 4}, Y: []float64{10, 30}}}}
+	var buf bytes.Buffer
+	if err := p.WriteSVG(&buf, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("no svg emitted")
+	}
+}
+
+func TestDegenerateData(t *testing.T) {
+	p := &Plot{Series: []Series{{Name: "flat", X: []float64{1, 1}, Y: []float64{5, 5}}}}
+	var buf bytes.Buffer
+	if err := p.WriteSVG(&buf, 200, 150); err != nil {
+		t.Fatal(err) // must not divide by zero
+	}
+}

@@ -1,0 +1,86 @@
+// Package priority assigns static priorities to subjobs. The analyses
+// accept arbitrary assignments (Section 3.2); the paper's evaluation uses
+// the relative-deadline-monotonic rule of Equation (24), implemented here
+// along with the classic global alternatives.
+package priority
+
+import (
+	"sort"
+
+	"rta/internal/model"
+)
+
+// RelativeDeadlineMonotonic applies Equation (24): each subjob receives
+// the sub-deadline
+//
+//	D_{k,j} = tau_{k,j} / sum_i tau_{k,i} * D_k
+//
+// and on every processor the subjobs are ranked by sub-deadline, smallest
+// first (rank = priority value; smaller is higher priority). Ties rank
+// deterministically by (job, hop).
+func RelativeDeadlineMonotonic(sys *model.System) {
+	type entry struct {
+		ref model.SubjobRef
+		sub float64
+	}
+	for p := range sys.Procs {
+		var entries []entry
+		for _, ref := range sys.OnProc(p) {
+			job := &sys.Jobs[ref.Job]
+			var total model.Ticks
+			for _, sj := range job.Subjobs {
+				total += sj.Exec
+			}
+			sub := float64(job.Subjobs[ref.Hop].Exec) / float64(total) * float64(job.Deadline)
+			entries = append(entries, entry{ref, sub})
+		}
+		sort.SliceStable(entries, func(a, b int) bool {
+			if entries[a].sub != entries[b].sub {
+				return entries[a].sub < entries[b].sub
+			}
+			if entries[a].ref.Job != entries[b].ref.Job {
+				return entries[a].ref.Job < entries[b].ref.Job
+			}
+			return entries[a].ref.Hop < entries[b].ref.Hop
+		})
+		for rank, e := range entries {
+			sys.Subjob(e.ref).Priority = rank
+		}
+	}
+}
+
+// DeadlineMonotonic ranks subjobs on each processor by their job's
+// end-to-end deadline (smaller deadline = higher priority).
+func DeadlineMonotonic(sys *model.System) {
+	byKey(sys, func(ref model.SubjobRef) float64 {
+		return float64(sys.Jobs[ref.Job].Deadline)
+	})
+}
+
+// RateMonotonic ranks subjobs on each processor by the given per-job
+// periods (smaller period = higher priority). Periods are supplied
+// separately because the trace-based model does not assume periodicity.
+func RateMonotonic(sys *model.System, periods []model.Ticks) {
+	byKey(sys, func(ref model.SubjobRef) float64 {
+		return float64(periods[ref.Job])
+	})
+}
+
+func byKey(sys *model.System, key func(model.SubjobRef) float64) {
+	for p := range sys.Procs {
+		refs := sys.OnProc(p)
+		sort.SliceStable(refs, func(a, b int) bool {
+			ka, kb := key(refs[a]), key(refs[b])
+			if ka != kb {
+				return ka < kb
+			}
+			if refs[a].Job != refs[b].Job {
+				return refs[a].Job < refs[b].Job
+			}
+			return refs[a].Hop < refs[b].Hop
+		})
+		for rank, ref := range refs {
+			sys.Subjob(ref).Priority = rank
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package randsys generates random distributed real-time systems for
+// property-based testing and fuzzing of the analyses. The generated
+// systems follow the paper's evaluation topology: processors are grouped
+// into stages and every job's chain visits stages in increasing order,
+// which guarantees the subjob dependency graph is acyclic (no physical or
+// logical loops), the precondition of the exact analysis.
+package randsys
+
+import (
+	"math/rand"
+
+	"rta/internal/model"
+)
+
+// Config bounds the generated systems.
+type Config struct {
+	MaxStages        int // >= 1
+	MaxProcsPerStage int // >= 1
+	MaxJobs          int // >= 1
+	MaxInstances     int // per job, >= 1
+	MaxExec          int // execution time bound in ticks, >= 1
+	MaxGap           int // release spacing bound in ticks
+	Burstiness       int // 0..100: probability (%) of zero-gap releases
+	Schedulers       []model.Scheduler
+	PriorityLevels   int // number of distinct priority values (ties allowed)
+	// MaxPostDelay bounds the random communication latency after each
+	// non-final hop (0 disables latencies, as in the paper).
+	MaxPostDelay int
+	// Resources, when positive, gives each subjob up to two random
+	// critical sections on one of `Resources` shared resources local to
+	// its processor (resource ids are partitioned per processor to
+	// respect the local-resource restriction).
+	Resources int
+	// SyncPolicies, when non-empty, draws each job's inter-hop
+	// synchronization policy from this set (with valid random phases for
+	// PhaseModification and periods for ReleaseGuard).
+	SyncPolicies []model.SyncPolicy
+	// Loops permits chains to pick any processor at any hop, producing
+	// the physical and logical loops of the paper's conclusion (the
+	// stage-ordered guarantee of acyclicity is dropped).
+	Loops bool
+}
+
+// Default is a good general-purpose fuzzing configuration.
+var Default = Config{
+	MaxStages:        3,
+	MaxProcsPerStage: 2,
+	MaxJobs:          4,
+	MaxInstances:     6,
+	MaxExec:          15,
+	MaxGap:           40,
+	Burstiness:       25,
+	Schedulers:       []model.Scheduler{model.SPP},
+	PriorityLevels:   4,
+}
+
+// New draws a random system from the configuration.
+func New(r *rand.Rand, cfg Config) *model.System {
+	stages := 1 + r.Intn(cfg.MaxStages)
+	sys := &model.System{}
+	stageProcs := make([][]int, stages)
+	for s := 0; s < stages; s++ {
+		n := 1 + r.Intn(cfg.MaxProcsPerStage)
+		for i := 0; i < n; i++ {
+			sched := cfg.Schedulers[r.Intn(len(cfg.Schedulers))]
+			stageProcs[s] = append(stageProcs[s], len(sys.Procs))
+			sys.Procs = append(sys.Procs, model.Processor{Sched: sched})
+		}
+	}
+	jobs := 1 + r.Intn(cfg.MaxJobs)
+	for k := 0; k < jobs; k++ {
+		job := model.Job{Deadline: 1} // deadline unused by response tests
+		// The chain visits a random non-empty subset of stages in order;
+		// with Loops, each hop instead picks an arbitrary processor.
+		for s := 0; s < stages; s++ {
+			if len(job.Subjobs) > 0 && r.Intn(3) == 0 {
+				continue // skip this stage sometimes
+			}
+			procs := stageProcs[s]
+			proc := procs[r.Intn(len(procs))]
+			if cfg.Loops {
+				proc = r.Intn(len(sys.Procs))
+			}
+			sj := model.Subjob{
+				Proc:     proc,
+				Exec:     model.Ticks(1 + r.Intn(cfg.MaxExec)),
+				Priority: r.Intn(cfg.PriorityLevels),
+			}
+			if cfg.MaxPostDelay > 0 {
+				sj.PostDelay = model.Ticks(r.Intn(cfg.MaxPostDelay + 1))
+			}
+			if cfg.Resources > 0 {
+				var at model.Ticks
+				for n := r.Intn(3); n > 0 && at < sj.Exec; n-- {
+					start := at + model.Ticks(r.Intn(int(sj.Exec-at)))
+					maxDur := sj.Exec - start
+					dur := 1 + model.Ticks(r.Intn(int(maxDur)))
+					sj.CS = append(sj.CS, model.CriticalSection{
+						Resource: sj.Proc*cfg.Resources + r.Intn(cfg.Resources),
+						Start:    start,
+						Duration: dur,
+					})
+					at = start + dur
+				}
+			}
+			job.Subjobs = append(job.Subjobs, sj)
+		}
+		if len(job.Subjobs) == 0 {
+			procs := stageProcs[stages-1]
+			job.Subjobs = append(job.Subjobs, model.Subjob{
+				Proc:     procs[r.Intn(len(procs))],
+				Exec:     model.Ticks(1 + r.Intn(cfg.MaxExec)),
+				Priority: r.Intn(cfg.PriorityLevels),
+			})
+		}
+		// Bursty release trace: bursts of simultaneous releases separated
+		// by random gaps.
+		n := 1 + r.Intn(cfg.MaxInstances)
+		t := model.Ticks(r.Intn(cfg.MaxGap + 1))
+		for i := 0; i < n; i++ {
+			job.Releases = append(job.Releases, t)
+			if r.Intn(100) >= cfg.Burstiness {
+				t += model.Ticks(1 + r.Intn(cfg.MaxGap))
+			}
+		}
+		job.Deadline = model.Ticks(1 + r.Intn(10*cfg.MaxExec))
+		if len(cfg.SyncPolicies) > 0 {
+			job.Sync = cfg.SyncPolicies[r.Intn(len(cfg.SyncPolicies))]
+			switch job.Sync {
+			case model.PhaseModification:
+				job.Phases = make([]model.Ticks, len(job.Subjobs))
+				for j := 1; j < len(job.Subjobs); j++ {
+					job.Phases[j] = job.Phases[j-1] + job.Subjobs[j-1].Exec + model.Ticks(r.Intn(3*cfg.MaxExec))
+				}
+			case model.ReleaseGuard:
+				job.Period = model.Ticks(1 + r.Intn(2*cfg.MaxGap))
+			}
+		}
+		sys.Jobs = append(sys.Jobs, job)
+	}
+	return sys
+}

@@ -1,0 +1,161 @@
+// Package report renders a complete markdown dossier for a system: the
+// verdict per job (bound vs deadline, slack), per-hop detail (local
+// bounds, queue depths), simulated distributions, and the schedule
+// timeline. One call collects what an engineer would otherwise assemble
+// from four tools; rta-analyze -report writes it to a file.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rta/internal/analysis"
+	"rta/internal/curve"
+	"rta/internal/gantt"
+	"rta/internal/metrics"
+	"rta/internal/model"
+	"rta/internal/sim"
+)
+
+// Options configure the dossier.
+type Options struct {
+	// Title heads the document (defaults to "Response-time analysis").
+	Title string
+	// GanttWidth is the timeline width in characters (0 = 100).
+	GanttWidth int
+	// SkipSimulation omits the simulation-backed sections (distributions
+	// and timeline) - useful when only the analytical verdict is wanted.
+	SkipSimulation bool
+}
+
+// Write analyzes the system (auto-selected method), optionally simulates
+// it, and renders the dossier.
+func Write(w io.Writer, sys *model.System, opts Options) error {
+	if opts.Title == "" {
+		opts.Title = "Response-time analysis"
+	}
+	if opts.GanttWidth <= 0 {
+		opts.GanttWidth = 100
+	}
+	res, err := analysis.Analyze(sys)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "# %s\n\n", opts.Title)
+	fmt.Fprintf(w, "Method: **%s** — %d processors, %d jobs.\n\n", res.Method, len(sys.Procs), len(sys.Jobs))
+
+	// Verdict table.
+	fmt.Fprintln(w, "## End-to-end verdicts")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| job | bound | deadline | slack | verdict |")
+	fmt.Fprintln(w, "|-----|-------|----------|-------|---------|")
+	allOK := true
+	for k := range sys.Jobs {
+		b := res.WCRTSum[k]
+		verdict, slack := "OK", ""
+		if curve.IsInf(b) {
+			verdict, slack = "**UNBOUNDED**", "-"
+			allOK = false
+		} else {
+			slack = fmt.Sprint(sys.Jobs[k].Deadline - b)
+			if b > sys.Jobs[k].Deadline {
+				verdict = "**MISS**"
+				allOK = false
+			}
+		}
+		fmt.Fprintf(w, "| %s | %s | %d | %s | %s |\n",
+			sys.JobName(k), tick(b), sys.Jobs[k].Deadline, slack, verdict)
+	}
+	fmt.Fprintln(w)
+	if allOK {
+		fmt.Fprintln(w, "All deadlines are guaranteed.")
+	} else {
+		fmt.Fprintln(w, "At least one job is not guaranteed; see the hop detail below.")
+	}
+	fmt.Fprintln(w)
+
+	// Per-hop detail (approximate path only; the exact path has equal
+	// information in the end-to-end numbers).
+	if res.Hops != nil {
+		fmt.Fprintln(w, "## Per-hop detail")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "| job | hop | processor | local bound | queue bound |")
+		fmt.Fprintln(w, "|-----|-----|-----------|-------------|-------------|")
+		for k := range sys.Jobs {
+			for j, hop := range res.Hops[k] {
+				q := "unbounded"
+				if hop.Backlog >= 0 {
+					q = fmt.Sprint(hop.Backlog)
+				}
+				fmt.Fprintf(w, "| %s | %d | %s | %s | %s |\n",
+					sys.JobName(k), j+1, sys.ProcName(sys.Jobs[k].Subjobs[j].Proc),
+					tick(hop.Local), q)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	if opts.SkipSimulation {
+		return nil
+	}
+	simRes := sim.Run(sys)
+	rep := metrics.Summarize(sys, simRes)
+
+	fmt.Fprintln(w, "## Simulated response distributions")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| job | count | min | mean | p50 | p90 | p99 | max | bound/max |")
+	fmt.Fprintln(w, "|-----|-------|-----|------|-----|-----|-----|-----|-----------|")
+	for k, m := range rep.Jobs {
+		ratio := "-"
+		if m.Max > 0 && !curve.IsInf(res.WCRTSum[k]) {
+			ratio = fmt.Sprintf("%.2f", float64(res.WCRTSum[k])/float64(m.Max))
+		}
+		fmt.Fprintf(w, "| %s | %d | %d | %.1f | %d | %d | %d | %d | %s |\n",
+			sys.JobName(k), m.Count, m.Min, m.Mean, m.P50, m.P90, m.P99, m.Max, ratio)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "## Processor load")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| processor | scheduler | busy | span | segments | preemptions | utilization |")
+	fmt.Fprintln(w, "|-----------|-----------|------|------|----------|-------------|-------------|")
+	for p, pm := range rep.Procs {
+		fmt.Fprintf(w, "| %s | %s | %d | %d | %d | %d | %.3f |\n",
+			sys.ProcName(p), sys.Procs[p].Sched, pm.Busy, pm.Span, pm.Segments, pm.Preemptions, pm.Utilization())
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "## Schedule timeline")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "```")
+	gantt.Render(w, sys, simRes, gantt.Options{Width: opts.GanttWidth})
+	fmt.Fprintln(w, "```")
+	return nil
+}
+
+func tick(t model.Ticks) string {
+	if curve.IsInf(t) {
+		return "inf"
+	}
+	return fmt.Sprint(t)
+}
+
+// Summary returns the one-line verdict used in logs: "N/M jobs
+// guaranteed".
+func Summary(sys *model.System) (string, error) {
+	res, err := analysis.Analyze(sys)
+	if err != nil {
+		return "", err
+	}
+	ok := 0
+	for k := range sys.Jobs {
+		if !curve.IsInf(res.WCRTSum[k]) && res.WCRTSum[k] <= sys.Jobs[k].Deadline {
+			ok++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d jobs guaranteed (%s)", ok, len(sys.Jobs), res.Method)
+	return b.String(), nil
+}

@@ -1,0 +1,137 @@
+// Package search hunts for bad release traces by simulation: within
+// given arrival envelopes, it perturbs traces with randomized
+// hill-climbing to maximize a job's observed end-to-end response. Two
+// uses:
+//
+//   - measuring how tight the critical-instant heuristic is for
+//     schedulers where it is not proven worst-case (SPNP, FCFS): the
+//     search provides a lower bound on the true worst case to hold
+//     against the analysis bound;
+//   - regression-hunting: a found trace whose response exceeds an
+//     analysis bound is a soundness counterexample (the property tests
+//     assert this never happens).
+package search
+
+import (
+	"math/rand"
+
+	"rta/internal/envelope"
+	"rta/internal/model"
+	"rta/internal/sim"
+)
+
+// Options tune the search.
+type Options struct {
+	// Rounds of hill climbing (restarts included); default 200.
+	Rounds int
+	// Restarts from a fresh random trace every this many non-improving
+	// rounds; default 25.
+	RestartAfter int
+	// MaxShift bounds the per-mutation time perturbation; default 16.
+	MaxShift model.Ticks
+	// Rand is the randomness source (required).
+	Rand *rand.Rand
+}
+
+// Result reports what the search found.
+type Result struct {
+	// Best is the largest observed end-to-end response of the target job.
+	Best model.Ticks
+	// Traces are the release traces achieving Best (per job).
+	Traces [][]model.Ticks
+	// Evaluations is the number of simulations run.
+	Evaluations int
+}
+
+// WorstResponse searches for release traces - one per job, each
+// consistent with its envelope and of the given instance count - that
+// maximize job `target`'s worst observed end-to-end response. The
+// system's Releases fields are ignored and replaced per evaluation.
+func WorstResponse(sys *model.System, envs []envelope.Envelope, instances int, target int, opts Options) *Result {
+	if opts.Rounds <= 0 {
+		opts.Rounds = 200
+	}
+	if opts.RestartAfter <= 0 {
+		opts.RestartAfter = 25
+	}
+	if opts.MaxShift <= 0 {
+		opts.MaxShift = 16
+	}
+	r := opts.Rand
+	if r == nil {
+		panic("search: Options.Rand is required for reproducibility")
+	}
+
+	work := sys.Clone()
+	evalTrace := func(traces [][]model.Ticks) model.Ticks {
+		for k := range work.Jobs {
+			work.Jobs[k].Releases = traces[k]
+		}
+		return sim.Run(work).WorstResponse(target)
+	}
+	freshTraces := func() [][]model.Ticks {
+		out := make([][]model.Ticks, len(sys.Jobs))
+		for k := range out {
+			// Start from the critical instant - the strongest known seed.
+			out[k] = envs[k].MaximalTrace(instances)
+		}
+		return out
+	}
+	cloneTraces := func(ts [][]model.Ticks) [][]model.Ticks {
+		out := make([][]model.Ticks, len(ts))
+		for k := range ts {
+			out[k] = append([]model.Ticks(nil), ts[k]...)
+		}
+		return out
+	}
+
+	cur := freshTraces()
+	res := &Result{Best: evalTrace(cur), Traces: cloneTraces(cur)}
+	res.Evaluations++
+	stale := 0
+	for round := 0; round < opts.Rounds; round++ {
+		cand := cloneTraces(cur)
+		// Mutate: delay a random suffix of one job's trace (delays keep
+		// any minimum-distance envelope satisfied).
+		k := r.Intn(len(cand))
+		if len(cand[k]) == 0 {
+			continue
+		}
+		from := r.Intn(len(cand[k]))
+		delta := 1 + model.Ticks(r.Int63n(int64(opts.MaxShift)))
+		for i := from; i < len(cand[k]); i++ {
+			cand[k][i] += delta
+		}
+		got := evalTrace(cand)
+		res.Evaluations++
+		if got > res.Best {
+			res.Best = got
+			res.Traces = cloneTraces(cand)
+			cur = cand
+			stale = 0
+			continue
+		}
+		if got >= res.Best-1 {
+			cur = cand // sideways moves escape plateaus
+		}
+		stale++
+		if stale >= opts.RestartAfter {
+			cur = freshTraces()
+			// Random initial jitter after restart.
+			for kk := range cur {
+				shift := model.Ticks(r.Int63n(int64(opts.MaxShift)))
+				for i := range cur[kk] {
+					cur[kk][i] += shift
+					shift += model.Ticks(r.Int63n(int64(opts.MaxShift)))
+				}
+			}
+			if got := evalTrace(cur); got > res.Best {
+				res.Best = got
+				res.Traces = cloneTraces(cur)
+			}
+			res.Evaluations++
+			stale = 0
+		}
+	}
+	return res
+}

@@ -1,0 +1,35 @@
+package sensitivity_test
+
+import (
+	"fmt"
+
+	"rta/internal/model"
+	"rta/internal/sensitivity"
+)
+
+// Example measures the margins of a small system: per-job deadline slack
+// and the uniform load growth it tolerates.
+func Example() {
+	sys := &model.System{
+		Procs: []model.Processor{{Sched: model.SPP}},
+		Jobs: []model.Job{
+			{Deadline: 10, Subjobs: []model.Subjob{{Proc: 0, Exec: 2, Priority: 0}},
+				Releases: []model.Ticks{0, 10, 20}},
+			{Deadline: 30, Subjobs: []model.Subjob{{Proc: 0, Exec: 5, Priority: 1}},
+				Releases: []model.Ticks{0, 15}},
+		},
+	}
+	slack, err := sensitivity.Slack(sys, sensitivity.ExactVerdict)
+	if err != nil {
+		panic(err)
+	}
+	scale, err := sensitivity.Breakdown(sys, sensitivity.ExactVerdict, 8, 64)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("slack:", slack)
+	fmt.Printf("breakdown scale: %.3fx\n", scale)
+	// Output:
+	// slack: [8 23]
+	// breakdown scale: 2.500x
+}

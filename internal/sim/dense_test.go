@@ -1,0 +1,221 @@
+package sim
+
+// A deliberately naive tick-by-tick reference simulator, written as
+// differently from the event-driven engine as possible: every integer
+// time slot, recompute who runs from first principles. The event engine
+// is the ground truth for all analyses, so it gets its own ground truth
+// here: both implementations must produce identical schedules on
+// randomized systems across schedulers, resources, latencies and
+// synchronization policies.
+
+import (
+	"math/rand"
+	"testing"
+
+	"rta/internal/model"
+	"rta/internal/randsys"
+)
+
+type densePending struct {
+	job, hop, idx int
+	arrived       model.Ticks
+	remaining     model.Ticks
+	started       bool // dispatched at least once (non-preemptive hold)
+}
+
+// denseRun simulates tick by tick and returns arrivals and departures.
+func denseRun(sys *model.System) (arrival, departure [][][]model.Ticks) {
+	arrival = make([][][]model.Ticks, len(sys.Jobs))
+	departure = make([][][]model.Ticks, len(sys.Jobs))
+	for k := range sys.Jobs {
+		arrival[k] = make([][]model.Ticks, len(sys.Jobs[k].Subjobs))
+		departure[k] = make([][]model.Ticks, len(sys.Jobs[k].Subjobs))
+		for j := range sys.Jobs[k].Subjobs {
+			arrival[k][j] = make([]model.Ticks, len(sys.Jobs[k].Releases))
+			departure[k][j] = make([]model.Ticks, len(sys.Jobs[k].Releases))
+		}
+	}
+	ceilings := map[int]int{}
+	for k := range sys.Jobs {
+		for j := range sys.Jobs[k].Subjobs {
+			for _, cs := range sys.Jobs[k].Subjobs[j].CS {
+				if c, ok := ceilings[cs.Resource]; !ok || sys.Jobs[k].Subjobs[j].Priority < c {
+					ceilings[cs.Resource] = sys.Jobs[k].Subjobs[j].Priority
+				}
+			}
+		}
+	}
+
+	// future releases: (time, pending)
+	type futureRel struct {
+		at model.Ticks
+		p  *densePending
+	}
+	var future []futureRel
+	for k := range sys.Jobs {
+		for i, t := range sys.Jobs[k].Releases {
+			future = append(future, futureRel{t, &densePending{
+				job: k, hop: 0, idx: i, arrived: t,
+				remaining: sys.Jobs[k].Subjobs[0].Exec,
+			}})
+		}
+	}
+	ready := make([][]*densePending, len(sys.Procs))
+	running := make([]*densePending, len(sys.Procs))
+	lastRelease := make([][]model.Ticks, len(sys.Jobs))
+	for k := range sys.Jobs {
+		lastRelease[k] = make([]model.Ticks, len(sys.Jobs[k].Subjobs))
+		for j := range lastRelease[k] {
+			lastRelease[k][j] = -1
+		}
+	}
+
+	eff := func(p *densePending) int {
+		sj := &sys.Jobs[p.job].Subjobs[p.hop]
+		e := 2 * sj.Priority
+		done := sj.Exec - p.remaining
+		for _, cs := range sj.CS {
+			if cs.Start < done && done < cs.Start+cs.Duration {
+				if c := 2*ceilings[cs.Resource] - 1; c < e {
+					e = c
+				}
+			}
+		}
+		return e
+	}
+	beats := func(a, b *densePending, sched model.Scheduler) bool {
+		if sched == model.FCFS {
+			if a.arrived != b.arrived {
+				return a.arrived < b.arrived
+			}
+		} else {
+			ea, eb := eff(a), eff(b)
+			if ea != eb {
+				return ea < eb
+			}
+		}
+		if a.job != b.job {
+			return a.job < b.job
+		}
+		if a.hop != b.hop {
+			return a.hop < b.hop
+		}
+		return a.idx < b.idx
+	}
+
+	remainingWork := 0
+	for k := range sys.Jobs {
+		remainingWork += len(sys.Jobs[k].Releases) * len(sys.Jobs[k].Subjobs)
+	}
+
+	for t := model.Ticks(0); remainingWork > 0; t++ {
+		// Releases due at t.
+		out := future[:0:0]
+		for _, f := range future {
+			if f.at == t {
+				arrival[f.p.job][f.p.hop][f.p.idx] = t
+				p := sys.Jobs[f.p.job].Subjobs[f.p.hop].Proc
+				ready[p] = append(ready[p], f.p)
+			} else {
+				out = append(out, f)
+			}
+		}
+		future = out
+
+		// Dispatch one slot per processor.
+		for p := range sys.Procs {
+			sched := sys.Procs[p].Sched
+			var pick *densePending
+			if running[p] != nil && sched != model.SPP {
+				pick = running[p] // non-preemptive hold
+			} else {
+				cands := append([]*densePending(nil), ready[p]...)
+				if running[p] != nil {
+					cands = append(cands, running[p])
+				}
+				for _, c := range cands {
+					if pick == nil || beats(c, pick, sched) {
+						pick = c
+					}
+				}
+			}
+			if pick == nil {
+				continue
+			}
+			// Move pick out of ready if needed; requeue a displaced runner.
+			if running[p] != pick {
+				if running[p] != nil {
+					ready[p] = append(ready[p], running[p])
+				}
+				for i, c := range ready[p] {
+					if c == pick {
+						ready[p] = append(ready[p][:i], ready[p][i+1:]...)
+						break
+					}
+				}
+				running[p] = pick
+			}
+			pick.remaining--
+			if pick.remaining == 0 {
+				running[p] = nil
+				remainingWork--
+				at := t + 1
+				departure[pick.job][pick.hop][pick.idx] = at
+				if pick.hop+1 < len(sys.Jobs[pick.job].Subjobs) {
+					job := &sys.Jobs[pick.job]
+					rel := at + job.Subjobs[pick.hop].PostDelay
+					switch job.Sync {
+					case model.PhaseModification:
+						if nominal := job.Releases[pick.idx] + job.Phases[pick.hop+1]; nominal > rel {
+							rel = nominal
+						}
+					case model.ReleaseGuard:
+						if prev := lastRelease[pick.job][pick.hop+1]; prev >= 0 && prev+job.Period > rel {
+							rel = prev + job.Period
+						}
+					}
+					if job.Sync == model.ReleaseGuard {
+						lastRelease[pick.job][pick.hop+1] = rel
+					}
+					future = append(future, futureRel{rel, &densePending{
+						job: pick.job, hop: pick.hop + 1, idx: pick.idx, arrived: rel,
+						remaining: job.Subjobs[pick.hop+1].Exec,
+					}})
+				}
+			}
+		}
+	}
+	return arrival, departure
+}
+
+func TestEventEngineMatchesDenseReference(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 600; trial++ {
+		cfg := randsys.Default
+		cfg.Schedulers = []model.Scheduler{model.SPP, model.SPNP, model.FCFS}
+		cfg.MaxPostDelay = 6
+		cfg.Resources = 2
+		cfg.SyncPolicies = []model.SyncPolicy{
+			model.DirectSync, model.PhaseModification, model.ReleaseGuard,
+		}
+		cfg.MaxInstances = 4
+		cfg.MaxGap = 25
+		sys := randsys.New(r, cfg)
+		fast := Run(sys)
+		arr, dep := denseRun(sys)
+		for k := range sys.Jobs {
+			for j := range sys.Jobs[k].Subjobs {
+				for i := range sys.Jobs[k].Releases {
+					if fast.Arrival[k][j][i] != arr[k][j][i] {
+						t.Fatalf("trial %d: arrival T_{%d,%d} #%d: event %d, dense %d\nsystem: %+v",
+							trial, k+1, j+1, i, fast.Arrival[k][j][i], arr[k][j][i], sys)
+					}
+					if fast.Departure[k][j][i] != dep[k][j][i] {
+						t.Fatalf("trial %d: departure T_{%d,%d} #%d: event %d, dense %d\nsystem: %+v",
+							trial, k+1, j+1, i, fast.Departure[k][j][i], dep[k][j][i], sys)
+					}
+				}
+			}
+		}
+	}
+}

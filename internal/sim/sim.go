@@ -1,0 +1,442 @@
+// Package sim is a discrete-event simulator for the distributed real-time
+// systems of the paper's Section 3: jobs flow through chains of subjobs on
+// processors running preemptive static-priority (SPP), non-preemptive
+// static-priority (SPNP) or FCFS schedulers, with direct synchronization
+// (a subjob instance is released the moment its predecessor completes).
+//
+// The simulator is the ground truth for the analyses: the SPP exact
+// analysis (Theorems 1-3) must reproduce its response times instance by
+// instance, and the SPNP/FCFS approximate analyses (Theorems 4-9) must
+// dominate them. Its tie-breaking rules are deterministic and shared with
+// the analysis packages: priority ties resolve by (job, hop), FCFS arrival
+// ties by (arrival time, job, hop, instance), and all instances of one
+// subjob are served in release order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"rta/internal/model"
+)
+
+// Segment is one contiguous stretch of execution of a subjob instance on
+// its processor; preemptions split an instance into several segments.
+type Segment struct {
+	Job, Hop, Idx int
+	From, To      model.Ticks
+}
+
+// Result holds everything the simulation observed.
+type Result struct {
+	// Response[k][i] is the end-to-end response time of instance i of job
+	// k: completion at the last hop minus release at the first.
+	Response [][]model.Ticks
+	// Arrival[k][j][i] is the release time of instance i of subjob (k,j).
+	Arrival [][][]model.Ticks
+	// Departure[k][j][i] is the completion time of instance i of subjob
+	// (k,j).
+	Departure [][][]model.Ticks
+	// BusyUntil[p] is the time processor p last finished executing work.
+	BusyUntil []model.Ticks
+	// Segments[p] is the execution timeline of processor p in
+	// chronological order (adjacent, gap-free segments indicate a busy
+	// processor; preempted instances appear in multiple segments).
+	Segments [][]Segment
+}
+
+// WorstResponse returns the largest observed end-to-end response time of
+// job k.
+func (r *Result) WorstResponse(k int) model.Ticks {
+	var w model.Ticks
+	for _, d := range r.Response[k] {
+		if d > w {
+			w = d
+		}
+	}
+	return w
+}
+
+// instance identifies one in-flight subjob instance.
+type instance struct {
+	job, hop, idx int
+	arrived       model.Ticks // release time at this hop
+	remaining     model.Ticks // execution time still owed
+}
+
+// executed returns the execution progress of the instance.
+func (in *instance) executed(sys *model.System) model.Ticks {
+	return sys.Jobs[in.job].Subjobs[in.hop].Exec - in.remaining
+}
+
+// event is a scheduled state change.
+type event struct {
+	at   model.Ticks
+	kind int // evRelease or evComplete
+	// evRelease:
+	inst *instance
+	// evComplete:
+	proc int
+	seq  uint64 // dispatch sequence number; stale events are ignored
+}
+
+const (
+	evComplete = 0 // completions sort before releases at equal times
+	evRelease  = 1
+	evBoundary = 2 // critical-section boundary: forces a re-dispatch
+)
+
+// eventQueue is a time-ordered min-heap of events.
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(a, b int) bool {
+	if q[a].at != q[b].at {
+		return q[a].at < q[b].at
+	}
+	return q[a].kind < q[b].kind
+}
+func (q eventQueue) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// readyQueue orders ready instances according to the processor's
+// scheduling policy. ceilings maps each shared resource to its priority
+// ceiling; on SPP processors the effective priority of an instance inside
+// a critical section is raised to the ceiling (immediate priority ceiling
+// protocol), with the holder winning ties against same-level base
+// priorities (the "minus epsilon" encoded by doubling).
+type readyQueue struct {
+	sys      *model.System
+	sched    model.Scheduler
+	ceilings map[int]int
+	tieKey   func(job, hop, idx int) int64 // optional random FCFS tie-break
+	items    []*instance
+}
+
+// effPriority returns the IPCP-effective priority of an instance, encoded
+// as 2*priority, minus one while holding a resource whose ceiling reaches
+// that level. extra is the execution progress not yet folded into
+// remaining (non-zero only for the currently running instance, whose
+// remaining is updated lazily). A lock is held strictly between its
+// boundaries: at the acquisition instant it is not yet taken, at the
+// release instant it is already gone - both boundaries trigger a
+// re-dispatch, so the effective priority is re-evaluated exactly there.
+func effPriority(sys *model.System, ceilings map[int]int, in *instance, extra model.Ticks) int {
+	sj := &sys.Jobs[in.job].Subjobs[in.hop]
+	eff := 2 * sj.Priority
+	done := in.executed(sys) + extra
+	for _, cs := range sj.CS {
+		if cs.Start < done && done < cs.Start+cs.Duration {
+			if c := 2*ceilings[cs.Resource] - 1; c < eff {
+				eff = c
+			}
+		}
+	}
+	return eff
+}
+
+func (q readyQueue) Len() int { return len(q.items) }
+func (q readyQueue) Less(a, b int) bool {
+	x, y := q.items[a], q.items[b]
+	if q.sched == model.FCFS {
+		if x.arrived != y.arrived {
+			return x.arrived < y.arrived
+		}
+		if q.tieKey != nil {
+			kx := q.tieKey(x.job, x.hop, x.idx)
+			ky := q.tieKey(y.job, y.hop, y.idx)
+			if kx != ky {
+				return kx < ky
+			}
+		}
+	} else {
+		px := effPriority(q.sys, q.ceilings, x, 0)
+		py := effPriority(q.sys, q.ceilings, y, 0)
+		if px != py {
+			return px < py
+		}
+	}
+	if x.job != y.job {
+		return x.job < y.job
+	}
+	if x.hop != y.hop {
+		return x.hop < y.hop
+	}
+	return x.idx < y.idx
+}
+func (q readyQueue) Swap(a, b int)       { q.items[a], q.items[b] = q.items[b], q.items[a] }
+func (q *readyQueue) Push(x interface{}) { q.items = append(q.items, x.(*instance)) }
+func (q *readyQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+// procState is the runtime state of one processor.
+type procState struct {
+	ready     readyQueue
+	running   *instance
+	startedAt model.Ticks
+	seq       uint64
+	busyUntil model.Ticks
+}
+
+// Run simulates the system until every released instance has completed its
+// last hop, and returns the observed arrival, departure and response
+// times. The system must be valid.
+func Run(sys *model.System) *Result {
+	return RunWithExec(sys, nil)
+}
+
+// ExecTimes overrides per-instance execution times: ExecTimes(k, j, i)
+// returns the actual execution time of instance i of subjob (k,j), which
+// must lie in [1, Subjobs[j].Exec]. Used to study sustainability: the
+// analyses bound the schedule in which every instance consumes its full
+// WCET, and distributed schedules are NOT sustainable - an instance
+// finishing early can make another instance finish later (see the
+// sustainability tests). nil means full WCET everywhere.
+type ExecTimes func(job, hop, idx int) model.Ticks
+
+// RunWithExec is Run with per-instance actual execution times.
+func RunWithExec(sys *model.System, exec ExecTimes) *Result {
+	return run(sys, exec, nil)
+}
+
+// RunWithTieBreak is Run with a randomized FCFS tie-break: instances
+// arriving at the same instant on a FCFS processor are ordered by the
+// given per-instance random keys instead of the deterministic (job, hop,
+// idx) order. The paper notes FCFS "arbitrarily picks" among simultaneous
+// arrivals; the analysis bounds must dominate every choice, and the
+// property tests drive this entry point to check exactly that.
+func RunWithTieBreak(sys *model.System, tieKey func(job, hop, idx int) int64) *Result {
+	return run(sys, nil, tieKey)
+}
+
+func run(sys *model.System, exec ExecTimes, tieKey func(job, hop, idx int) int64) *Result {
+	if err := sys.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: invalid system: %v", err))
+	}
+	res := &Result{
+		Response:  make([][]model.Ticks, len(sys.Jobs)),
+		Arrival:   make([][][]model.Ticks, len(sys.Jobs)),
+		Departure: make([][][]model.Ticks, len(sys.Jobs)),
+		BusyUntil: make([]model.Ticks, len(sys.Procs)),
+		Segments:  make([][]Segment, len(sys.Procs)),
+	}
+	for k := range sys.Jobs {
+		n := len(sys.Jobs[k].Releases)
+		res.Response[k] = make([]model.Ticks, n)
+		res.Arrival[k] = make([][]model.Ticks, len(sys.Jobs[k].Subjobs))
+		res.Departure[k] = make([][]model.Ticks, len(sys.Jobs[k].Subjobs))
+		for j := range sys.Jobs[k].Subjobs {
+			res.Arrival[k][j] = make([]model.Ticks, n)
+			res.Departure[k][j] = make([]model.Ticks, n)
+		}
+	}
+
+	// Priority ceilings of the shared resources (IPCP).
+	ceilings := map[int]int{}
+	for k := range sys.Jobs {
+		for j := range sys.Jobs[k].Subjobs {
+			sj := &sys.Jobs[k].Subjobs[j]
+			for _, cs := range sj.CS {
+				if c, ok := ceilings[cs.Resource]; !ok || sj.Priority < c {
+					ceilings[cs.Resource] = sj.Priority
+				}
+			}
+		}
+	}
+
+	procs := make([]*procState, len(sys.Procs))
+	for p := range procs {
+		procs[p] = &procState{ready: readyQueue{sys: sys, sched: sys.Procs[p].Sched, ceilings: ceilings, tieKey: tieKey}}
+	}
+
+	// lastRelease[k][j] tracks the previous release instant per hop for
+	// the release-guard policy (-1 = none yet).
+	lastRelease := make([][]model.Ticks, len(sys.Jobs))
+	for k := range sys.Jobs {
+		lastRelease[k] = make([]model.Ticks, len(sys.Jobs[k].Subjobs))
+		for j := range lastRelease[k] {
+			lastRelease[k][j] = -1
+		}
+	}
+
+	actualExec := func(k, j, i int) model.Ticks {
+		e := sys.Jobs[k].Subjobs[j].Exec
+		if exec != nil {
+			if a := exec(k, j, i); a >= 1 && a <= e {
+				e = a
+			} else {
+				panic(fmt.Sprintf("sim: exec override for T_{%d,%d} #%d out of [1,%d]", k+1, j+1, i, e))
+			}
+		}
+		return e
+	}
+
+	var q eventQueue
+	for k := range sys.Jobs {
+		for i, t := range sys.Jobs[k].Releases {
+			heap.Push(&q, &event{at: t, kind: evRelease, inst: &instance{
+				job: k, hop: 0, idx: i, arrived: t,
+				remaining: actualExec(k, 0, i),
+			}})
+		}
+	}
+
+	// dispatch re-evaluates who should run on processor p at time now.
+	dispatch := func(p int, now model.Ticks) {
+		ps := procs[p]
+		if ps.ready.Len() == 0 && ps.running == nil {
+			return
+		}
+		switch sys.Procs[p].Sched {
+		case model.SPP:
+			if ps.running != nil && ps.ready.Len() > 0 {
+				top := ps.ready.items[0]
+				cur := ps.running
+				pt := effPriority(sys, ceilings, top, 0)
+				pc := effPriority(sys, ceilings, cur, now-ps.startedAt)
+				preempt := pt < pc ||
+					(pt == pc && (top.job < cur.job ||
+						(top.job == cur.job && (top.hop < cur.hop ||
+							(top.hop == cur.hop && top.idx < cur.idx)))))
+				if preempt {
+					cur.remaining -= now - ps.startedAt
+					if now > ps.startedAt {
+						res.Segments[p] = append(res.Segments[p], Segment{
+							Job: cur.job, Hop: cur.hop, Idx: cur.idx,
+							From: ps.startedAt, To: now,
+						})
+					}
+					ps.running = nil
+					ps.seq++
+					heap.Push(&ps.ready, cur)
+				}
+			}
+		case model.SPNP, model.FCFS:
+			// Non-preemptive: never displace a running instance.
+		}
+		if ps.running == nil && ps.ready.Len() > 0 {
+			next := heap.Pop(&ps.ready).(*instance)
+			ps.running = next
+			ps.startedAt = now
+			ps.seq++
+			heap.Push(&q, &event{at: now + next.remaining, kind: evComplete, proc: p, seq: ps.seq})
+			// On SPP, the effective priority changes at critical-section
+			// boundaries; schedule a re-dispatch at the first one ahead.
+			if sys.Procs[p].Sched == model.SPP {
+				sj := &sys.Jobs[next.job].Subjobs[next.hop]
+				if len(sj.CS) > 0 {
+					done := next.executed(sys)
+					var delta model.Ticks = -1
+					for _, cs := range sj.CS {
+						for _, at := range [2]model.Ticks{cs.Start, cs.Start + cs.Duration} {
+							if at > done && (delta < 0 || at-done < delta) {
+								delta = at - done
+							}
+						}
+					}
+					if delta > 0 && delta < next.remaining {
+						heap.Push(&q, &event{at: now + delta, kind: evBoundary, proc: p, seq: ps.seq})
+					}
+				}
+			}
+		}
+	}
+
+	dirty := map[int]bool{}
+	for q.Len() > 0 {
+		now := q[0].at
+		// Drain the batch at this timestamp: completions first (they may
+		// cascade same-time releases, which sort after completions and
+		// land in the same batch), then releases, then dispatch.
+		for q.Len() > 0 && q[0].at == now {
+			e := heap.Pop(&q).(*event)
+			switch e.kind {
+			case evComplete:
+				ps := procs[e.proc]
+				if e.seq != ps.seq || ps.running == nil {
+					continue // stale: the dispatch changed since scheduling
+				}
+				done := ps.running
+				ps.running = nil
+				ps.seq++
+				ps.busyUntil = now
+				res.Segments[e.proc] = append(res.Segments[e.proc], Segment{
+					Job: done.job, Hop: done.hop, Idx: done.idx,
+					From: ps.startedAt, To: now,
+				})
+				res.Departure[done.job][done.hop][done.idx] = now
+				dirty[e.proc] = true
+				if done.hop+1 < len(sys.Jobs[done.job].Subjobs) {
+					// The synchronization policy (plus the hop's constant
+					// communication latency) sets the next release time.
+					job := &sys.Jobs[done.job]
+					at := now + job.Subjobs[done.hop].PostDelay
+					switch job.Sync {
+					case model.PhaseModification:
+						if nominal := job.Releases[done.idx] + job.Phases[done.hop+1]; nominal > at {
+							at = nominal
+						}
+					case model.ReleaseGuard:
+						if prev := lastRelease[done.job][done.hop+1]; prev >= 0 && prev+job.Period > at {
+							at = prev + job.Period
+						}
+					}
+					if job.Sync == model.ReleaseGuard {
+						lastRelease[done.job][done.hop+1] = at
+					}
+					heap.Push(&q, &event{at: at, kind: evRelease, inst: &instance{
+						job: done.job, hop: done.hop + 1, idx: done.idx, arrived: at,
+						remaining: actualExec(done.job, done.hop+1, done.idx),
+					}})
+				} else {
+					res.Response[done.job][done.idx] = now - sys.Jobs[done.job].Releases[done.idx]
+				}
+			case evRelease:
+				in := e.inst
+				res.Arrival[in.job][in.hop][in.idx] = now
+				p := sys.Jobs[in.job].Subjobs[in.hop].Proc
+				heap.Push(&procs[p].ready, in)
+				dirty[p] = true
+			case evBoundary:
+				ps := procs[e.proc]
+				if e.seq != ps.seq || ps.running == nil {
+					continue // stale
+				}
+				cur := ps.running
+				cur.remaining -= now - ps.startedAt
+				if now > ps.startedAt {
+					res.Segments[e.proc] = append(res.Segments[e.proc], Segment{
+						Job: cur.job, Hop: cur.hop, Idx: cur.idx,
+						From: ps.startedAt, To: now,
+					})
+				}
+				ps.running = nil
+				ps.seq++
+				heap.Push(&ps.ready, cur)
+				dirty[e.proc] = true
+			}
+		}
+		for p := range dirty {
+			dispatch(p, now)
+			delete(dirty, p)
+		}
+	}
+	for p := range procs {
+		res.BusyUntil[p] = procs[p].busyUntil
+	}
+	return res
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+
+	"rta/internal/model"
+)
+
+func ticks(ts ...model.Ticks) []model.Ticks { return ts }
+
+// TestSPNPNoPreemption: a running low-priority subjob must finish before
+// a newly arrived high-priority one starts.
+func TestSPNPNoPreemption(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Sched: model.SPNP}},
+		Jobs: []model.Job{
+			{Deadline: 100, Subjobs: []model.Subjob{{Proc: 0, Exec: 2, Priority: 0}},
+				Releases: ticks(5)},
+			{Deadline: 100, Subjobs: []model.Subjob{{Proc: 0, Exec: 10, Priority: 1}},
+				Releases: ticks(0)},
+		},
+	}
+	res := Run(sys)
+	if got := res.Departure[1][0][0]; got != 10 {
+		t.Errorf("low job departs %d, want 10 (no preemption)", got)
+	}
+	if got := res.Departure[0][0][0]; got != 12 {
+		t.Errorf("high job departs %d, want 12 (blocked until 10)", got)
+	}
+}
+
+// TestSPPPreemption: the same scenario under SPP preempts immediately.
+func TestSPPPreemption(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Sched: model.SPP}},
+		Jobs: []model.Job{
+			{Deadline: 100, Subjobs: []model.Subjob{{Proc: 0, Exec: 2, Priority: 0}},
+				Releases: ticks(5)},
+			{Deadline: 100, Subjobs: []model.Subjob{{Proc: 0, Exec: 10, Priority: 1}},
+				Releases: ticks(0)},
+		},
+	}
+	res := Run(sys)
+	if got := res.Departure[0][0][0]; got != 7 {
+		t.Errorf("high job departs %d, want 7 (preempts at 5)", got)
+	}
+	if got := res.Departure[1][0][0]; got != 12 {
+		t.Errorf("low job departs %d, want 12 (loses 2 to preemption)", got)
+	}
+}
+
+// TestFCFSOrder: service strictly in arrival order, ties by job index.
+func TestFCFSOrder(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Sched: model.FCFS}},
+		Jobs: []model.Job{
+			{Deadline: 100, Subjobs: []model.Subjob{{Proc: 0, Exec: 3}}, Releases: ticks(2)},
+			{Deadline: 100, Subjobs: []model.Subjob{{Proc: 0, Exec: 4}}, Releases: ticks(0, 2)},
+		},
+	}
+	res := Run(sys)
+	// t=0: job2 inst0 starts (alone). t=2: both arrive; tie at 2 -> job1
+	// first. Schedule: job2#0 0-4, job1#0 4-7, job2#1 7-11.
+	if got := res.Departure[1][0][0]; got != 4 {
+		t.Errorf("job2 inst0 departs %d, want 4", got)
+	}
+	if got := res.Departure[0][0][0]; got != 7 {
+		t.Errorf("job1 inst0 departs %d, want 7", got)
+	}
+	if got := res.Departure[1][0][1]; got != 11 {
+		t.Errorf("job2 inst1 departs %d, want 11", got)
+	}
+}
+
+// TestDirectSynchronization: a completion releases the next hop at the
+// same instant, and the downstream processor can start immediately.
+func TestDirectSynchronization(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Sched: model.SPP}, {Sched: model.SPP}},
+		Jobs: []model.Job{
+			{Deadline: 100, Subjobs: []model.Subjob{
+				{Proc: 0, Exec: 3, Priority: 0},
+				{Proc: 1, Exec: 4, Priority: 0},
+			}, Releases: ticks(0)},
+		},
+	}
+	res := Run(sys)
+	if got := res.Arrival[0][1][0]; got != 3 {
+		t.Errorf("hop 2 arrives %d, want 3", got)
+	}
+	if got := res.Departure[0][1][0]; got != 7 {
+		t.Errorf("hop 2 departs %d, want 7", got)
+	}
+	if got := res.WorstResponse(0); got != 7 {
+		t.Errorf("response %d, want 7", got)
+	}
+}
+
+// TestPreemptionResume: a preempted instance resumes with its remaining
+// time only.
+func TestPreemptionResume(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Sched: model.SPP}},
+		Jobs: []model.Job{
+			{Deadline: 100, Subjobs: []model.Subjob{{Proc: 0, Exec: 1, Priority: 0}},
+				Releases: ticks(2, 4, 6)},
+			{Deadline: 100, Subjobs: []model.Subjob{{Proc: 0, Exec: 5, Priority: 1}},
+				Releases: ticks(0)},
+		},
+	}
+	res := Run(sys)
+	// Low runs 0-2, 3-4, 5-6, 7-8: departs at 8 after three preemptions.
+	if got := res.Departure[1][0][0]; got != 8 {
+		t.Errorf("low departs %d, want 8", got)
+	}
+	for i, want := range []model.Ticks{3, 5, 7} {
+		if got := res.Departure[0][0][i]; got != want {
+			t.Errorf("high inst %d departs %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestEqualPriorityTieBreak: equal numeric priority resolves by job
+// index, including preemption.
+func TestEqualPriorityTieBreak(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Sched: model.SPP}},
+		Jobs: []model.Job{
+			{Deadline: 100, Subjobs: []model.Subjob{{Proc: 0, Exec: 2, Priority: 1}},
+				Releases: ticks(1)},
+			{Deadline: 100, Subjobs: []model.Subjob{{Proc: 0, Exec: 4, Priority: 1}},
+				Releases: ticks(0)},
+		},
+	}
+	res := Run(sys)
+	// Job 1 preempts job 2 at t=1 (same priority, lower job index): job 2
+	// runs 0-1, job 1 runs 1-3, job 2 resumes 3-6.
+	if got := res.Departure[0][0][0]; got != 3 {
+		t.Errorf("job1 departs %d, want 3", got)
+	}
+	if got := res.Departure[1][0][0]; got != 6 {
+		t.Errorf("job2 departs %d, want 6", got)
+	}
+}
+
+// TestBusyUntil: the processor busy marker equals the last completion.
+func TestBusyUntil(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Sched: model.FCFS}, {Sched: model.FCFS}},
+		Jobs: []model.Job{
+			{Deadline: 10, Subjobs: []model.Subjob{{Proc: 0, Exec: 4}}, Releases: ticks(3)},
+		},
+	}
+	res := Run(sys)
+	if res.BusyUntil[0] != 7 {
+		t.Errorf("BusyUntil[0] = %d, want 7", res.BusyUntil[0])
+	}
+	if res.BusyUntil[1] != 0 {
+		t.Errorf("BusyUntil[1] = %d, want 0 (never used)", res.BusyUntil[1])
+	}
+}

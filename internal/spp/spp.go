@@ -1,0 +1,187 @@
+// Package spp implements the paper's exact response-time analysis for
+// distributed systems whose processors all use static priority preemptive
+// scheduling (Section 4.1, Theorems 1-3).
+//
+// For each subjob, in dependency order, the analysis computes the exact
+// service function (Theorem 3) from the service functions of the
+// higher-priority subjobs on the same processor, derives the departure
+// function (Theorem 2), and feeds it as the arrival function of the next
+// hop. The end-to-end worst-case response time is the maximal horizontal
+// distance between the last hop's departures and the first hop's arrivals
+// (Theorem 1). All steps are exact integer arithmetic: on any concrete
+// release trace the computed departure times equal the discrete-event
+// simulation instant for instant.
+package spp
+
+import (
+	"errors"
+	"fmt"
+
+	"rta/internal/curve"
+	"rta/internal/model"
+)
+
+// Result is the full output of the exact analysis.
+type Result struct {
+	// WCRT[k] is the worst-case end-to-end response time of job k over
+	// its release trace (Theorem 1).
+	WCRT []model.Ticks
+	// Arrival[k][j][i] is the (exact) release time of instance i of
+	// subjob (k,j); hop 0 copies the input trace, later hops are the
+	// departures of the previous hop (direct synchronization).
+	Arrival [][][]model.Ticks
+	// Departure[k][j][i] is the exact completion time of instance i of
+	// subjob (k,j).
+	Departure [][][]model.Ticks
+	// Service[k][j] is the exact service function S_{k,j} of Theorem 3.
+	Service [][]*curve.Curve
+	// Backlog[k][j] is the exact maximum backlog of subjob (k,j): the
+	// largest number of its instances simultaneously pending (released
+	// but not completed), which sizes the subjob's input queue.
+	Backlog [][]int
+}
+
+// ErrNotSPP is returned when some processor does not use SPP scheduling.
+var ErrNotSPP = errors.New("spp: exact analysis requires SPP scheduling on every processor")
+
+// ErrCyclic is returned when the subjob dependencies contain a cycle (a
+// "physical loop" from a job revisiting a processor, or a "logical loop"
+// through priorities); the iterative scheme in the analysis package
+// handles those systems.
+var ErrCyclic = errors.New("spp: cyclic subjob dependencies (physical or logical loop)")
+
+// ErrResources is returned for systems with shared resources: resource
+// blocking depends on run-time critical-section placement, so only the
+// bound-based analyses apply (see analysis.Approximate).
+var ErrResources = errors.New("spp: exact analysis does not support shared resources")
+
+// Analyze runs the exact analysis on a valid, all-SPP system.
+func Analyze(sys *model.System) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("spp: %w", err)
+	}
+	for p := range sys.Procs {
+		if sys.Procs[p].Sched != model.SPP {
+			return nil, ErrNotSPP
+		}
+	}
+	if sys.HasResources() {
+		return nil, ErrResources
+	}
+
+	res := &Result{
+		WCRT:      make([]model.Ticks, len(sys.Jobs)),
+		Arrival:   make([][][]model.Ticks, len(sys.Jobs)),
+		Departure: make([][][]model.Ticks, len(sys.Jobs)),
+		Service:   make([][]*curve.Curve, len(sys.Jobs)),
+		Backlog:   make([][]int, len(sys.Jobs)),
+	}
+	for k := range sys.Jobs {
+		hops := len(sys.Jobs[k].Subjobs)
+		res.Arrival[k] = make([][]model.Ticks, hops)
+		res.Departure[k] = make([][]model.Ticks, hops)
+		res.Service[k] = make([]*curve.Curve, hops)
+		res.Backlog[k] = make([]int, hops)
+		res.Arrival[k][0] = append([]model.Ticks(nil), sys.Jobs[k].Releases...)
+	}
+
+	done := make([][]bool, len(sys.Jobs))
+	remaining := 0
+	for k := range sys.Jobs {
+		done[k] = make([]bool, len(sys.Jobs[k].Subjobs))
+		remaining += len(sys.Jobs[k].Subjobs)
+	}
+
+	ready := func(r model.SubjobRef) bool {
+		if r.Hop > 0 && !done[r.Job][r.Hop-1] {
+			return false
+		}
+		for _, o := range sys.OnProc(sys.Subjob(r).Proc) {
+			if o != r && sys.HigherPriority(o, r) && !done[o.Job][o.Hop] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for remaining > 0 {
+		progress := false
+		for k := range sys.Jobs {
+			for j := range sys.Jobs[k].Subjobs {
+				r := model.SubjobRef{Job: k, Hop: j}
+				if done[k][j] || !ready(r) {
+					continue
+				}
+				analyzeSubjob(sys, res, r)
+				done[k][j] = true
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, ErrCyclic
+		}
+	}
+
+	for k := range sys.Jobs {
+		last := len(sys.Jobs[k].Subjobs) - 1
+		var worst model.Ticks
+		for i, dep := range res.Departure[k][last] {
+			if curve.IsInf(dep) {
+				worst = curve.Inf
+				break
+			}
+			if d := dep - sys.Jobs[k].Releases[i]; d > worst {
+				worst = d
+			}
+		}
+		res.WCRT[k] = worst
+	}
+	return res, nil
+}
+
+// analyzeSubjob computes the exact service function and departure times of
+// one subjob whose dependencies are already analyzed.
+func analyzeSubjob(sys *model.System, res *Result, r model.SubjobRef) {
+	sj := sys.Subjob(r)
+	arr := res.Arrival[r.Job][r.Hop]
+	demand := curve.Staircase(arr, sj.Exec)
+
+	// Equation (10): availability is what the higher-priority subjobs on
+	// this processor leave over.
+	var higher []*curve.Curve
+	for _, o := range sys.OnProc(sj.Proc) {
+		if o != r && sys.HigherPriority(o, r) {
+			higher = append(higher, res.Service[o.Job][o.Hop])
+		}
+	}
+	avail := curve.Availability(higher)
+
+	// Equation (9): the exact service function.
+	svc := curve.ServiceTransform(avail, demand)
+	res.Service[r.Job][r.Hop] = svc
+
+	// Theorem 2: departures are the instants S first reaches m*tau.
+	dep := svc.CompletionTimes(sj.Exec, len(arr))
+	res.Departure[r.Job][r.Hop] = dep
+	if b, ok := curve.MaxVerticalDeviation(curve.Staircase(arr, 1), curve.Staircase(dep, 1)); ok {
+		res.Backlog[r.Job][r.Hop] = int(b)
+	}
+	if r.Hop+1 < len(sys.Jobs[r.Job].Subjobs) {
+		// Departures become the next hop's arrivals through the job's
+		// synchronization policy (direct synchronization by default) and
+		// the hop's constant communication latency.
+		res.Arrival[r.Job][r.Hop+1] = sys.NextReleases(r.Job, r.Hop, dep)
+	}
+}
+
+// Schedulable reports whether every job meets its end-to-end deadline
+// under the computed worst-case response times.
+func (r *Result) Schedulable(sys *model.System) bool {
+	for k := range sys.Jobs {
+		if curve.IsInf(r.WCRT[k]) || r.WCRT[k] > sys.Jobs[k].Deadline {
+			return false
+		}
+	}
+	return true
+}

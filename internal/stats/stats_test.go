@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRandDeterministic(t *testing.T) {
+	a := NewRand(42, 7)
+	b := NewRand(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed, stream) must give the same sequence")
+		}
+	}
+	c := NewRand(42, 8)
+	same := true
+	d := NewRand(42, 7)
+	for i := 0; i < 10; i++ {
+		if c.Int63() != d.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different streams should diverge")
+	}
+}
+
+func TestDistributionsMoments(t *testing.T) {
+	r := NewRand(1, 1)
+	var u, e, s Summary
+	for i := 0; i < 200000; i++ {
+		u.Add(Uniform(r, 2, 6))
+		e.Add(Exponential(r, 3))
+		s.Add(ShiftedExponential(r, 5, 2))
+	}
+	if math.Abs(u.Mean()-4) > 0.02 {
+		t.Errorf("uniform mean %.3f, want 4", u.Mean())
+	}
+	if math.Abs(u.Std()-4/math.Sqrt(12)) > 0.02 {
+		t.Errorf("uniform std %.3f, want %.3f", u.Std(), 4/math.Sqrt(12))
+	}
+	if math.Abs(e.Mean()-3) > 0.05 {
+		t.Errorf("exponential mean %.3f, want 3", e.Mean())
+	}
+	if math.Abs(s.Mean()-7) > 0.05 {
+		t.Errorf("shifted exponential mean %.3f, want 7", s.Mean())
+	}
+	if math.Abs(s.Std()-2) > 0.05 {
+		t.Errorf("shifted exponential std %.3f, want 2", s.Std())
+	}
+	if s.Min < 5 {
+		t.Errorf("shifted exponential min %.3f below offset", s.Min)
+	}
+}
+
+func TestProportion(t *testing.T) {
+	var p Proportion
+	for i := 0; i < 80; i++ {
+		p.Add(i%4 != 0) // 60/80
+	}
+	if got := p.Estimate(); got != 0.75 {
+		t.Fatalf("estimate = %v, want 0.75", got)
+	}
+	lo, hi := p.Wilson(1.96)
+	if lo >= 0.75 || hi <= 0.75 {
+		t.Fatalf("Wilson interval [%.3f, %.3f] must contain the estimate", lo, hi)
+	}
+	if lo < 0.6 || hi > 0.9 {
+		t.Fatalf("Wilson interval [%.3f, %.3f] implausibly wide for n=80", lo, hi)
+	}
+}
+
+func TestProportionEmpty(t *testing.T) {
+	var p Proportion
+	if p.Estimate() != 0 {
+		t.Error("empty estimate should be 0")
+	}
+	lo, hi := p.Wilson(1.96)
+	if lo != 0 || hi != 1 {
+		t.Error("empty interval should be [0, 1]")
+	}
+}
+
+func TestSummaryAgainstDirect(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Summary
+		var xs []float64
+		for _, v := range raw {
+			x := float64(v)
+			s.Add(x)
+			xs = append(xs, x)
+		}
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		var v float64
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(len(xs) - 1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Var()-v) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

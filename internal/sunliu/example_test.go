@@ -1,0 +1,29 @@
+package sunliu_test
+
+import (
+	"fmt"
+
+	"rta/internal/model"
+	"rta/internal/sunliu"
+)
+
+// Example analyzes the textbook rate-monotonic set (1,4), (2,6), (3,10):
+// the holistic analysis reduces to the exact busy-period test on one
+// processor.
+func Example() {
+	sys := &sunliu.System{
+		Procs: []model.Processor{{Sched: model.SPP}},
+		Tasks: []sunliu.Task{
+			{Period: 4, Deadline: 4, Subjobs: []model.Subjob{{Proc: 0, Exec: 1, Priority: 0}}},
+			{Period: 6, Deadline: 6, Subjobs: []model.Subjob{{Proc: 0, Exec: 2, Priority: 1}}},
+			{Period: 10, Deadline: 10, Subjobs: []model.Subjob{{Proc: 0, Exec: 3, Priority: 2}}},
+		},
+	}
+	res, err := sunliu.Analyze(sys)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.WCRT, res.Schedulable(sys))
+	// Output:
+	// [1 3 10] true
+}

@@ -1,0 +1,93 @@
+// Package tracelog exports simulated schedules in the Chrome trace-event
+// JSON format, viewable in chrome://tracing or https://ui.perfetto.dev:
+// one "process" per processor, one complete-event per execution segment,
+// plus instant events for releases and deadline misses. The text Gantt
+// (internal/gantt) answers quick questions; this export is for scrubbing
+// through large schedules interactively.
+package tracelog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rta/internal/model"
+	"rta/internal/sim"
+)
+
+// event is one Chrome trace event (the subset of fields we emit).
+type event struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type document struct {
+	TraceEvents     []event           `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Metadata        map[string]string `json:"otherData,omitempty"`
+}
+
+// Write emits the trace. Ticks map 1:1 to trace microseconds.
+func Write(w io.Writer, sys *model.System, res *sim.Result) error {
+	doc := document{
+		DisplayTimeUnit: "ms",
+		Metadata: map[string]string{
+			"source": "rta discrete-event simulator",
+		},
+	}
+	// Process name metadata per processor.
+	for p := range sys.Procs {
+		doc.TraceEvents = append(doc.TraceEvents, event{
+			Name: "process_name", Phase: "M", Pid: p,
+			Args: map[string]any{"name": fmt.Sprintf("%s (%s)", sys.ProcName(p), sys.Procs[p].Sched)},
+		})
+	}
+	// Execution segments: complete events ("X"), one lane (tid) per job
+	// so preemptions interleave visibly.
+	for p := range sys.Procs {
+		for _, s := range res.Segments[p] {
+			doc.TraceEvents = append(doc.TraceEvents, event{
+				Name:  fmt.Sprintf("%s hop %d #%d", sys.JobName(s.Job), s.Hop+1, s.Idx),
+				Phase: "X",
+				Ts:    s.From,
+				Dur:   s.To - s.From,
+				Pid:   p,
+				Tid:   s.Job,
+				Args: map[string]any{
+					"job": sys.JobName(s.Job), "hop": s.Hop + 1, "instance": s.Idx,
+				},
+			})
+		}
+	}
+	// Releases and deadline misses as instant events.
+	for k := range sys.Jobs {
+		for i, t := range sys.Jobs[k].Releases {
+			doc.TraceEvents = append(doc.TraceEvents, event{
+				Name:  fmt.Sprintf("release %s #%d", sys.JobName(k), i),
+				Phase: "i", Scope: "g",
+				Ts:  t,
+				Pid: sys.Jobs[k].Subjobs[0].Proc, Tid: k,
+			})
+			if res.Response[k][i] > sys.Jobs[k].Deadline {
+				last := len(sys.Jobs[k].Subjobs) - 1
+				doc.TraceEvents = append(doc.TraceEvents, event{
+					Name:  fmt.Sprintf("DEADLINE MISS %s #%d", sys.JobName(k), i),
+					Phase: "i", Scope: "g",
+					Ts:  res.Departure[k][last][i],
+					Pid: sys.Jobs[k].Subjobs[last].Proc, Tid: k,
+					Args: map[string]any{
+						"response": res.Response[k][i], "deadline": sys.Jobs[k].Deadline,
+					},
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

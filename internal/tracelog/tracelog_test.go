@@ -1,0 +1,94 @@
+package tracelog
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"rta/internal/model"
+	"rta/internal/randsys"
+	"rta/internal/sim"
+)
+
+func TestWriteStructure(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Name: "CPU", Sched: model.SPP}},
+		Jobs: []model.Job{
+			{Name: "fast", Deadline: 3, Subjobs: []model.Subjob{{Proc: 0, Exec: 4, Priority: 0}},
+				Releases: []model.Ticks{0}},
+		},
+	}
+	res := sim.Run(sys)
+	var buf bytes.Buffer
+	if err := Write(&buf, sys, res); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var segs, metas, instants, misses int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			segs++
+			if e["dur"].(float64) != 4 {
+				t.Errorf("segment dur = %v, want 4", e["dur"])
+			}
+		case "M":
+			metas++
+		case "i":
+			instants++
+			if name, _ := e["name"].(string); len(name) >= 8 && name[:8] == "DEADLINE" {
+				misses++
+			}
+		}
+	}
+	if segs != 1 || metas != 1 {
+		t.Fatalf("segments=%d metas=%d, want 1 and 1", segs, metas)
+	}
+	if misses != 1 {
+		t.Fatalf("deadline misses = %d, want 1 (response 4 > deadline 3)", misses)
+	}
+}
+
+// TestWriteValidJSONOnRandomSystems: the export must stay valid JSON with
+// consistent totals on arbitrary schedules.
+func TestWriteValidJSONOnRandomSystems(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		cfg := randsys.Default
+		cfg.Schedulers = []model.Scheduler{model.SPP, model.SPNP, model.FCFS}
+		sys := randsys.New(r, cfg)
+		res := sim.Run(sys)
+		var buf bytes.Buffer
+		if err := Write(&buf, sys, res); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Phase string  `json:"ph"`
+				Dur   float64 `json:"dur"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("trial %d: invalid JSON: %v", trial, err)
+		}
+		var busy model.Ticks
+		for _, e := range doc.TraceEvents {
+			if e.Phase == "X" {
+				busy += model.Ticks(e.Dur)
+			}
+		}
+		var want model.Ticks
+		for p := range sys.Procs {
+			want += sys.TotalWork(p)
+		}
+		if busy != want {
+			t.Fatalf("trial %d: exported busy %d != total work %d", trial, busy, want)
+		}
+	}
+}

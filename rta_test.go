@@ -1,0 +1,146 @@
+package rta_test
+
+import (
+	"strings"
+	"testing"
+
+	"rta"
+)
+
+func buildPipeline(t *testing.T) *rta.System {
+	t.Helper()
+	return rta.NewSystem().
+		Processor("CPU", rta.SPP).
+		Processor("NET", rta.SPP).
+		Job("hi", 100,
+			rta.Hop("CPU", 3, 0),
+			rta.Hop("NET", 2, 0)).
+		Job("lo", 200,
+			rta.Hop("CPU", 5, 1)).
+		Releases("hi", 0, 10, 20).
+		Releases("lo", 0, 0).
+		Build()
+}
+
+func TestFacadeAnalyzeMatchesSimulate(t *testing.T) {
+	sys := buildPipeline(t)
+	res, err := rta.Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "SPP/Exact" {
+		t.Fatalf("method = %q", res.Method)
+	}
+	sim := rta.Simulate(sys)
+	for k := range sys.Jobs {
+		if res.WCRT[k] != sim.WorstResponse(k) {
+			t.Errorf("job %d: analysis %d != simulation %d", k, res.WCRT[k], sim.WorstResponse(k))
+		}
+	}
+}
+
+func TestFacadeApproximateAndIterative(t *testing.T) {
+	sys := buildPipeline(t)
+	sys.Procs[1].Sched = rta.SPNP
+	app, err := rta.Approximate(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := rta.Iterative(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := rta.Simulate(sys)
+	for k := range sys.Jobs {
+		if app.WCRT[k] < sim.WorstResponse(k) {
+			t.Errorf("approximate bound below simulation")
+		}
+		if it.WCRT[k] < sim.WorstResponse(k) {
+			t.Errorf("iterative bound below simulation")
+		}
+	}
+}
+
+func TestFacadeHolistic(t *testing.T) {
+	hs := &rta.HolisticSystem{
+		Procs: []rta.Processor{{Sched: rta.SPP}},
+		Tasks: []rta.HolisticTask{
+			{Period: 10, Deadline: 10, Subjobs: []rta.Subjob{{Proc: 0, Exec: 4, Priority: 0}}},
+			{Period: 20, Deadline: 20, Subjobs: []rta.Subjob{{Proc: 0, Exec: 6, Priority: 1}}},
+		},
+	}
+	res, err := rta.Holistic(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High: 4. Low: runs 4-10 after the first high instance and completes
+	// exactly as the second high instance is released.
+	if res.WCRT[0] != 4 || res.WCRT[1] != 10 {
+		t.Fatalf("WCRT = %v, want [4 10]", res.WCRT)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		build func() (*rta.System, error)
+		want  string
+	}{
+		{func() (*rta.System, error) {
+			return rta.NewSystem().Processor("A", rta.SPP).Processor("A", rta.SPP).BuildErr()
+		}, "duplicate processor"},
+		{func() (*rta.System, error) {
+			return rta.NewSystem().Processor("A", rta.SPP).
+				Job("j", 10, rta.Hop("NOPE", 1, 0)).Releases("j", 0).BuildErr()
+		}, "unknown processor"},
+		{func() (*rta.System, error) {
+			b := rta.NewSystem().Processor("A", rta.SPP).
+				Job("j", 10, rta.Hop("A", 1, 0)).Job("j", 10, rta.Hop("A", 1, 0))
+			return b.BuildErr()
+		}, "duplicate job"},
+		{func() (*rta.System, error) {
+			return rta.NewSystem().Processor("A", rta.SPP).Releases("ghost", 1).BuildErr()
+		}, "unknown job"},
+		{func() (*rta.System, error) {
+			// Missing releases fails model validation.
+			return rta.NewSystem().Processor("A", rta.SPP).
+				Job("j", 10, rta.Hop("A", 1, 0)).BuildErr()
+		}, "no release"},
+	}
+	for i, tc := range cases {
+		_, err := tc.build()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("case %d: err = %v, want containing %q", i, err, tc.want)
+		}
+	}
+}
+
+func TestInfHelpers(t *testing.T) {
+	if !rta.IsInf(rta.Inf) || rta.IsInf(0) {
+		t.Fatal("IsInf broken")
+	}
+}
+
+func TestFacadeReportDotConformance(t *testing.T) {
+	sys := buildPipeline(t)
+	var md, dotBuf strings.Builder
+	if err := rta.WriteReport(&md, sys, "t", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "# t") || !strings.Contains(md.String(), "Schedule timeline") {
+		t.Error("report incomplete")
+	}
+	rta.WriteDOT(&dotBuf, sys)
+	if !strings.Contains(dotBuf.String(), "digraph system") {
+		t.Error("dot export incomplete")
+	}
+	log := &rta.ObservationLog{Records: []rta.ObservationRecord{
+		{Job: 0, Hop: 0, Idx: 0, Release: 0, Complete: 500},
+	}}
+	if v := rta.CheckConformance(sys, log, nil); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+	agg := rta.AggregateEnvelopes(rta.PeriodicEnvelope(10, 4), rta.PeriodicEnvelope(10, 4))
+	if err := agg.Validate(); err != nil {
+		t.Error(err)
+	}
+}
