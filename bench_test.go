@@ -37,9 +37,13 @@ func runPanel(b *testing.B, cfg workload.Config, methods []experiments.Method) {
 	b.Helper()
 	var panel experiments.Panel
 	for i := 0; i < b.N; i++ {
-		panel = experiments.Sweep(cfg, experiments.Options{
+		var err error
+		panel, err = experiments.Sweep(cfg, experiments.Options{
 			Seed: 1, Sets: benchSets, Utilizations: benchUtils, Methods: methods,
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, pt := range panel.Points {
 		for m, pr := range pt.Admission {

@@ -69,16 +69,25 @@ func main() {
 }
 
 func runSweep(figure int, base workload.Config, opts experiments.Options) []experiments.Panel {
+	var (
+		panels []experiments.Panel
+		err    error
+	)
 	switch figure {
 	case 3:
-		return experiments.Figure3(base, experiments.Figure3Stages, experiments.Figure3DeadlineFactors, opts)
+		panels, err = experiments.Figure3(base, experiments.Figure3Stages, experiments.Figure3DeadlineFactors, opts)
 	case 4:
 		base.Stages = 4
-		return experiments.Figure4(base, experiments.Figure4Means, experiments.Figure4Scales, opts)
+		panels, err = experiments.Figure4(base, experiments.Figure4Means, experiments.Figure4Scales, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "rta-jobshop: unknown figure %d\n", figure)
+		os.Exit(2)
 	}
-	fmt.Fprintf(os.Stderr, "rta-jobshop: unknown figure %d\n", figure)
-	os.Exit(2)
-	return nil
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rta-jobshop:", err)
+		os.Exit(1)
+	}
+	return panels
 }
 
 func writeOutputs(csvPath, svgDir string, panels []experiments.Panel) {

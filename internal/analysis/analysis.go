@@ -149,17 +149,15 @@ func Approximate(sys *model.System) (*Result, error) {
 // state carries the worklist computation of the approximate pipeline.
 type state struct {
 	sys  *model.System
+	topo *model.Topology
 	hops [][]Hop
-	done [][]bool
 }
 
 func newState(sys *model.System) *state {
-	st := &state{sys: sys}
+	st := &state{sys: sys, topo: sys.Topology()}
 	st.hops = make([][]Hop, len(sys.Jobs))
-	st.done = make([][]bool, len(sys.Jobs))
 	for k := range sys.Jobs {
 		st.hops[k] = make([]Hop, len(sys.Jobs[k].Subjobs))
-		st.done[k] = make([]bool, len(sys.Jobs[k].Subjobs))
 		rel := append([]model.Ticks(nil), sys.Jobs[k].Releases...)
 		st.hops[k][0].ArrEarly = rel
 		st.hops[k][0].ArrLate = rel
@@ -167,57 +165,81 @@ func newState(sys *model.System) *state {
 	return st
 }
 
-// arrivalKnown reports whether the arrival bounds of subjob r are final.
-func (st *state) arrivalKnown(r model.SubjobRef) bool {
-	return r.Hop == 0 || st.done[r.Job][r.Hop-1]
-}
-
-// ready reports whether subjob r can be computed now.
-func (st *state) ready(r model.SubjobRef) bool {
-	if !st.arrivalKnown(r) {
-		return false
+// dependencies returns, per subjob id, the prerequisite subjob ids that
+// must be computed first: the previous hop (whose departures are this
+// hop's arrivals), the strictly higher-priority subjobs on the same
+// processor (SPP/SPNP, whose service bounds feed the interference terms),
+// and for FCFS every co-located subjob's predecessor (their arrivals form
+// the total workload). Deduplicated; ids follow topo's (job, hop) order,
+// so the previous hop of id is id-1.
+func dependencies(sys *model.System, topo *model.Topology) [][]int {
+	refs := topo.Subjobs()
+	deps := make([][]int, len(refs))
+	seen := make([]int, len(refs)) // stamp array for dedup
+	for i := range seen {
+		seen[i] = -1
 	}
-	sys := st.sys
-	proc := sys.Subjob(r).Proc
-	switch sys.Procs[proc].Sched {
-	case model.SPP, model.SPNP:
-		for _, o := range sys.OnProc(proc) {
-			if o != r && sys.HigherPriority(o, r) && !st.done[o.Job][o.Hop] {
-				return false
+	for id, r := range refs {
+		add := func(dep int) {
+			if seen[dep] != id {
+				seen[dep] = id
+				deps[id] = append(deps[id], dep)
 			}
 		}
-	case model.FCFS:
-		for _, o := range sys.OnProc(proc) {
-			if !st.arrivalKnown(o) {
-				return false
-			}
+		if r.Hop > 0 {
+			add(id - 1)
 		}
-	}
-	return true
-}
-
-func (st *state) run() error {
-	remaining := 0
-	for k := range st.done {
-		remaining += len(st.done[k])
-	}
-	for remaining > 0 {
-		progress := false
-		for k := range st.sys.Jobs {
-			for j := range st.sys.Jobs[k].Subjobs {
-				r := model.SubjobRef{Job: k, Hop: j}
-				if st.done[k][j] || !st.ready(r) {
-					continue
+		proc := sys.Subjob(r).Proc
+		switch sys.Procs[proc].Sched {
+		case model.SPP, model.SPNP:
+			for _, o := range topo.Higher(r) {
+				add(topo.ID(o))
+			}
+		case model.FCFS:
+			for _, o := range topo.OnProc(proc) {
+				if o.Hop > 0 {
+					add(topo.ID(o) - 1)
 				}
-				st.computeSubjob(r)
-				st.done[k][j] = true
-				remaining--
-				progress = true
 			}
 		}
-		if !progress {
-			return ErrCyclic
+	}
+	return deps
+}
+
+// run computes every subjob in dependency order (Kahn's algorithm): each
+// subjob is visited exactly once, when all its prerequisites are done, so
+// the worklist costs O(subjobs + dependency edges) instead of the
+// quadratic ready-polling rounds it replaces.
+func (st *state) run() error {
+	refs := st.topo.Subjobs()
+	deps := dependencies(st.sys, st.topo)
+	indeg := make([]int, len(refs))
+	dependents := make([][]int, len(refs))
+	for id, ds := range deps {
+		indeg[id] = len(ds)
+		for _, d := range ds {
+			dependents[d] = append(dependents[d], id)
 		}
+	}
+	queue := make([]int, 0, len(refs))
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	processed := 0
+	for qi := 0; qi < len(queue); qi++ {
+		id := queue[qi]
+		st.computeSubjob(refs[id])
+		processed++
+		for _, dep := range dependents[id] {
+			if indeg[dep]--; indeg[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	if processed < len(refs) {
+		return ErrCyclic
 	}
 	return nil
 }
@@ -247,7 +269,7 @@ func finiteTimes(ts []model.Ticks) []model.Ticks {
 // computeSubjob derives the service bounds, departure bounds and local
 // response of one subjob whose dependencies are resolved.
 func (st *state) computeSubjob(r model.SubjobRef) {
-	sys := st.sys
+	sys, topo := st.sys, st.topo
 	sj := sys.Subjob(r)
 	hop := &st.hops[r.Job][r.Hop]
 	demandLo := curve.Staircase(finiteTimes(hop.ArrLate), sj.Exec)
@@ -257,32 +279,36 @@ func (st *state) computeSubjob(r model.SubjobRef) {
 	case model.SPP, model.SPNP:
 		var blocking model.Ticks
 		if sys.Procs[sj.Proc].Sched == model.SPNP {
-			blocking = sys.Blocking(r)
+			blocking = topo.Blocking(r)
 		} else {
 			// Preemptive processors block only through shared local
 			// resources: one lower-priority critical section whose
 			// ceiling reaches this priority (priority ceiling protocol).
-			blocking = sys.PCPBlocking(r)
+			blocking = topo.PCPBlocking(r)
 		}
-		var interf []spnp.Interference
-		for _, o := range sys.OnProc(sj.Proc) {
-			if o != r && sys.HigherPriority(o, r) {
-				oh := &st.hops[o.Job][o.Hop]
-				interf = append(interf, spnp.Interference{Lo: oh.SvcLo, Hi: oh.SvcHi})
-			}
+		higher := topo.Higher(r)
+		interf := make([]spnp.Interference, 0, len(higher))
+		for _, o := range higher {
+			oh := &st.hops[o.Job][o.Hop]
+			interf = append(interf, spnp.Interference{Lo: oh.SvcLo, Hi: oh.SvcHi})
 		}
 		hop.SvcLo, hop.SvcHi = spnp.Bounds(blocking, interf, demandLo, demandHi)
 	case model.FCFS:
-		totalLo, totalHi := demandLo, demandHi
-		for _, o := range sys.OnProc(sj.Proc) {
+		onp := topo.OnProc(sj.Proc)
+		los := make([]*curve.Curve, 0, len(onp))
+		his := make([]*curve.Curve, 0, len(onp))
+		los = append(los, demandLo)
+		his = append(his, demandHi)
+		for _, o := range onp {
 			if o == r {
 				continue
 			}
 			oh := &st.hops[o.Job][o.Hop]
 			oe := sys.Subjob(o).Exec
-			totalLo = totalLo.Add(curve.Staircase(finiteTimes(oh.ArrLate), oe))
-			totalHi = totalHi.Add(curve.Staircase(oh.ArrEarly, oe))
+			los = append(los, curve.Staircase(finiteTimes(oh.ArrLate), oe))
+			his = append(his, curve.Staircase(oh.ArrEarly, oe))
 		}
+		totalLo, totalHi := curve.Sum(los...), curve.Sum(his...)
 		hop.SvcLo, hop.SvcHi = fcfs.Bounds(sj.Exec, demandLo, demandHi, totalLo, totalHi)
 	}
 

@@ -95,7 +95,7 @@ func Iterative(sys *model.System, maxRounds int) (*Result, error) {
 // iterateSubjob recomputes one subjob from the current bound vector and
 // merges the result monotonically. It reports whether anything changed.
 func (st *state) iterateSubjob(r model.SubjobRef) bool {
-	sys := st.sys
+	sys, topo := st.sys, st.topo
 	sj := sys.Subjob(r)
 	hop := &st.hops[r.Job][r.Hop]
 	demandLo := curve.Staircase(finiteTimes(hop.ArrLate), sj.Exec)
@@ -105,37 +105,41 @@ func (st *state) iterateSubjob(r model.SubjobRef) bool {
 	case model.SPP, model.SPNP:
 		var blocking model.Ticks
 		if sys.Procs[sj.Proc].Sched == model.SPNP {
-			blocking = sys.Blocking(r)
+			blocking = topo.Blocking(r)
 		} else {
-			blocking = sys.PCPBlocking(r)
+			blocking = topo.PCPBlocking(r)
 		}
-		var interf []spnp.Interference
-		for _, o := range sys.OnProc(sj.Proc) {
-			if o != r && sys.HigherPriority(o, r) {
-				oh := &st.hops[o.Job][o.Hop]
-				lo, hi := oh.SvcLo, oh.SvcHi
-				if lo == nil {
-					// Not yet computed this round: assume nothing about
-					// its service (no guaranteed progress, full possible
-					// interference bounded by its workload upper bound).
-					lo = curve.Zero()
-					hi = curve.Staircase(oh.ArrEarly, sys.Subjob(o).Exec)
-				}
-				interf = append(interf, spnp.Interference{Lo: lo, Hi: hi})
+		higher := topo.Higher(r)
+		interf := make([]spnp.Interference, 0, len(higher))
+		for _, o := range higher {
+			oh := &st.hops[o.Job][o.Hop]
+			lo, hi := oh.SvcLo, oh.SvcHi
+			if lo == nil {
+				// Not yet computed this round: assume nothing about
+				// its service (no guaranteed progress, full possible
+				// interference bounded by its workload upper bound).
+				lo = curve.Zero()
+				hi = curve.Staircase(oh.ArrEarly, sys.Subjob(o).Exec)
 			}
+			interf = append(interf, spnp.Interference{Lo: lo, Hi: hi})
 		}
 		hop.SvcLo, hop.SvcHi = spnp.Bounds(blocking, interf, demandLo, demandHi)
 	case model.FCFS:
-		totalLo, totalHi := demandLo, demandHi
-		for _, o := range sys.OnProc(sj.Proc) {
+		onp := topo.OnProc(sj.Proc)
+		los := make([]*curve.Curve, 0, len(onp))
+		his := make([]*curve.Curve, 0, len(onp))
+		los = append(los, demandLo)
+		his = append(his, demandHi)
+		for _, o := range onp {
 			if o == r {
 				continue
 			}
 			oh := &st.hops[o.Job][o.Hop]
 			oe := sys.Subjob(o).Exec
-			totalLo = totalLo.Add(curve.Staircase(finiteTimes(oh.ArrLate), oe))
-			totalHi = totalHi.Add(curve.Staircase(oh.ArrEarly, oe))
+			los = append(los, curve.Staircase(finiteTimes(oh.ArrLate), oe))
+			his = append(his, curve.Staircase(oh.ArrEarly, oe))
 		}
+		totalLo, totalHi := curve.Sum(los...), curve.Sum(his...)
 		hop.SvcLo, hop.SvcHi = fcfs.Bounds(sj.Exec, demandLo, demandHi, totalLo, totalHi)
 	}
 

@@ -1,0 +1,89 @@
+package curve
+
+// Microbenchmarks for the curve-arithmetic hot paths: two-curve addition,
+// k-way summation, pseudo-inversion and completion-time extraction on
+// large staircases. Run with
+//
+//	go test -bench . -benchmem ./internal/curve/
+//
+// and compare against a baseline with benchstat or by eyeballing ns/op.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchStaircase builds a dense bursty staircase with n jumps.
+func benchStaircase(n int, seed int64) *Curve {
+	r := rand.New(rand.NewSource(seed))
+	times := make([]Time, n)
+	t := Time(0)
+	for i := range times {
+		if r.Intn(4) > 0 { // 25% coincident releases (bursts)
+			t += Time(1 + r.Intn(9))
+		}
+		times[i] = t
+	}
+	return Staircase(times, Value(1+seed%3))
+}
+
+func BenchmarkAddLarge(b *testing.B) {
+	f := benchStaircase(2000, 1)
+	g := benchStaircase(2000, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(g)
+	}
+}
+
+func BenchmarkSum16Way(b *testing.B) {
+	curves := make([]*Curve, 16)
+	for i := range curves {
+		curves[i] = benchStaircase(500, int64(i+1))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sum(curves...)
+	}
+}
+
+// BenchmarkSum16WayRepeatedAdd is the pre-optimization shape of the same
+// computation (15 pairwise merges over ever-larger intermediates), kept
+// for comparison against BenchmarkSum16Way.
+func BenchmarkSum16WayRepeatedAdd(b *testing.B) {
+	curves := make([]*Curve, 16)
+	for i := range curves {
+		curves[i] = benchStaircase(500, int64(i+1))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := curves[0]
+		for _, c := range curves[1:] {
+			acc = acc.Add(c)
+		}
+	}
+}
+
+func BenchmarkInverseLarge(b *testing.B) {
+	f := benchStaircase(4000, 3)
+	top := f.f.pts[len(f.f.pts)-1].Y
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for y := Value(0); y <= top; y += top / 64 {
+			f.Inverse(y)
+		}
+	}
+}
+
+func BenchmarkCompletionTimesLarge(b *testing.B) {
+	f := benchStaircase(4000, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.CompletionTimes(2, 2000)
+	}
+}

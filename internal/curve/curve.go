@@ -138,6 +138,26 @@ func (c *Curve) Add(others ...*Curve) *Curve {
 	return fromPL(acc, "Add")
 }
 
+// Sum returns the pointwise sum of the given curves in one k-way linear
+// merge over the union of their breakpoints: summing k workload
+// staircases costs O(total breakpoints) instead of the quadratic
+// breakpoint churn of k sequential Adds. The same slope restriction as
+// Add applies: at most one summand may carry unit-slope segments. With no
+// arguments it returns the zero curve (the empty sum).
+func Sum(curves ...*Curve) *Curve {
+	if len(curves) == 0 {
+		return Zero()
+	}
+	if len(curves) == 1 {
+		return curves[0]
+	}
+	fs := make([]pl, len(curves))
+	for i, c := range curves {
+		fs[i] = c.f
+	}
+	return fromPL(sumPL(fs), "Sum")
+}
+
 // Min returns the pointwise minimum of two curves. The minimum is exact
 // whenever every crossing of the two curves falls on the integer grid -
 // always the case when at least one operand is a staircase, since segment
@@ -161,8 +181,9 @@ func (c *Curve) FloorDiv(tau Value) *Curve {
 		panic("curve: FloorDiv with non-positive execution time")
 	}
 	var jumps []Time
+	cur := inverseCursor{f: &c.f}
 	for m := Value(1); ; m++ {
-		t := c.Inverse(m * tau)
+		t := cur.inverse(m * tau)
 		if IsInf(t) {
 			break
 		}
@@ -190,10 +211,47 @@ func (c *Curve) FloorDiv(tau Value) *Curve {
 // service curve. Entries are Inf for instances that are never completed.
 func (c *Curve) CompletionTimes(tau Value, n int) []Time {
 	out := make([]Time, n)
+	cur := inverseCursor{f: &c.f}
 	for m := 0; m < n; m++ {
-		out[m] = c.Inverse(Value(m+1) * tau)
+		out[m] = cur.inverse(Value(m+1) * tau)
 	}
 	return out
+}
+
+// inverseCursor evaluates the pseudo-inverse at a non-decreasing sequence
+// of levels in amortized O(1) per query: because curve values are
+// monotone, the breakpoint index only ever moves forward, so a whole
+// sweep over n levels costs O(n + breakpoints) instead of a fresh binary
+// search per level.
+type inverseCursor struct {
+	f *pl
+	i int // first index with pts[i].Y >= previous query level
+}
+
+// inverse returns min{ s >= 0 : f(s) >= y }. Levels must be queried in
+// non-decreasing order.
+func (c *inverseCursor) inverse(y Value) Time {
+	pts := c.f.pts
+	for c.i < len(pts) && pts[c.i].Y < y {
+		c.i++
+	}
+	if c.i == 0 {
+		return 0
+	}
+	if c.i == len(pts) {
+		last := pts[len(pts)-1]
+		if c.f.tail <= 0 {
+			return Inf
+		}
+		return last.X + (y - last.Y) // tail slope is 1
+	}
+	p, q := pts[c.i-1], pts[c.i]
+	if q.X > p.X && q.Y-p.Y == q.X-p.X {
+		// Unit-slope segment: crossed exactly at an integer time.
+		return p.X + (y - p.Y)
+	}
+	// Jump at q.X (a flat segment cannot raise the value to y).
+	return q.X
 }
 
 // JumpTimes returns the jump times of a staircase curve, with multiplicity

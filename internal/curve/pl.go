@@ -186,23 +186,101 @@ func mergedXs(a, b pl) []Time {
 	return xs
 }
 
-// add returns f + g.
-func (f pl) add(g pl) pl {
-	xs := mergedXs(f, g)
-	pts := make([]Point, 0, 2*len(xs))
-	for _, x := range xs {
-		l := f.evalLeft(x) + g.evalLeft(x)
-		r := f.evalRight(x) + g.evalRight(x)
-		if x == 0 {
-			pts = append(pts, Point{x, r})
-			continue
+// sumCursor walks one summand of sumPL left to right. i is the index of
+// the last breakpoint at or before the sweep position and slope the
+// segment slope immediately to its right (past any jump at that position).
+type sumCursor struct {
+	pts   []Point
+	tail  int64
+	i     int
+	slope int64
+}
+
+// slopeAfter returns the slope immediately right of the cursor position.
+// The cursor is always past every duplicate-X point, so the next point (if
+// any) is at a strictly larger X.
+func (c *sumCursor) slopeAfter() int64 {
+	if c.i+1 < len(c.pts) {
+		p, q := c.pts[c.i], c.pts[c.i+1]
+		return (q.Y - p.Y) / (q.X - p.X)
+	}
+	return c.tail
+}
+
+// sumPL returns the pointwise sum of the fs in a single k-way linear
+// merge: one left-to-right sweep over the union of all breakpoints,
+// maintaining the summed value and summed slope incrementally. This is the
+// engine behind both the binary add and the exported Sum, replacing the
+// former per-breakpoint binary-search evaluation.
+func sumPL(fs []pl) pl {
+	if len(fs) == 0 {
+		return constPL(0)
+	}
+	if len(fs) == 1 {
+		return fs[0] // pls are immutable; sharing is safe
+	}
+	cs := make([]sumCursor, len(fs))
+	var tail, slopeSum int64
+	var valRight Value
+	total := 0
+	for n, f := range fs {
+		c := sumCursor{pts: f.pts, tail: f.tail}
+		for c.i+1 < len(c.pts) && c.pts[c.i+1].X == 0 {
+			c.i++ // start from the post-jump value at x = 0
+		}
+		c.slope = c.slopeAfter()
+		valRight += c.pts[c.i].Y
+		slopeSum += c.slope
+		tail += f.tail
+		total += len(f.pts)
+		cs[n] = c
+	}
+	pts := make([]Point, 0, 2*total)
+	pts = append(pts, Point{0, valRight})
+	prevX := Time(0)
+	for {
+		// Next sweep position: the smallest unvisited breakpoint.
+		next := Inf
+		for n := range cs {
+			c := &cs[n]
+			if c.i+1 < len(c.pts) && c.pts[c.i+1].X < next {
+				next = c.pts[c.i+1].X
+			}
+		}
+		if next == Inf {
+			break
+		}
+		// All summands are linear on (prevX, next), so the left limit is
+		// the linear extension of the running sum; jumps at next add the
+		// difference between each summand's post-jump value and its own
+		// linear extension.
+		l := valRight + slopeSum*(next-prevX)
+		r := l
+		for n := range cs {
+			c := &cs[n]
+			if c.i+1 < len(c.pts) && c.pts[c.i+1].X == next {
+				leftF := c.pts[c.i].Y + c.slope*(next-c.pts[c.i].X)
+				for c.i+1 < len(c.pts) && c.pts[c.i+1].X == next {
+					c.i++
+				}
+				r += c.pts[c.i].Y - leftF
+				slopeSum -= c.slope
+				c.slope = c.slopeAfter()
+				slopeSum += c.slope
+			}
 		}
 		if l != r {
-			pts = append(pts, Point{x, l})
+			pts = append(pts, Point{next, l})
 		}
-		pts = append(pts, Point{x, r})
+		pts = append(pts, Point{next, r})
+		prevX, valRight = next, r
 	}
-	return canon(pts, f.tail+g.tail)
+	return canon(pts, tail)
+}
+
+// add returns f + g by a two-pointer linear merge.
+func (f pl) add(g pl) pl {
+	return sumPL([]pl{f, g})
 }
 
 // neg returns -f.

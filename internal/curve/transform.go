@@ -16,11 +16,21 @@ import (
 // rate, so A is a valid Curve (non-decreasing with slopes in {0,1}); a
 // violation indicates a bug and panics.
 func Availability(services []*Curve) *Curve {
-	acc := linearPL(0, 1)
-	for _, s := range services {
-		acc = acc.sub(s.f)
+	return fromPL(linearSubSum(0, 1, services), "Availability")
+}
+
+// linearSubSum returns y0 + slope*t - sum_i fs[i](t), summing the
+// subtrahends in one k-way merge instead of k sequential subtractions.
+func linearSubSum(y0 Value, slope int64, fs []*Curve) pl {
+	if len(fs) == 0 {
+		return linearPL(y0, slope)
 	}
-	return fromPL(acc, "Availability")
+	sum := make([]pl, 0, len(fs)+1)
+	sum = append(sum, linearPL(y0, slope))
+	for _, f := range fs {
+		sum = append(sum, f.f.neg())
+	}
+	return sumPL(sum)
 }
 
 // ServiceTransform computes the service function of Theorem 3,
@@ -115,15 +125,8 @@ func LowerServiceNP(b Value, upper, lower []*Curve, demand *Curve) *Curve {
 	if b < 0 {
 		panic("curve: negative blocking time")
 	}
-	availT := linearPL(-b, 1)
-	for _, s := range upper {
-		availT = availT.sub(s.f)
-	}
-	vhat := linearPL(0, 1)
-	for _, s := range lower {
-		vhat = vhat.sub(s.f)
-	}
-	vhat = vhat.runningMax()
+	availT := linearSubSum(-b, 1, upper)
+	vhat := linearSubSum(0, 1, lower).runningMax()
 
 	// Candidate sticks (v_i, k_i): u = 0 plus every arrival instant.
 	type stick struct{ v, k Value }
@@ -204,14 +207,8 @@ func max64(a, b Value) Value {
 // service never exceeds it), and the running maximum restores
 // monotonicity, which loose interference bounds can break.
 func UpperServiceNP(lower, upper []*Curve, demand *Curve) *Curve {
-	availT := linearPL(0, 1)
-	for _, s := range lower {
-		availT = availT.sub(s.f)
-	}
-	availS := linearPL(0, 1)
-	for _, s := range upper {
-		availS = availS.sub(s.f)
-	}
+	availT := linearSubSum(0, 1, lower)
+	availS := linearSubSum(0, 1, upper)
 	m := demand.f.sub(availS).runningMinSeeded(0)
 	raw := availT.add(m).runningMax().clampMin(0)
 	return fromPL(raw.minLower(demand.f), "UpperServiceNP")

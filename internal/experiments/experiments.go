@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"rta/internal/analysis"
 	"rta/internal/model"
@@ -151,56 +152,105 @@ func admitOne(d *workload.Draw, m Method) bool {
 }
 
 // Sweep estimates the admission probability of each method over the
-// utilization grid for one panel configuration.
-func Sweep(cfg workload.Config, opts Options) Panel {
+// utilization grid for one panel configuration. It returns an error when
+// the workload generator rejects the configuration.
+func Sweep(cfg workload.Config, opts Options) (Panel, error) {
+	panels, err := sweepPanels([]panelSpec{{cfg: cfg}}, opts)
+	if err != nil {
+		return Panel{}, err
+	}
+	return panels[0], nil
+}
+
+// panelSpec is one panel configuration queued for sweepPanels.
+type panelSpec struct {
+	name string
+	cfg  workload.Config
+}
+
+// sweepPanels runs every (panel, utilization, set) draw of a figure
+// through ONE worker pool, so the pool is spawned once per figure rather
+// than once per utilization point and stays saturated across panel
+// boundaries. Verdicts accumulate into flat per-(panel, point, method)
+// counters; counting is commutative, so the result is deterministic in
+// the master seed regardless of worker scheduling. The per-draw RNG
+// derives from (utilization index, set) exactly as the per-point pool
+// did, keeping regenerated CSVs byte-identical.
+func sweepPanels(specs []panelSpec, opts Options) ([]Panel, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	panel := Panel{Config: cfg}
-	for ui, u := range opts.Utilizations {
-		c := cfg
-		c.Utilization = u
-		pt := Point{Utilization: u, Admission: map[Method]stats.Proportion{}}
+	nu, nm := len(opts.Utilizations), len(opts.Methods)
+	succ := make([]atomic.Int64, len(specs)*nu*nm)
+	trials := make([]atomic.Int64, len(specs)*nu)
 
-		type verdict struct {
-			set int
-			ok  map[Method]bool
-		}
-		jobs := make(chan int)
-		results := make(chan verdict, opts.Sets)
-		var wg sync.WaitGroup
-		for w := 0; w < opts.Workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for set := range jobs {
-					r := stats.NewRand(opts.Seed, int64(ui)*1_000_003+int64(set))
-					d, err := workload.Generate(r, c)
-					if err != nil {
-						panic(err)
-					}
-					results <- verdict{set, Admit(d, opts.Methods)}
-				}
-			}()
-		}
+	type task struct{ pi, ui, set int }
+	tasks := make(chan task)
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		genErr  error
+		failed  atomic.Bool
+	)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
 		go func() {
-			for set := 0; set < opts.Sets; set++ {
-				jobs <- set
+			defer wg.Done()
+			for t := range tasks {
+				if failed.Load() {
+					continue // drain the queue after the first error
+				}
+				c := specs[t.pi].cfg
+				c.Utilization = opts.Utilizations[t.ui]
+				r := stats.NewRand(opts.Seed, int64(t.ui)*1_000_003+int64(t.set))
+				d, err := workload.Generate(r, c)
+				if err != nil {
+					errOnce.Do(func() {
+						genErr = fmt.Errorf("experiments: %s utilization %g set %d: %w",
+							specs[t.pi].name, c.Utilization, t.set, err)
+						failed.Store(true)
+					})
+					continue
+				}
+				trials[t.pi*nu+t.ui].Add(1)
+				base := (t.pi*nu + t.ui) * nm
+				for mi, m := range opts.Methods {
+					if admitOne(d, m) {
+						succ[base+mi].Add(1)
+					}
+				}
 			}
-			close(jobs)
-			wg.Wait()
-			close(results)
 		}()
-		for v := range results {
-			for m, ok := range v.ok {
-				p := pt.Admission[m]
-				p.Add(ok)
-				pt.Admission[m] = p
+	}
+	for pi := range specs {
+		for ui := 0; ui < nu; ui++ {
+			for set := 0; set < opts.Sets; set++ {
+				tasks <- task{pi, ui, set}
 			}
 		}
-		panel.Points = append(panel.Points, pt)
 	}
-	return panel
+	close(tasks)
+	wg.Wait()
+	if genErr != nil {
+		return nil, genErr
+	}
+
+	panels := make([]Panel, len(specs))
+	for pi, spec := range specs {
+		panels[pi] = Panel{Name: spec.name, Config: spec.cfg}
+		for ui, u := range opts.Utilizations {
+			pt := Point{Utilization: u, Admission: make(map[Method]stats.Proportion, nm)}
+			n := int(trials[pi*nu+ui].Load())
+			base := (pi*nu + ui) * nm
+			for mi, m := range opts.Methods {
+				pt.Admission[m] = stats.Proportion{
+					Successes: int(succ[base+mi].Load()), Trials: n,
+				}
+			}
+			panels[pi].Points = append(panels[pi].Points, pt)
+		}
+	}
+	return panels, nil
 }
 
 // Figure 3/4 panel constants, calibrated so the sweep exercises the full
@@ -222,12 +272,13 @@ var (
 )
 
 // Figure3 regenerates the periodic-arrival figure: rows sweep the number
-// of stages, columns the deadline factor.
-func Figure3(base workload.Config, stages []int, deadlineFactors []float64, opts Options) []Panel {
+// of stages, columns the deadline factor. All panels share one worker
+// pool.
+func Figure3(base workload.Config, stages []int, deadlineFactors []float64, opts Options) ([]Panel, error) {
 	if opts.Methods == nil {
 		opts.Methods = []Method{SPPExact, SunLiu, SPNPApp, FCFSApp}
 	}
-	var panels []Panel
+	var specs []panelSpec
 	names := "abcdefghijklmnopqrstuvwxyz"
 	i := 0
 	for _, df := range deadlineFactors {
@@ -236,23 +287,25 @@ func Figure3(base workload.Config, stages []int, deadlineFactors []float64, opts
 			cfg.Arrival = workload.Periodic
 			cfg.Stages = st
 			cfg.DeadlineFactor = df
-			p := Sweep(cfg, opts)
-			p.Name = fmt.Sprintf("Figure 3(%c): %d stage(s), deadline = %gx period",
-				names[i%len(names)], st, df)
-			panels = append(panels, p)
+			specs = append(specs, panelSpec{
+				name: fmt.Sprintf("Figure 3(%c): %d stage(s), deadline = %gx period",
+					names[i%len(names)], st, df),
+				cfg: cfg,
+			})
 			i++
 		}
 	}
-	return panels
+	return sweepPanels(specs, opts)
 }
 
 // Figure4 regenerates the aperiodic-arrival figure: rows sweep the
 // deadline variance (the shifted-exponential scale), columns its mean.
-func Figure4(base workload.Config, means, scales []float64, opts Options) []Panel {
+// All panels share one worker pool.
+func Figure4(base workload.Config, means, scales []float64, opts Options) ([]Panel, error) {
 	if opts.Methods == nil {
 		opts.Methods = []Method{SPPExact, SPNPApp, FCFSApp}
 	}
-	var panels []Panel
+	var specs []panelSpec
 	names := "abcdefghijklmnopqrstuvwxyz"
 	i := 0
 	for _, mean := range means {
@@ -264,14 +317,15 @@ func Figure4(base workload.Config, means, scales []float64, opts Options) []Pane
 			if cfg.DeadlineOffset < 0 {
 				cfg.DeadlineOffset = 0
 			}
-			p := Sweep(cfg, opts)
-			p.Name = fmt.Sprintf("Figure 4(%c): deadline mean %g, std %g",
-				names[i%len(names)], mean, scale)
-			panels = append(panels, p)
+			specs = append(specs, panelSpec{
+				name: fmt.Sprintf("Figure 4(%c): deadline mean %g, std %g",
+					names[i%len(names)], mean, scale),
+				cfg: cfg,
+			})
 			i++
 		}
 	}
-	return panels
+	return sweepPanels(specs, opts)
 }
 
 // Render writes the panels as aligned text tables, one row per

@@ -20,15 +20,25 @@ func smallOpts(methods ...Method) Options {
 	}
 }
 
+// mustSweep fails the test on a sweep error.
+func mustSweep(t *testing.T, cfg workload.Config, opts Options) Panel {
+	t.Helper()
+	p, err := Sweep(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 // TestSweepDeterministic: the same seed yields identical proportions
 // regardless of worker scheduling.
 func TestSweepDeterministic(t *testing.T) {
 	cfg := workload.Default
 	cfg.Stages = 2
 	opts := smallOpts(SPPExact, SPNPApp)
-	a := Sweep(cfg, opts)
+	a := mustSweep(t, cfg, opts)
 	opts.Workers = 3
-	b := Sweep(cfg, opts)
+	b := mustSweep(t, cfg, opts)
 	for i := range a.Points {
 		for m := range a.Points[i].Admission {
 			if a.Points[i].Admission[m] != b.Points[i].Admission[m] {
@@ -36,6 +46,19 @@ func TestSweepDeterministic(t *testing.T) {
 					a.Points[i].Admission[m], b.Points[i].Admission[m])
 			}
 		}
+	}
+}
+
+// TestSweepReportsGeneratorError: an invalid configuration surfaces as an
+// error from the sweep instead of killing a worker goroutine.
+func TestSweepReportsGeneratorError(t *testing.T) {
+	cfg := workload.Default
+	cfg.Stages = 0 // invalid shop shape
+	if _, err := Sweep(cfg, smallOpts(SPPExact)); err == nil {
+		t.Fatal("Sweep accepted an invalid configuration")
+	}
+	if _, err := Figure3(cfg, []int{0}, []float64{2}, smallOpts(SPPExact)); err == nil {
+		t.Fatal("Figure3 accepted an invalid configuration")
 	}
 }
 
@@ -97,7 +120,7 @@ func TestAdmissionMonotoneInUtilization(t *testing.T) {
 	cfg := workload.Default
 	cfg.Stages = 2
 	cfg.DeadlineFactor = 2
-	p := Sweep(cfg, Options{
+	p := mustSweep(t, cfg, Options{
 		Seed: 2, Sets: 120,
 		Utilizations: []float64{0.2, 0.9},
 		Methods:      []Method{SPPExact, SunLiu, SPNPApp, FCFSApp},
@@ -146,7 +169,7 @@ func TestDeadlineDoublingHelps(t *testing.T) {
 func TestRenderFormats(t *testing.T) {
 	cfg := workload.Default
 	cfg.Stages = 1
-	p := Sweep(cfg, smallOpts(SPPExact, FCFSApp))
+	p := mustSweep(t, cfg, smallOpts(SPPExact, FCFSApp))
 	p.Name = "panel-x"
 	var txt, csv bytes.Buffer
 	Render(&txt, []Panel{p})
@@ -170,7 +193,10 @@ func TestFigureWrappersProducePanels(t *testing.T) {
 	base := workload.Default
 	base.Jobs = 4
 	opts := Options{Seed: 3, Sets: 6, Utilizations: []float64{0.4, 0.8}}
-	f3 := Figure3(base, []int{1, 2}, []float64{2}, opts)
+	f3, err := Figure3(base, []int{1, 2}, []float64{2}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(f3) != 2 {
 		t.Fatalf("Figure3 panels = %d, want 2", len(f3))
 	}
@@ -182,7 +208,10 @@ func TestFigureWrappersProducePanels(t *testing.T) {
 			t.Fatalf("panel %q missing the S&L baseline", p.Name)
 		}
 	}
-	f4 := Figure4(base, []float64{6}, []float64{1, 2}, opts)
+	f4, err := Figure4(base, []float64{6}, []float64{1, 2}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(f4) != 2 {
 		t.Fatalf("Figure4 panels = %d, want 2", len(f4))
 	}
@@ -201,7 +230,7 @@ func TestFigureWrappersProducePanels(t *testing.T) {
 func TestCSVRoundTrip(t *testing.T) {
 	cfg := workload.Default
 	cfg.Stages = 1
-	p := Sweep(cfg, smallOpts(SPPExact, FCFSApp))
+	p := mustSweep(t, cfg, smallOpts(SPPExact, FCFSApp))
 	p.Name = "rt-panel"
 	var buf bytes.Buffer
 	RenderCSV(&buf, []Panel{p})

@@ -117,7 +117,8 @@ func (s *System) UnmarshalJSON(data []byte) error {
 	if err := out.Validate(); err != nil {
 		return err
 	}
-	*s = out
+	s.Procs, s.Jobs = out.Procs, out.Jobs
+	s.topo.Store(nil)
 	return nil
 }
 

@@ -10,8 +10,8 @@ package model
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Ticks is a duration or instant in integer model time.
@@ -165,9 +165,18 @@ func (r SubjobRef) String() string { return fmt.Sprintf("T_{%d,%d}", r.Job+1, r.
 
 // System is a complete analyzable system: processors, jobs and release
 // traces.
+//
+// Systems may be mutated freely (the priority, search and sensitivity
+// packages do); the cached topology index (see Topology) fingerprints the
+// relevant fields and rebuilds itself transparently after any mutation.
+// Because the cache is an atomic pointer, System values must not be
+// copied; use Clone.
 type System struct {
 	Procs []Processor
 	Jobs  []Job
+
+	// topo caches the lazily-built topology index; see topology.go.
+	topo atomic.Pointer[Topology]
 }
 
 // Validate checks structural well-formedness. Analyses require a valid
@@ -257,36 +266,19 @@ func (s *System) Subjob(r SubjobRef) *Subjob {
 }
 
 // OnProc returns the subjobs assigned to processor p in deterministic
-// (job, hop) order.
+// (job, hop) order. The returned slice is a fresh copy the caller may
+// reorder; hot loops should use Topology().OnProc instead, which shares
+// the cached slice.
 func (s *System) OnProc(p int) []SubjobRef {
-	var out []SubjobRef
-	for k := range s.Jobs {
-		for j := range s.Jobs[k].Subjobs {
-			if s.Jobs[k].Subjobs[j].Proc == p {
-				out = append(out, SubjobRef{k, j})
-			}
-		}
-	}
-	return out
+	return append([]SubjobRef(nil), s.Topology().OnProc(p)...)
 }
 
 // ByPriority returns the subjobs on processor p sorted from highest to
 // lowest priority, with the deterministic (job, hop) tie-break shared by
-// the analysis and the simulator.
+// the analysis and the simulator. The returned slice is a fresh copy; hot
+// loops should use Topology().ByPriority instead.
 func (s *System) ByPriority(p int) []SubjobRef {
-	refs := s.OnProc(p)
-	sort.SliceStable(refs, func(a, b int) bool {
-		pa := s.Subjob(refs[a]).Priority
-		pb := s.Subjob(refs[b]).Priority
-		if pa != pb {
-			return pa < pb
-		}
-		if refs[a].Job != refs[b].Job {
-			return refs[a].Job < refs[b].Job
-		}
-		return refs[a].Hop < refs[b].Hop
-	})
-	return refs
+	return append([]SubjobRef(nil), s.Topology().ByPriority(p)...)
 }
 
 // HigherPriority reports whether subjob a beats subjob b on the same
@@ -304,19 +296,10 @@ func (s *System) HigherPriority(a, b SubjobRef) bool {
 
 // Blocking returns the maximum blocking time b_{k,j} of Equation (15): the
 // largest execution time among strictly lower-priority subjobs on the same
-// processor. It is zero when no lower-priority subjob exists.
+// processor. It is zero when no lower-priority subjob exists. Cached in
+// the topology index.
 func (s *System) Blocking(r SubjobRef) Ticks {
-	self := s.Subjob(r)
-	var b Ticks
-	for _, o := range s.OnProc(self.Proc) {
-		if o == r {
-			continue
-		}
-		if s.HigherPriority(r, o) && s.Subjob(o).Exec > b {
-			b = s.Subjob(o).Exec
-		}
-	}
-	return b
+	return s.Topology().Blocking(r)
 }
 
 // Revisits reports whether any job visits the same processor on two

@@ -72,51 +72,21 @@ func (s *System) HasResources() bool {
 
 // Ceiling returns the resource's priority ceiling on its processor: the
 // highest (numerically smallest) priority among the subjobs that use it.
-// The boolean reports whether the resource is used at all.
+// The boolean reports whether the resource is used at all. Cached in the
+// topology index.
 func (s *System) Ceiling(resource int) (int, bool) {
-	best := 0
-	found := false
-	for k := range s.Jobs {
-		for _, sj := range s.Jobs[k].Subjobs {
-			for _, cs := range sj.CS {
-				if cs.Resource != resource {
-					continue
-				}
-				if !found || sj.Priority < best {
-					best = sj.Priority
-				}
-				found = true
-			}
-		}
-	}
-	return best, found
+	c, ok := s.Topology().Ceilings()[resource]
+	return c, ok
 }
 
 // PCPBlocking returns the worst-case blocking of subjob r on its SPP
 // processor under the (immediate) priority ceiling protocol: the longest
 // critical section of any strictly lower-priority subjob on the same
-// processor whose resource ceiling is at least r's priority. On SPNP and
-// FCFS processors execution is non-preemptable, so local resources are
-// never contended and contribute no extra blocking beyond Equation (15).
+// processor whose resource ceiling is at least r's priority (ceiling
+// comparisons use the numeric priority; ties block, matching the
+// deterministic tie-break). On SPNP and FCFS processors execution is
+// non-preemptable, so local resources are never contended and contribute
+// no extra blocking beyond Equation (15). Cached in the topology index.
 func (s *System) PCPBlocking(r SubjobRef) Ticks {
-	self := s.Subjob(r)
-	var b Ticks
-	for _, o := range s.OnProc(self.Proc) {
-		if o == r || !s.HigherPriority(r, o) {
-			continue // only strictly lower-priority subjobs can block
-		}
-		for _, cs := range s.Subjob(o).CS {
-			ceil, ok := s.Ceiling(cs.Resource)
-			if !ok {
-				continue
-			}
-			// The ceiling must reach r's priority level for the section
-			// to be able to block r (ceiling comparisons use the numeric
-			// priority; ties block, matching the deterministic tie-break).
-			if ceil <= self.Priority && cs.Duration > b {
-				b = cs.Duration
-			}
-		}
-	}
-	return b
+	return s.Topology().PCPBlocking(r)
 }

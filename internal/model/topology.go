@@ -1,0 +1,219 @@
+package model
+
+// The topology index caches every per-processor view the analyses need —
+// subjob lists, priority orders, higher/lower-priority neighbor sets,
+// blocking terms and resource ceilings — so the engines stop re-scanning
+// and re-sorting the job table on every query. The index is built lazily
+// on first use and keyed by a fingerprint of the topology-relevant fields,
+// so callers that mutate systems in place (priority synthesis, sensitivity
+// analysis, random search) transparently get a fresh index on the next
+// query with no invalidation calls at the mutation sites.
+
+import "fmt"
+
+// Topology is an immutable precomputed index over a System's scheduling
+// topology. All returned slices and maps are shared and MUST NOT be
+// mutated; use the System accessors (OnProc, ByPriority, ...) when a
+// private copy is needed. A Topology snapshot stays internally consistent
+// even if the System is mutated after it was taken; System.Topology
+// detects the mutation and builds a fresh index on the next call.
+type Topology struct {
+	sig     uint64
+	offsets []int       // subjob id of (k, 0) for each job k
+	refs    []SubjobRef // all subjobs in (job, hop) order
+	onProc  [][]SubjobRef
+	byPrio  [][]SubjobRef
+	// Per subjob id, in deterministic (job, hop) order:
+	higher      [][]SubjobRef // strictly higher-priority subjobs on the same processor
+	lower       [][]SubjobRef // strictly lower-priority subjobs on the same processor
+	blocking    []Ticks       // Equation (15)
+	pcpBlocking []Ticks       // priority-ceiling blocking (resources.go)
+	ceilings    map[int]int   // resource -> priority ceiling
+}
+
+// topoSig fingerprints the fields the index depends on: processor
+// schedulers and, per subjob, its processor, priority, execution time and
+// critical sections. Release traces, deadlines and synchronization
+// policies do not affect the topology. FNV-1a over the raw values.
+func (s *System) topoSig() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(s.Procs)))
+	for i := range s.Procs {
+		mix(uint64(s.Procs[i].Sched))
+	}
+	mix(uint64(len(s.Jobs)))
+	for k := range s.Jobs {
+		subjobs := s.Jobs[k].Subjobs
+		mix(uint64(len(subjobs)))
+		for j := range subjobs {
+			sj := &subjobs[j]
+			mix(uint64(sj.Proc))
+			mix(uint64(sj.Priority))
+			mix(uint64(sj.Exec))
+			mix(uint64(len(sj.CS)))
+			for _, cs := range sj.CS {
+				mix(uint64(cs.Resource))
+				mix(uint64(cs.Start))
+				mix(uint64(cs.Duration))
+			}
+		}
+	}
+	return h
+}
+
+// Topology returns the cached index, rebuilding it if the system's
+// topology changed since it was last built. The check costs one linear
+// fingerprint pass; the build costs one sort per processor plus the
+// neighbor-set expansion. Safe for concurrent use: concurrent callers may
+// race to build, but every returned index is valid for the fingerprinted
+// state.
+func (s *System) Topology() *Topology {
+	sig := s.topoSig()
+	if t := s.topo.Load(); t != nil && t.sig == sig {
+		return t
+	}
+	t := buildTopology(s, sig)
+	s.topo.Store(t)
+	return t
+}
+
+func buildTopology(s *System, sig uint64) *Topology {
+	t := &Topology{
+		sig:     sig,
+		offsets: make([]int, len(s.Jobs)+1),
+		onProc:  make([][]SubjobRef, len(s.Procs)),
+		byPrio:  make([][]SubjobRef, len(s.Procs)),
+	}
+	n := 0
+	for k := range s.Jobs {
+		t.offsets[k] = n
+		n += len(s.Jobs[k].Subjobs)
+	}
+	t.offsets[len(s.Jobs)] = n
+	t.refs = make([]SubjobRef, 0, n)
+	for k := range s.Jobs {
+		for j := range s.Jobs[k].Subjobs {
+			r := SubjobRef{k, j}
+			t.refs = append(t.refs, r)
+			p := s.Jobs[k].Subjobs[j].Proc
+			t.onProc[p] = append(t.onProc[p], r)
+		}
+	}
+	for p := range t.byPrio {
+		t.byPrio[p] = append([]SubjobRef(nil), t.onProc[p]...)
+		refs := t.byPrio[p]
+		// Insertion sort on (priority, job, hop): per-processor lists are
+		// short and already (job, hop)-ordered, making this near-linear and
+		// allocation-free; the order matches HigherPriority's tie-break.
+		for i := 1; i < len(refs); i++ {
+			r := refs[i]
+			pr := s.Subjob(r).Priority
+			j := i - 1
+			for j >= 0 {
+				o := refs[j]
+				po := s.Subjob(o).Priority
+				if po < pr || (po == pr && (o.Job < r.Job || (o.Job == r.Job && o.Hop < r.Hop))) {
+					break
+				}
+				refs[j+1] = refs[j]
+				j--
+			}
+			refs[j+1] = r
+		}
+	}
+	// Resource ceilings (one pass; empty map when no resources declared).
+	t.ceilings = map[int]int{}
+	for k := range s.Jobs {
+		for j := range s.Jobs[k].Subjobs {
+			sj := &s.Jobs[k].Subjobs[j]
+			for _, cs := range sj.CS {
+				if c, ok := t.ceilings[cs.Resource]; !ok || sj.Priority < c {
+					t.ceilings[cs.Resource] = sj.Priority
+				}
+			}
+		}
+	}
+	// Neighbor sets and blocking terms, per subjob, in (job, hop) order.
+	t.higher = make([][]SubjobRef, n)
+	t.lower = make([][]SubjobRef, n)
+	t.blocking = make([]Ticks, n)
+	t.pcpBlocking = make([]Ticks, n)
+	for _, r := range t.refs {
+		id := t.ID(r)
+		self := s.Subjob(r)
+		var hi, lo []SubjobRef
+		for _, o := range t.onProc[self.Proc] {
+			if o == r {
+				continue
+			}
+			if s.HigherPriority(o, r) {
+				hi = append(hi, o)
+				continue
+			}
+			lo = append(lo, o)
+			osj := s.Subjob(o)
+			if osj.Exec > t.blocking[id] {
+				t.blocking[id] = osj.Exec
+			}
+			for _, cs := range osj.CS {
+				if t.ceilings[cs.Resource] <= self.Priority && cs.Duration > t.pcpBlocking[id] {
+					t.pcpBlocking[id] = cs.Duration
+				}
+			}
+		}
+		t.higher[id] = hi
+		t.lower[id] = lo
+	}
+	return t
+}
+
+// ID returns the dense index of subjob r: subjobs are numbered in
+// (job, hop) order, so id(k, j) = offsets[k] + j.
+func (t *Topology) ID(r SubjobRef) int { return t.offsets[r.Job] + r.Hop }
+
+// Subjobs returns all subjobs in deterministic (job, hop) order, indexed
+// by ID. Shared slice; do not mutate.
+func (t *Topology) Subjobs() []SubjobRef { return t.refs }
+
+// OnProc returns the subjobs on processor p in (job, hop) order. Shared
+// slice; do not mutate.
+func (t *Topology) OnProc(p int) []SubjobRef { return t.onProc[p] }
+
+// ByPriority returns the subjobs on processor p from highest to lowest
+// priority with the deterministic (job, hop) tie-break. Shared slice; do
+// not mutate.
+func (t *Topology) ByPriority(p int) []SubjobRef { return t.byPrio[p] }
+
+// Higher returns the strictly higher-priority subjobs on r's processor in
+// (job, hop) order. Shared slice; do not mutate.
+func (t *Topology) Higher(r SubjobRef) []SubjobRef { return t.higher[t.ID(r)] }
+
+// Lower returns the strictly lower-priority subjobs on r's processor in
+// (job, hop) order. Shared slice; do not mutate.
+func (t *Topology) Lower(r SubjobRef) []SubjobRef { return t.lower[t.ID(r)] }
+
+// Blocking returns the cached Equation (15) blocking term of r.
+func (t *Topology) Blocking(r SubjobRef) Ticks { return t.blocking[t.ID(r)] }
+
+// PCPBlocking returns the cached priority-ceiling blocking term of r.
+func (t *Topology) PCPBlocking(r SubjobRef) Ticks { return t.pcpBlocking[t.ID(r)] }
+
+// Ceilings returns the resource-to-priority-ceiling map. Shared map; do
+// not mutate.
+func (t *Topology) Ceilings() map[int]int { return t.ceilings }
+
+// String summarizes the index for debugging.
+func (t *Topology) String() string {
+	return fmt.Sprintf("topology{%d subjobs, %d procs, sig=%x}", len(t.refs), len(t.onProc), t.sig)
+}

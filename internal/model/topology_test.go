@@ -1,0 +1,235 @@
+package model_test
+
+// Equivalence tests for the cached topology index: every accessor must
+// agree with a brute-force recomputation from the raw job table, on
+// random systems and across in-place mutations (the index is keyed by a
+// fingerprint and must rebuild transparently).
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rta/internal/model"
+	"rta/internal/randsys"
+)
+
+// bruteOnProc recomputes the per-processor subjob list in (job, hop)
+// order.
+func bruteOnProc(sys *model.System, p int) []model.SubjobRef {
+	var out []model.SubjobRef
+	for k := range sys.Jobs {
+		for j := range sys.Jobs[k].Subjobs {
+			if sys.Jobs[k].Subjobs[j].Proc == p {
+				out = append(out, model.SubjobRef{Job: k, Hop: j})
+			}
+		}
+	}
+	return out
+}
+
+// bruteByPriority recomputes the priority order with the deterministic
+// (priority, job, hop) tie-break used by HigherPriority.
+func bruteByPriority(sys *model.System, p int) []model.SubjobRef {
+	out := bruteOnProc(sys, p)
+	sort.SliceStable(out, func(a, b int) bool {
+		pa, pb := sys.Subjob(out[a]).Priority, sys.Subjob(out[b]).Priority
+		if pa != pb {
+			return pa < pb
+		}
+		if out[a].Job != out[b].Job {
+			return out[a].Job < out[b].Job
+		}
+		return out[a].Hop < out[b].Hop
+	})
+	return out
+}
+
+// bruteNeighbors recomputes the higher/lower split, the Equation (15)
+// blocking term and the priority-ceiling blocking of subjob r.
+func bruteNeighbors(sys *model.System, r model.SubjobRef) (hi, lo []model.SubjobRef, blocking, pcp model.Ticks) {
+	self := sys.Subjob(r)
+	for _, o := range bruteOnProc(sys, self.Proc) {
+		if o == r {
+			continue
+		}
+		if sys.HigherPriority(o, r) {
+			hi = append(hi, o)
+			continue
+		}
+		lo = append(lo, o)
+		osj := sys.Subjob(o)
+		if osj.Exec > blocking {
+			blocking = osj.Exec
+		}
+		for _, cs := range osj.CS {
+			if c, ok := bruteCeiling(sys, cs.Resource); ok && c <= self.Priority && cs.Duration > pcp {
+				pcp = cs.Duration
+			}
+		}
+	}
+	return hi, lo, blocking, pcp
+}
+
+func bruteCeiling(sys *model.System, resource int) (int, bool) {
+	best, ok := 0, false
+	for k := range sys.Jobs {
+		for _, sj := range sys.Jobs[k].Subjobs {
+			for _, cs := range sj.CS {
+				if cs.Resource == resource && (!ok || sj.Priority < best) {
+					best, ok = sj.Priority, true
+				}
+			}
+		}
+	}
+	return best, ok
+}
+
+func allRefs(sys *model.System) []model.SubjobRef {
+	var out []model.SubjobRef
+	for k := range sys.Jobs {
+		for j := range sys.Jobs[k].Subjobs {
+			out = append(out, model.SubjobRef{Job: k, Hop: j})
+		}
+	}
+	return out
+}
+
+func sameRefs(a, b []model.SubjobRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkAgainstBrute(t *testing.T, sys *model.System, label string) {
+	t.Helper()
+	topo := sys.Topology()
+	for p := range sys.Procs {
+		if got, want := topo.OnProc(p), bruteOnProc(sys, p); !sameRefs(got, want) {
+			t.Fatalf("%s: OnProc(%d) = %v, want %v", label, p, got, want)
+		}
+		if got, want := topo.ByPriority(p), bruteByPriority(sys, p); !sameRefs(got, want) {
+			t.Fatalf("%s: ByPriority(%d) = %v, want %v", label, p, got, want)
+		}
+		// The exported accessors must return equal (copied) slices.
+		if got := sys.OnProc(p); !sameRefs(got, topo.OnProc(p)) {
+			t.Fatalf("%s: System.OnProc(%d) disagrees with index", label, p)
+		}
+		if got := sys.ByPriority(p); !sameRefs(got, topo.ByPriority(p)) {
+			t.Fatalf("%s: System.ByPriority(%d) disagrees with index", label, p)
+		}
+	}
+	for k := range sys.Jobs {
+		for j := range sys.Jobs[k].Subjobs {
+			r := model.SubjobRef{Job: k, Hop: j}
+			hi, lo, blocking, pcp := bruteNeighbors(sys, r)
+			if !sameRefs(topo.Higher(r), hi) {
+				t.Fatalf("%s: Higher(%v) = %v, want %v", label, r, topo.Higher(r), hi)
+			}
+			if !sameRefs(topo.Lower(r), lo) {
+				t.Fatalf("%s: Lower(%v) = %v, want %v", label, r, topo.Lower(r), lo)
+			}
+			if got := topo.Blocking(r); got != blocking {
+				t.Fatalf("%s: Blocking(%v) = %d, want %d", label, r, got, blocking)
+			}
+			if got := sys.Blocking(r); got != blocking {
+				t.Fatalf("%s: System.Blocking(%v) = %d, want %d", label, r, got, blocking)
+			}
+			if got := topo.PCPBlocking(r); got != pcp {
+				t.Fatalf("%s: PCPBlocking(%v) = %d, want %d", label, r, got, pcp)
+			}
+			for _, cs := range sys.Subjob(r).CS {
+				wc, wok := bruteCeiling(sys, cs.Resource)
+				gc, gok := sys.Ceiling(cs.Resource)
+				if gc != wc || gok != wok {
+					t.Fatalf("%s: Ceiling(%d) = (%d,%v), want (%d,%v)", label, cs.Resource, gc, gok, wc, wok)
+				}
+			}
+		}
+	}
+}
+
+// TestTopologyMatchesBruteForce: the index agrees with the brute-force
+// scans on random systems of every scheduler mix, with and without
+// shared resources.
+func TestTopologyMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	cfg := randsys.Default
+	cfg.Schedulers = []model.Scheduler{model.SPP, model.SPNP, model.FCFS}
+	for trial := 0; trial < 150; trial++ {
+		cfg.Resources = trial % 3 // 0 disables critical sections
+		sys := randsys.New(r, cfg)
+		checkAgainstBrute(t, sys, "fresh")
+	}
+}
+
+// TestTopologyInvalidatesOnMutation: in-place edits of the
+// topology-relevant fields (priority, processor, execution time, critical
+// sections) are picked up by the next query without any explicit
+// invalidation call.
+func TestTopologyInvalidatesOnMutation(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	cfg := randsys.Default
+	cfg.Schedulers = []model.Scheduler{model.SPP, model.SPNP, model.FCFS}
+	cfg.Resources = 2
+	for trial := 0; trial < 80; trial++ {
+		sys := randsys.New(r, cfg)
+		checkAgainstBrute(t, sys, "pre-mutation")
+		refs := allRefs(sys)
+		for step := 0; step < 4; step++ {
+			ref := refs[r.Intn(len(refs))]
+			sj := sys.Subjob(ref)
+			switch r.Intn(4) {
+			case 0:
+				sj.Priority = r.Intn(6)
+			case 1:
+				sj.Proc = r.Intn(len(sys.Procs))
+			case 2:
+				sj.Exec += model.Ticks(1 + r.Intn(5))
+			case 3:
+				sys.Procs[r.Intn(len(sys.Procs))].Sched = model.Scheduler(r.Intn(3))
+			}
+			checkAgainstBrute(t, sys, "post-mutation")
+		}
+	}
+}
+
+// TestTopologyCachedPointer: without mutation, repeated queries return the
+// identical index (no rebuild); after a mutation they do not.
+func TestTopologyCachedPointer(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	sys := randsys.New(r, randsys.Default)
+	a, b := sys.Topology(), sys.Topology()
+	if a != b {
+		t.Fatal("unchanged system rebuilt its topology index")
+	}
+	sys.Subjob(allRefs(sys)[0]).Exec++
+	if c := sys.Topology(); c == a {
+		t.Fatal("mutated system returned the stale topology index")
+	}
+}
+
+// TestTopologySharedSlicesSafe: the exported System accessors return
+// copies, so callers may sort or mutate them without corrupting the
+// cached index (priority synthesis does exactly that).
+func TestTopologySharedSlicesSafe(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	sys := randsys.New(r, randsys.Default)
+	for p := range sys.Procs {
+		got := sys.OnProc(p)
+		if len(got) < 2 {
+			continue
+		}
+		want := append([]model.SubjobRef(nil), got...)
+		got[0], got[len(got)-1] = got[len(got)-1], got[0] // caller scrambles its copy
+		if !sameRefs(sys.OnProc(p), want) {
+			t.Fatalf("OnProc(%d): cached index was corrupted by caller mutation", p)
+		}
+	}
+}

@@ -245,18 +245,9 @@ func run(sys *model.System, exec ExecTimes, tieKey func(job, hop, idx int) int64
 		}
 	}
 
-	// Priority ceilings of the shared resources (IPCP).
-	ceilings := map[int]int{}
-	for k := range sys.Jobs {
-		for j := range sys.Jobs[k].Subjobs {
-			sj := &sys.Jobs[k].Subjobs[j]
-			for _, cs := range sj.CS {
-				if c, ok := ceilings[cs.Resource]; !ok || sj.Priority < c {
-					ceilings[cs.Resource] = sj.Priority
-				}
-			}
-		}
-	}
+	// Priority ceilings of the shared resources (IPCP), from the cached
+	// topology index (read-only shared map).
+	ceilings := sys.Topology().Ceilings()
 
 	procs := make([]*procState, len(sys.Procs))
 	for p := range procs {

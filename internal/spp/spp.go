@@ -85,42 +85,43 @@ func Analyze(sys *model.System) (*Result, error) {
 		res.Arrival[k][0] = append([]model.Ticks(nil), sys.Jobs[k].Releases...)
 	}
 
-	done := make([][]bool, len(sys.Jobs))
-	remaining := 0
-	for k := range sys.Jobs {
-		done[k] = make([]bool, len(sys.Jobs[k].Subjobs))
-		remaining += len(sys.Jobs[k].Subjobs)
-	}
-
-	ready := func(r model.SubjobRef) bool {
-		if r.Hop > 0 && !done[r.Job][r.Hop-1] {
-			return false
+	// Kahn's algorithm over the dependency graph: each subjob depends on
+	// its previous hop and on the higher-priority subjobs sharing its
+	// processor. Every subjob is analyzed exactly once, when its
+	// dependencies are done; a non-empty remainder means a cycle.
+	topo := sys.Topology()
+	refs := topo.Subjobs()
+	indeg := make([]int, len(refs))
+	dependents := make([][]int, len(refs))
+	for id, r := range refs {
+		if r.Hop > 0 {
+			indeg[id]++
+			dependents[id-1] = append(dependents[id-1], id)
 		}
-		for _, o := range sys.OnProc(sys.Subjob(r).Proc) {
-			if o != r && sys.HigherPriority(o, r) && !done[o.Job][o.Hop] {
-				return false
+		for _, o := range topo.Higher(r) {
+			indeg[id]++
+			dependents[topo.ID(o)] = append(dependents[topo.ID(o)], id)
+		}
+	}
+	queue := make([]int, 0, len(refs))
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	processed := 0
+	for qi := 0; qi < len(queue); qi++ {
+		id := queue[qi]
+		analyzeSubjob(sys, topo, res, refs[id])
+		processed++
+		for _, dep := range dependents[id] {
+			if indeg[dep]--; indeg[dep] == 0 {
+				queue = append(queue, dep)
 			}
 		}
-		return true
 	}
-
-	for remaining > 0 {
-		progress := false
-		for k := range sys.Jobs {
-			for j := range sys.Jobs[k].Subjobs {
-				r := model.SubjobRef{Job: k, Hop: j}
-				if done[k][j] || !ready(r) {
-					continue
-				}
-				analyzeSubjob(sys, res, r)
-				done[k][j] = true
-				remaining--
-				progress = true
-			}
-		}
-		if !progress {
-			return nil, ErrCyclic
-		}
+	if processed < len(refs) {
+		return nil, ErrCyclic
 	}
 
 	for k := range sys.Jobs {
@@ -142,18 +143,17 @@ func Analyze(sys *model.System) (*Result, error) {
 
 // analyzeSubjob computes the exact service function and departure times of
 // one subjob whose dependencies are already analyzed.
-func analyzeSubjob(sys *model.System, res *Result, r model.SubjobRef) {
+func analyzeSubjob(sys *model.System, topo *model.Topology, res *Result, r model.SubjobRef) {
 	sj := sys.Subjob(r)
 	arr := res.Arrival[r.Job][r.Hop]
 	demand := curve.Staircase(arr, sj.Exec)
 
 	// Equation (10): availability is what the higher-priority subjobs on
 	// this processor leave over.
-	var higher []*curve.Curve
-	for _, o := range sys.OnProc(sj.Proc) {
-		if o != r && sys.HigherPriority(o, r) {
-			higher = append(higher, res.Service[o.Job][o.Hop])
-		}
+	hi := topo.Higher(r)
+	higher := make([]*curve.Curve, 0, len(hi))
+	for _, o := range hi {
+		higher = append(higher, res.Service[o.Job][o.Hop])
 	}
 	avail := curve.Availability(higher)
 
