@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
 
 	"rta"
@@ -35,6 +36,7 @@ func main() {
 	dotPath := flag.String("dot", "", "write the system structure as Graphviz DOT")
 	reportPath := flag.String("report", "", "write a full markdown dossier (analysis + simulation)")
 	htmlPath := flag.String("html", "", "write a self-contained HTML dossier (tables + CDF chart + timeline)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the level-parallel analysis engines")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rta-analyze [flags] system.json\n")
 		flag.PrintDefaults()
@@ -56,15 +58,16 @@ func main() {
 	}
 
 	var res *rta.Result
+	opts := rta.Options{Workers: *workers}
 	switch *method {
 	case "auto":
-		res, err = rta.Analyze(sys)
+		res, err = rta.AnalyzeOpts(sys, opts)
 	case "exact":
-		res, err = rta.Exact(sys)
+		res, err = rta.ExactOpts(sys, opts)
 	case "approx":
-		res, err = rta.Approximate(sys)
+		res, err = rta.ApproximateOpts(sys, opts)
 	case "iterative":
-		res, err = rta.Iterative(sys, 0)
+		res, err = rta.IterativeOpts(sys, 0, opts)
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}

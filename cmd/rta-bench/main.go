@@ -1,0 +1,146 @@
+// Command rta-bench runs the tracked large-system benchmarks and writes
+// the results as machine-readable JSON, so performance numbers land in
+// version control in a diffable form instead of scrollback.
+//
+// Usage:
+//
+//	rta-bench [-out BENCH_PR2.json] [-benchtime 1s]
+//
+// Each benchmark analyzes the deterministic 50x8 job shop of
+// internal/benchsys with one of the engines: the Theorem 4 pipeline per
+// scheduler (serial and with a 4- and 8-worker level pool), the exact
+// all-SPP analysis, and the iterative fixed point (incremental worklist
+// and full-sweep baseline).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"rta/internal/analysis"
+	"rta/internal/benchsys"
+	"rta/internal/model"
+)
+
+// Measurement is one benchmark result in the output file.
+type Measurement struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the schema of the output file.
+type Report struct {
+	GOOS     string        `json:"goos"`
+	GOARCH   string        `json:"goarch"`
+	CPUs     int           `json:"cpus"`
+	System   string        `json:"system"`
+	Results  []Measurement `json:"results"`
+	Workload struct {
+		Jobs      int `json:"jobs"`
+		Hops      int `json:"hops"`
+		Instances int `json:"instances"`
+	} `json:"workload"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output file")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
+	flag.Parse()
+
+	run := func(sched model.Scheduler, f func(*model.System) error) func(*testing.B) {
+		sys := benchsys.Large(benchsys.Jobs, benchsys.Hops, benchsys.Instances, sched)
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := f(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	approx := func(workers int) func(*model.System) error {
+		return func(sys *model.System) error {
+			_, err := analysis.ApproximateOpts(sys, analysis.Options{Workers: workers})
+			return err
+		}
+	}
+	exact := func(workers int) func(*model.System) error {
+		return func(sys *model.System) error {
+			_, err := analysis.ExactOpts(sys, analysis.Options{Workers: workers})
+			return err
+		}
+	}
+	iterative := func(sys *model.System) error {
+		_, err := analysis.Iterative(sys, 0)
+		return err
+	}
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"LargeApproximateSPNP", run(model.SPNP, approx(1))},
+		{"LargeApproximateSPNP4Workers", run(model.SPNP, approx(4))},
+		{"LargeApproximateSPNP8Workers", run(model.SPNP, approx(8))},
+		{"LargeApproximateFCFS", run(model.FCFS, approx(1))},
+		{"LargeApproximateFCFS4Workers", run(model.FCFS, approx(4))},
+		{"LargeApproximateFCFS8Workers", run(model.FCFS, approx(8))},
+		{"LargeApproximateSPP", run(model.SPP, approx(1))},
+		{"LargeExactSPP", run(model.SPP, exact(1))},
+		{"LargeExactSPP4Workers", run(model.SPP, exact(4))},
+		{"LargeIterative", run(model.SPNP, iterative)},
+	}
+
+	var rep Report
+	rep.GOOS = runtime.GOOS
+	rep.GOARCH = runtime.GOARCH
+	rep.CPUs = runtime.NumCPU()
+	rep.System = "benchsys.Large"
+	rep.Workload.Jobs = benchsys.Jobs
+	rep.Workload.Hops = benchsys.Hops
+	rep.Workload.Instances = benchsys.Instances
+
+	for _, bm := range benches {
+		// testing.Benchmark grows N until the run takes -test.benchtime
+		// (1s unless overridden); repeat whole runs until the requested
+		// minimum measuring time is accumulated and keep the longest run.
+		res := testing.Benchmark(bm.fn)
+		for total := res.T; total < *benchtime; {
+			again := testing.Benchmark(bm.fn)
+			total += again.T
+			if again.N > res.N {
+				res = again
+			}
+		}
+		m := Measurement{
+			Name:        bm.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		rep.Results = append(rep.Results, m)
+		fmt.Printf("%-32s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			bm.name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rta-bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "rta-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

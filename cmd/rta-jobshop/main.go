@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"rta/internal/experiments"
@@ -32,12 +33,16 @@ func main() {
 	replot := flag.String("replot", "", "skip the sweep: load a previously saved CSV and render it")
 	jobs := flag.Int("jobs", workload.Default.Jobs, "jobs per set")
 	procsPerStage := flag.Int("procs", workload.Default.ProcsPerStage, "processors per stage")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "total worker budget of the sweep")
+	innerWorkers := flag.Int("inner-workers", 1, "level-pool size inside each analysis; the draw pool shrinks to workers/inner-workers")
 	flag.Parse()
 
 	opts := experiments.Options{
 		Seed:         *seed,
 		Sets:         *sets,
 		Utilizations: experiments.DefaultUtilizations(),
+		Workers:      *workers,
+		InnerWorkers: *innerWorkers,
 	}
 	base := workload.Default
 	base.Jobs = *jobs

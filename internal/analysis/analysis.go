@@ -24,10 +24,12 @@ package analysis
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"rta/internal/curve"
 	"rta/internal/fcfs"
 	"rta/internal/model"
+	"rta/internal/par"
 	"rta/internal/spnp"
 	"rta/internal/spp"
 )
@@ -97,11 +99,40 @@ func (r *Result) SchedulableTight(sys *model.System) bool {
 	return true
 }
 
+// Options tune how an analysis executes without changing what it
+// computes.
+type Options struct {
+	// Workers bounds the worker pool of the level-parallel engines: the
+	// subjobs of one dependency level touch disjoint state and are
+	// evaluated concurrently by up to Workers goroutines. Results are
+	// field-identical for every worker count (see run). Zero or one
+	// selects the serial sweep; negative selects GOMAXPROCS.
+	Workers int
+	// fullSweep disables the dirty-set worklist of the iterative engine,
+	// re-evaluating every subjob every round. Testing hook: the package
+	// tests assert both modes reach the identical fixed point.
+	fullSweep bool
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers == 0 {
+		return 1
+	}
+	return o.Workers
+}
+
 // Analyze dispatches to the exact analysis when every processor runs SPP
 // and no shared resources are declared, and to the approximate analysis
 // otherwise (resource blocking depends on critical-section placement at
 // run time, which the exact trace analysis cannot know).
-func Analyze(sys *model.System) (*Result, error) {
+func Analyze(sys *model.System) (*Result, error) { return AnalyzeOpts(sys, Options{}) }
+
+// AnalyzeOpts is Analyze with execution options.
+func AnalyzeOpts(sys *model.System, opts Options) (*Result, error) {
 	allSPP := true
 	for p := range sys.Procs {
 		if sys.Procs[p].Sched != model.SPP {
@@ -110,14 +141,17 @@ func Analyze(sys *model.System) (*Result, error) {
 		}
 	}
 	if allSPP && !sys.HasResources() {
-		return Exact(sys)
+		return ExactOpts(sys, opts)
 	}
-	return Approximate(sys)
+	return ApproximateOpts(sys, opts)
 }
 
 // Exact runs the Section 4.1 analysis (all-SPP systems only).
-func Exact(sys *model.System) (*Result, error) {
-	er, err := spp.Analyze(sys)
+func Exact(sys *model.System) (*Result, error) { return ExactOpts(sys, Options{}) }
+
+// ExactOpts is Exact with execution options.
+func ExactOpts(sys *model.System, opts Options) (*Result, error) {
+	er, err := spp.AnalyzeWorkers(sys, opts.workers())
 	if err != nil {
 		if errors.Is(err, spp.ErrCyclic) {
 			return nil, ErrCyclic
@@ -136,11 +170,16 @@ func Exact(sys *model.System) (*Result, error) {
 // Approximate runs the Theorem 4 pipeline on a system with any mix of
 // SPP, SPNP and FCFS processors.
 func Approximate(sys *model.System) (*Result, error) {
+	return ApproximateOpts(sys, Options{})
+}
+
+// ApproximateOpts is Approximate with execution options.
+func ApproximateOpts(sys *model.System, opts Options) (*Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("analysis: %w", err)
 	}
 	st := newState(sys)
-	if err := st.run(); err != nil {
+	if err := st.run(opts.workers()); err != nil {
 		return nil, err
 	}
 	return st.result(), nil
@@ -151,95 +190,68 @@ type state struct {
 	sys  *model.System
 	topo *model.Topology
 	hops [][]Hop
+	// demandLo/demandHi cache, per subjob id, the workload staircases
+	// built from the hop's latest respectively earliest arrivals. They are
+	// published by whoever fixes the hop's arrival bounds (newState for
+	// first hops, the previous hop's computeSubjob otherwise), i.e. always
+	// in an earlier dependency level than any reader: the hop itself and,
+	// on FCFS processors, its co-located subjobs (Equation 21's total
+	// workload), which would otherwise rebuild each staircase once per
+	// neighbor.
+	demandLo, demandHi []*curve.Curve
+	// arrVer counts the ArrLate merges of each subjob and demandLoVer the
+	// version a cached demandLo was built at; the iterative engine uses
+	// the pair to rebuild a staircase only when its arrivals moved (the
+	// acyclic engines never mutate arrivals, so they ignore both).
+	arrVer, demandLoVer []uint64
 }
 
 func newState(sys *model.System) *state {
 	st := &state{sys: sys, topo: sys.Topology()}
 	st.hops = make([][]Hop, len(sys.Jobs))
+	n := len(st.topo.Subjobs())
+	st.demandLo = make([]*curve.Curve, n)
+	st.demandHi = make([]*curve.Curve, n)
+	st.arrVer = make([]uint64, n)
+	st.demandLoVer = make([]uint64, n)
 	for k := range sys.Jobs {
 		st.hops[k] = make([]Hop, len(sys.Jobs[k].Subjobs))
 		rel := append([]model.Ticks(nil), sys.Jobs[k].Releases...)
 		st.hops[k][0].ArrEarly = rel
 		st.hops[k][0].ArrLate = rel
+		st.publishDemand(model.SubjobRef{Job: k, Hop: 0})
 	}
 	return st
 }
 
-// dependencies returns, per subjob id, the prerequisite subjob ids that
-// must be computed first: the previous hop (whose departures are this
-// hop's arrivals), the strictly higher-priority subjobs on the same
-// processor (SPP/SPNP, whose service bounds feed the interference terms),
-// and for FCFS every co-located subjob's predecessor (their arrivals form
-// the total workload). Deduplicated; ids follow topo's (job, hop) order,
-// so the previous hop of id is id-1.
-func dependencies(sys *model.System, topo *model.Topology) [][]int {
-	refs := topo.Subjobs()
-	deps := make([][]int, len(refs))
-	seen := make([]int, len(refs)) // stamp array for dedup
-	for i := range seen {
-		seen[i] = -1
-	}
-	for id, r := range refs {
-		add := func(dep int) {
-			if seen[dep] != id {
-				seen[dep] = id
-				deps[id] = append(deps[id], dep)
-			}
-		}
-		if r.Hop > 0 {
-			add(id - 1)
-		}
-		proc := sys.Subjob(r).Proc
-		switch sys.Procs[proc].Sched {
-		case model.SPP, model.SPNP:
-			for _, o := range topo.Higher(r) {
-				add(topo.ID(o))
-			}
-		case model.FCFS:
-			for _, o := range topo.OnProc(proc) {
-				if o.Hop > 0 {
-					add(topo.ID(o) - 1)
-				}
-			}
-		}
-	}
-	return deps
+// publishDemand builds and caches the demand staircases of a hop whose
+// arrival bounds just became final.
+func (st *state) publishDemand(r model.SubjobRef) {
+	hop := &st.hops[r.Job][r.Hop]
+	exec := st.sys.Subjob(r).Exec
+	id := st.topo.ID(r)
+	st.demandLo[id] = curve.Staircase(finiteTimes(hop.ArrLate), exec)
+	st.demandHi[id] = curve.Staircase(hop.ArrEarly, exec)
 }
 
-// run computes every subjob in dependency order (Kahn's algorithm): each
-// subjob is visited exactly once, when all its prerequisites are done, so
-// the worklist costs O(subjobs + dependency edges) instead of the
-// quadratic ready-polling rounds it replaces.
-func (st *state) run() error {
-	refs := st.topo.Subjobs()
-	deps := dependencies(st.sys, st.topo)
-	indeg := make([]int, len(refs))
-	dependents := make([][]int, len(refs))
-	for id, ds := range deps {
-		indeg[id] = len(ds)
-		for _, d := range ds {
-			dependents[d] = append(dependents[d], id)
-		}
-	}
-	queue := make([]int, 0, len(refs))
-	for id, d := range indeg {
-		if d == 0 {
-			queue = append(queue, id)
-		}
-	}
-	processed := 0
-	for qi := 0; qi < len(queue); qi++ {
-		id := queue[qi]
-		st.computeSubjob(refs[id])
-		processed++
-		for _, dep := range dependents[id] {
-			if indeg[dep]--; indeg[dep] == 0 {
-				queue = append(queue, dep)
-			}
-		}
-	}
-	if processed < len(refs) {
+// run computes every subjob in dependency-level order: subjobs of one
+// level have all their prerequisites in strictly earlier levels (see
+// model.Topology.Levels), so a level is evaluated concurrently by a
+// bounded worker pool with a barrier between levels. Each evaluation
+// writes only its own per-subjob state (plus the next hop's arrival
+// bounds, which no one else touches before that strictly later level) and
+// reads only completed levels, so the computation is race-free and the
+// results are field-identical for every worker count, including the
+// serial sweep. Total cost stays O(subjobs + dependency edges) plus the
+// curve work itself.
+func (st *state) run(workers int) error {
+	levels, acyclic := st.topo.Levels()
+	if !acyclic {
 		return ErrCyclic
+	}
+	refs := st.topo.Subjobs()
+	for _, level := range levels {
+		par.Level(level, workers, func(id int) { st.computeSubjob(refs[id]) })
 	}
 	return nil
 }
@@ -272,8 +284,8 @@ func (st *state) computeSubjob(r model.SubjobRef) {
 	sys, topo := st.sys, st.topo
 	sj := sys.Subjob(r)
 	hop := &st.hops[r.Job][r.Hop]
-	demandLo := curve.Staircase(finiteTimes(hop.ArrLate), sj.Exec)
-	demandHi := curve.Staircase(hop.ArrEarly, sj.Exec)
+	id := topo.ID(r)
+	demandLo, demandHi := st.demandLo[id], st.demandHi[id]
 
 	switch sys.Procs[sj.Proc].Sched {
 	case model.SPP, model.SPNP:
@@ -303,10 +315,9 @@ func (st *state) computeSubjob(r model.SubjobRef) {
 			if o == r {
 				continue
 			}
-			oh := &st.hops[o.Job][o.Hop]
-			oe := sys.Subjob(o).Exec
-			los = append(los, curve.Staircase(finiteTimes(oh.ArrLate), oe))
-			his = append(his, curve.Staircase(oh.ArrEarly, oe))
+			oid := topo.ID(o)
+			los = append(los, st.demandLo[oid])
+			his = append(his, st.demandHi[oid])
 		}
 		totalLo, totalHi := curve.Sum(los...), curve.Sum(his...)
 		hop.SvcLo, hop.SvcHi = fcfs.Bounds(sj.Exec, demandLo, demandHi, totalLo, totalHi)
@@ -357,6 +368,7 @@ func (st *state) computeSubjob(r model.SubjobRef) {
 		next := &st.hops[r.Job][r.Hop+1]
 		next.ArrEarly = sys.NextReleases(r.Job, r.Hop, hop.DepEarly)
 		next.ArrLate = sys.NextReleases(r.Job, r.Hop, hop.DepLate)
+		st.publishDemand(model.SubjobRef{Job: r.Job, Hop: r.Hop + 1})
 	}
 }
 

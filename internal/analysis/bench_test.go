@@ -3,59 +3,28 @@ package analysis
 import (
 	"testing"
 
+	"rta/internal/benchsys"
 	"rta/internal/model"
 )
 
-// largeSystem builds a deterministic job shop at the scale the tracked
-// performance trajectory cares about: `jobs` chains of `hops` hops, one
-// processor per hop (so every processor carries `jobs` subjobs), bursty
-// release traces of `instances` instances per job, and a per-processor
-// utilization around 0.8 so the service curves stay non-trivial all the
-// way to the last hop.
+// largeSystem is benchsys.Large; the generator lives in its own package
+// so the rta-bench command measures the identical workload.
 func largeSystem(jobs, hops, instances int, sched model.Scheduler) *model.System {
-	sys := &model.System{}
-	for p := 0; p < hops; p++ {
-		sys.Procs = append(sys.Procs, model.Processor{Sched: sched})
-	}
-	// Execution times cycle 1..4 (mean 2.5): total work per release wave is
-	// jobs*2.5 ticks per processor; a burst pair every 2 releases with gap
-	// 2*jobs*3 ticks keeps the demanded utilization near 0.8.
-	gap := model.Ticks(2 * jobs * 3)
-	for k := 0; k < jobs; k++ {
-		job := model.Job{Deadline: model.Ticks(hops) * gap * model.Ticks(instances)}
-		for j := 0; j < hops; j++ {
-			job.Subjobs = append(job.Subjobs, model.Subjob{
-				Proc:     j,
-				Exec:     model.Ticks(1 + (k+j)%4),
-				Priority: k % 10,
-			})
-		}
-		// Bursty trace: instances arrive in pairs (zero-gap bursts), the
-		// pairs spread over the horizon with a per-job phase.
-		t := model.Ticks(k % 7)
-		for i := 0; i < instances; i++ {
-			job.Releases = append(job.Releases, t)
-			if i%2 == 1 {
-				t += gap
-			}
-		}
-		sys.Jobs = append(sys.Jobs, job)
-	}
-	return sys
+	return benchsys.Large(jobs, hops, instances, sched)
 }
 
 const (
-	benchJobs      = 50
-	benchHops      = 8
-	benchInstances = 16
+	benchJobs      = benchsys.Jobs
+	benchHops      = benchsys.Hops
+	benchInstances = benchsys.Instances
 )
 
-func benchAnalyze(b *testing.B, sched model.Scheduler) {
+func benchAnalyze(b *testing.B, sched model.Scheduler, workers int) {
 	sys := largeSystem(benchJobs, benchHops, benchInstances, sched)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Approximate(sys); err != nil {
+		if _, err := ApproximateOpts(sys, Options{Workers: workers}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -63,24 +32,63 @@ func benchAnalyze(b *testing.B, sched model.Scheduler) {
 
 // BenchmarkLargeApproximateSPNP is the headline large-system benchmark of
 // the tracked perf trajectory: 50 jobs x 8 hops, SPNP everywhere.
-func BenchmarkLargeApproximateSPNP(b *testing.B) { benchAnalyze(b, model.SPNP) }
+func BenchmarkLargeApproximateSPNP(b *testing.B) { benchAnalyze(b, model.SPNP, 1) }
 
 // BenchmarkLargeApproximateFCFS exercises the k-way workload summation on
 // FCFS processors (50 staircases per processor).
-func BenchmarkLargeApproximateFCFS(b *testing.B) { benchAnalyze(b, model.FCFS) }
+func BenchmarkLargeApproximateFCFS(b *testing.B) { benchAnalyze(b, model.FCFS, 1) }
 
 // BenchmarkLargeApproximateSPP runs the Theorem 4 pipeline with
 // preemptive processors (blocking-free service bounds).
-func BenchmarkLargeApproximateSPP(b *testing.B) { benchAnalyze(b, model.SPP) }
+func BenchmarkLargeApproximateSPP(b *testing.B) { benchAnalyze(b, model.SPP, 1) }
+
+// Worker variants: the same pipelines under the level-parallel engine.
+// On a single-core host they chiefly measure pool overhead; on multicore
+// they expose the level-width speedup.
+func BenchmarkLargeApproximateSPNP4Workers(b *testing.B) { benchAnalyze(b, model.SPNP, 4) }
+func BenchmarkLargeApproximateSPNP8Workers(b *testing.B) { benchAnalyze(b, model.SPNP, 8) }
+func BenchmarkLargeApproximateFCFS4Workers(b *testing.B) { benchAnalyze(b, model.FCFS, 4) }
+func BenchmarkLargeApproximateFCFS8Workers(b *testing.B) { benchAnalyze(b, model.FCFS, 8) }
+
+// BenchmarkLargeExactSPP runs the exact trace analysis on the all-SPP
+// system, serial vs pooled.
+func benchExact(b *testing.B, workers int) {
+	sys := largeSystem(benchJobs, benchHops, benchInstances, model.SPP)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExactOpts(sys, Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLargeExactSPP(b *testing.B)         { benchExact(b, 1) }
+func BenchmarkLargeExactSPP4Workers(b *testing.B) { benchExact(b, 4) }
 
 // BenchmarkLargeIterative runs the fixed-point engine on the same acyclic
-// system; it converges in few rounds but pays the per-round recompute.
+// system; the incremental worklist converges in one working round plus a
+// verification round.
 func BenchmarkLargeIterative(b *testing.B) {
 	sys := largeSystem(benchJobs, benchHops, benchInstances, model.SPNP)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Iterative(sys, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLargeIterativeFullSweep is the pre-worklist engine (every
+// subjob re-evaluated every round), kept as the baseline the incremental
+// speedup is tracked against.
+func BenchmarkLargeIterativeFullSweep(b *testing.B) {
+	sys := largeSystem(benchJobs, benchHops, benchInstances, model.SPNP)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := IterativeOpts(sys, 0, Options{fullSweep: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -29,7 +29,10 @@ import (
 //
 // The iteration diverges (some instance's latest departure grows without
 // bound or beyond the divergence cap) exactly when the bounds cannot
-// certify the loop to drain; the affected jobs report an infinite WCRT.
+// certify the loop to drain; the affected jobs - those owning a subjob
+// still changing in the final round, or depending (transitively) on one -
+// report an infinite WCRT, while jobs whose dependency cone converged
+// keep their finite bounds.
 //
 // The paper presents this scheme as future work without a soundness
 // proof; this implementation follows its sketch and is validated
@@ -37,6 +40,27 @@ import (
 // tests). For acyclic systems it reduces to Approximate up to iteration
 // order.
 func Iterative(sys *model.System, maxRounds int) (*Result, error) {
+	return IterativeOpts(sys, maxRounds, Options{})
+}
+
+// IterativeOpts is Iterative with execution options. The fixed-point
+// sweep itself is Gauss-Seidel (each evaluation feeds the next within a
+// round), so Options.Workers does not parallelize it; the knob is
+// accepted for API uniformity.
+//
+// Instead of re-evaluating every subjob every round, the sweep keeps a
+// dirty set: a subjob is re-evaluated only when one of its inputs moved
+// since its last evaluation - a predecessor's latest departures (its late
+// arrivals), a higher-priority neighbor's service bounds (SPP/SPNP), or a
+// co-located subjob's late arrivals (FCFS, Equation 21). Because each
+// evaluation is a deterministic function of those inputs and all merges
+// are monotone, re-running a subjob with unchanged inputs reproduces its
+// state exactly; skipping it is therefore unobservable, and the dirty
+// sweep converges to the same fixed point as the full sweep in the same
+// ascending-id Gauss-Seidel order (dirt raised at a higher id is consumed
+// in the same round, at a lower or equal id in the next - exactly when
+// the full sweep would revisit it).
+func IterativeOpts(sys *model.System, maxRounds int, opts Options) (*Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("analysis: %w", err)
 	}
@@ -66,40 +90,197 @@ func Iterative(sys *model.System, maxRounds int) (*Result, error) {
 			st.hops[k][j].DepEarly = dep
 		}
 	}
-
-	for round := 0; round < maxRounds; round++ {
-		changed := false
-		for k := range sys.Jobs {
-			for j := range sys.Jobs[k].Subjobs {
-				r := model.SubjobRef{Job: k, Hop: j}
-				if st.iterateSubjob(r) {
-					changed = true
-				}
-			}
-		}
-		if !changed {
-			return st.result(), nil
+	// The demand caches published by newState assumed the Approximate
+	// arrival bounds; hops past the first were just re-pinned above, so
+	// drop every cache except the (release-trace, hence final) first hops
+	// and let iterDemand* rebuild them version-checked.
+	refs := st.topo.Subjobs()
+	for id, r := range refs {
+		if r.Hop > 0 {
+			st.demandLo[id], st.demandHi[id] = nil, nil
 		}
 	}
-	// Did not converge: mark everything still moving as unbounded by one
-	// final pessimistic pass, then report.
+
+	// Each round sweeps in topological order - the dependency levels
+	// first, then the subjobs entangled in cycles in ascending id - so on
+	// the acyclic part every subjob sees its predecessors' and
+	// higher-priority neighbors' final values within the same round
+	// instead of the "assume nothing" pessimism a naive id-order first
+	// round would bake into the monotone merges. Acyclic systems converge
+	// in one working round; cycles iterate as before. The sweep order
+	// only affects how much transient pessimism the merges keep (less is
+	// tighter and still sound - the dominance tests cover both shapes).
+	n := len(refs)
+	order := make([]int, 0, n)
+	levels, _ := st.topo.Levels()
+	inLevel := make([]bool, n)
+	for _, level := range levels {
+		for _, id := range level {
+			inLevel[id] = true
+			order = append(order, id)
+		}
+	}
+	for id := 0; id < n; id++ {
+		if !inLevel[id] {
+			order = append(order, id)
+		}
+	}
+
+	// The convergence criterion matches a full sweep's: stop after the
+	// first round in which no monotone merge moved (DepLate or a
+	// successor's ArrLate). A clean subjob re-evaluated by the full sweep
+	// reproduces its state bit for bit and merges nothing, so "no merge
+	// among the dirty" coincides with "no merge in a full sweep" - the
+	// dirty sweep stops in the same round with the same state. Service
+	// curves may still be settling towards their frozen-arrival values at
+	// that point; like the full sweep, the iteration does not wait for
+	// them (only merged quantities enter the result).
+	dirty := make([]bool, n)
+	for i := range dirty {
+		dirty[i] = true
+	}
+	changedRound := make([]int, n) // last round id's merges moved, +1 (0 = never)
+	converged := false
+	for round := 0; round < maxRounds && !converged; round++ {
+		anyChange := false
+		for _, id := range order {
+			if !opts.fullSweep && !dirty[id] {
+				continue
+			}
+			dirty[id] = false
+			svcCh, arrCh, ch := st.iterateSubjob(refs[id])
+			if ch {
+				anyChange = true
+				changedRound[id] = round + 1
+			}
+			if svcCh {
+				st.dirtyServiceReaders(refs[id], dirty)
+			}
+			if arrCh {
+				st.dirtyArrivalReaders(id+1, dirty)
+			}
+		}
+		converged = !anyChange
+	}
+	if converged {
+		return st.result(), nil
+	}
+	// Did not converge. Only the subjobs whose merged bounds were still
+	// moving in the final round (or whose inputs still are - the dirty
+	// remainder), and everything transitively depending on them, can
+	// still grow; jobs outside that closure sit at the fixed point of
+	// their own dependency cone and keep their finite bounds.
+	seeds := dirty
+	for id := 0; id < n; id++ {
+		if changedRound[id] == maxRounds {
+			seeds[id] = true
+		}
+	}
 	res := st.result()
-	for k := range res.WCRT {
+	for _, k := range st.unconvergedJobs(seeds) {
 		res.WCRT[k] = curve.Inf
 		res.WCRTSum[k] = curve.Inf
 	}
 	res.Method = "App/Iterative(diverged)"
-	return res, errors.New("analysis: iteration did not converge; system reported unschedulable")
+	return res, errors.New("analysis: iteration did not converge; affected jobs reported unschedulable")
+}
+
+// unconvergedJobs returns the jobs owning a subjob in the
+// dependents-closure of the seed set: exactly those whose bounds the
+// exhausted iteration cannot certify. Subjobs outside the closure were
+// last evaluated with inputs that never moved again, so their state
+// equals the fixed point restricted to their dependency cone.
+func (st *state) unconvergedJobs(seeds []bool) []int {
+	refs := st.topo.Subjobs()
+	queue := make([]int, 0, len(refs))
+	inClosure := make([]bool, len(refs))
+	for id, d := range seeds {
+		if d {
+			inClosure[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		for _, dep := range st.topo.Dependents(queue[qi]) {
+			if !inClosure[dep] {
+				inClosure[dep] = true
+				queue = append(queue, dep)
+			}
+		}
+	}
+	jobSet := make([]bool, len(st.sys.Jobs))
+	var jobs []int
+	for id, in := range inClosure {
+		if in && !jobSet[refs[id].Job] {
+			jobSet[refs[id].Job] = true
+			jobs = append(jobs, refs[id].Job)
+		}
+	}
+	return jobs
+}
+
+// dirtyServiceReaders marks the subjobs that consume r's service bounds:
+// the lower-priority subjobs on its processor (interference terms of
+// Theorems 5/6), which exist only under priority scheduling.
+func (st *state) dirtyServiceReaders(r model.SubjobRef, dirty []bool) {
+	proc := st.sys.Subjob(r).Proc
+	if s := st.sys.Procs[proc].Sched; s != model.SPP && s != model.SPNP {
+		return
+	}
+	for _, o := range st.topo.Lower(r) {
+		dirty[st.topo.ID(o)] = true
+	}
+}
+
+// dirtyArrivalReaders marks the subjobs that consume subjob id's late
+// arrival bounds: the subjob itself (its demand staircase) and, on FCFS
+// processors, every co-located subjob (Equation 21's total workload).
+func (st *state) dirtyArrivalReaders(id int, dirty []bool) {
+	dirty[id] = true
+	r := st.topo.Subjobs()[id]
+	proc := st.sys.Subjob(r).Proc
+	if st.sys.Procs[proc].Sched == model.FCFS {
+		for _, o := range st.topo.OnProc(proc) {
+			dirty[st.topo.ID(o)] = true
+		}
+	}
+}
+
+// iterDemandLo returns the workload staircase built from subjob id's late
+// arrivals, rebuilding only when the arrivals moved since the cached
+// build (version counter bumped by the ArrLate merges).
+func (st *state) iterDemandLo(id int, r model.SubjobRef) *curve.Curve {
+	if st.demandLo[id] == nil || st.demandLoVer[id] != st.arrVer[id] {
+		hop := &st.hops[r.Job][r.Hop]
+		st.demandLo[id] = curve.Staircase(finiteTimes(hop.ArrLate), st.sys.Subjob(r).Exec)
+		st.demandLoVer[id] = st.arrVer[id]
+	}
+	return st.demandLo[id]
+}
+
+// iterDemandHi returns the workload staircase built from subjob id's
+// early arrivals; those are pinned for the whole iteration, so it is
+// built at most once.
+func (st *state) iterDemandHi(id int, r model.SubjobRef) *curve.Curve {
+	if st.demandHi[id] == nil {
+		hop := &st.hops[r.Job][r.Hop]
+		st.demandHi[id] = curve.Staircase(hop.ArrEarly, st.sys.Subjob(r).Exec)
+	}
+	return st.demandHi[id]
 }
 
 // iterateSubjob recomputes one subjob from the current bound vector and
-// merges the result monotonically. It reports whether anything changed.
-func (st *state) iterateSubjob(r model.SubjobRef) bool {
+// merges the result monotonically. It reports whether the subjob's
+// service bounds moved, whether its successor's late arrivals moved, and
+// whether anything at all changed.
+func (st *state) iterateSubjob(r model.SubjobRef) (svcChanged, arrChanged, changed bool) {
 	sys, topo := st.sys, st.topo
 	sj := sys.Subjob(r)
 	hop := &st.hops[r.Job][r.Hop]
-	demandLo := curve.Staircase(finiteTimes(hop.ArrLate), sj.Exec)
-	demandHi := curve.Staircase(hop.ArrEarly, sj.Exec)
+	id := topo.ID(r)
+	demandLo := st.iterDemandLo(id, r)
+	demandHi := st.iterDemandHi(id, r)
+	oldLo, oldHi := hop.SvcLo, hop.SvcHi
 
 	switch sys.Procs[sj.Proc].Sched {
 	case model.SPP, model.SPNP:
@@ -119,7 +300,7 @@ func (st *state) iterateSubjob(r model.SubjobRef) bool {
 				// its service (no guaranteed progress, full possible
 				// interference bounded by its workload upper bound).
 				lo = curve.Zero()
-				hi = curve.Staircase(oh.ArrEarly, sys.Subjob(o).Exec)
+				hi = st.iterDemandHi(topo.ID(o), o)
 			}
 			interf = append(interf, spnp.Interference{Lo: lo, Hi: hi})
 		}
@@ -134,18 +315,17 @@ func (st *state) iterateSubjob(r model.SubjobRef) bool {
 			if o == r {
 				continue
 			}
-			oh := &st.hops[o.Job][o.Hop]
-			oe := sys.Subjob(o).Exec
-			los = append(los, curve.Staircase(finiteTimes(oh.ArrLate), oe))
-			his = append(his, curve.Staircase(oh.ArrEarly, oe))
+			oid := topo.ID(o)
+			los = append(los, st.iterDemandLo(oid, o))
+			his = append(his, st.iterDemandHi(oid, o))
 		}
 		totalLo, totalHi := curve.Sum(los...), curve.Sum(his...)
 		hop.SvcLo, hop.SvcHi = fcfs.Bounds(sj.Exec, demandLo, demandHi, totalLo, totalHi)
 	}
+	svcChanged = !hop.SvcLo.Equal(oldLo) || !hop.SvcHi.Equal(oldHi)
 
 	n := len(hop.ArrEarly)
 	depLate := hop.SvcLo.CompletionTimes(sj.Exec, n)
-	changed := false
 	if hop.DepLate == nil {
 		hop.DepLate = make([]model.Ticks, n)
 		copy(hop.DepLate, depLate)
@@ -176,10 +356,12 @@ func (st *state) iterateSubjob(r model.SubjobRef) bool {
 	if r.Hop+1 < len(sys.Jobs[r.Job].Subjobs) {
 		next := &st.hops[r.Job][r.Hop+1]
 		if mergeLate(next.ArrLate, sys.NextReleases(r.Job, r.Hop, hop.DepLate)) {
+			st.arrVer[id+1]++
+			arrChanged = true
 			changed = true
 		}
 	}
-	return changed
+	return svcChanged, arrChanged, changed
 }
 
 // mergeLate raises dst elementwise to at least src; reports change.

@@ -292,6 +292,26 @@ func (c *Curve) JumpTimes(height Value) []Time {
 	return out
 }
 
+// Equal reports whether two curves are the same function. Canonical
+// representations are unique (canon drops redundant breakpoints), so
+// pointwise equality reduces to comparing breakpoints and tail slopes.
+// The incremental analysis engine uses this to detect service bounds
+// that did not move between fixed-point rounds.
+func (c *Curve) Equal(o *Curve) bool {
+	if c == o {
+		return true
+	}
+	if c == nil || o == nil || c.f.tail != o.f.tail || len(c.f.pts) != len(o.f.pts) {
+		return false
+	}
+	for i, p := range c.f.pts {
+		if p != o.f.pts[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Tail returns the slope of the curve after its last breakpoint (0 or 1).
 func (c *Curve) Tail() int64 { return c.f.tail }
 

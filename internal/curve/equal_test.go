@@ -1,0 +1,51 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEqual: Equal agrees with pointwise comparison over a sampled prefix
+// plus tail-slope equality, on random staircase sums (canonical forms are
+// unique, so pointwise-equal curves must compare Equal).
+func TestEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	randStairs := func() *Curve {
+		n := 1 + r.Intn(8)
+		jumps := make([]Time, n)
+		t := Time(0)
+		for i := range jumps {
+			t += Time(r.Intn(5))
+			jumps[i] = t
+		}
+		return Staircase(jumps, Value(1+r.Intn(3)))
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randStairs(), randStairs()
+		sum1 := Sum(a, b)
+		sum2 := b.Add(a) // same function, independently built
+		if !sum1.Equal(sum2) {
+			t.Fatalf("trial %d: Sum(a,b) != b.Add(a):\n%v\n%v", trial, sum1, sum2)
+		}
+		if !a.Equal(a) {
+			t.Fatalf("trial %d: curve not Equal to itself", trial)
+		}
+		// Pointwise check of the Equal verdict for a vs b.
+		eq := a.Tail() == b.Tail()
+		for x := Time(0); eq && x < 64; x++ {
+			if a.Eval(x) != b.Eval(x) || a.EvalLeft(x) != b.EvalLeft(x) {
+				eq = false
+			}
+		}
+		if got := a.Equal(b); got != eq {
+			t.Fatalf("trial %d: Equal = %v, pointwise = %v\na=%v\nb=%v", trial, got, eq, a, b)
+		}
+	}
+	if Zero().Equal(nil) {
+		t.Fatal("curve Equal(nil) = true")
+	}
+	var nilCurve *Curve
+	if !nilCurve.Equal(nil) {
+		t.Fatal("nil.Equal(nil) = false")
+	}
+}

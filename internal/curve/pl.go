@@ -3,6 +3,7 @@ package curve
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // pl is the internal, unrestricted piecewise-linear representation used to
@@ -112,8 +113,12 @@ func canon(pts []Point, tail int64) pl {
 	if len(pts) == 0 {
 		panic("curve: canon of empty point list")
 	}
-	// Collapse runs of equal X to (first, last); drop zero jumps.
-	out := pts[:0:0]
+	// Collapse runs of equal X to (first, last); drop zero jumps. Each run
+	// emits at most as many points as it contains, so the write index never
+	// passes the read index and the phase can reuse the input buffer; the
+	// result is copied into an exact-size slice below, leaving the caller's
+	// buffer free for reuse (sumPL pools its merge buffer this way).
+	out := pts[:0]
 	for i := 0; i < len(pts); {
 		j := i
 		for j+1 < len(pts) && pts[j+1].X == pts[i].X {
@@ -207,11 +212,26 @@ func (c *sumCursor) slopeAfter() int64 {
 	return c.tail
 }
 
+// sumScratch holds the reusable per-call buffers of sumPL: the cursor
+// array and the merged-breakpoint buffer. canon copies the result into an
+// exact-size slice, so neither buffer escapes a call and both can be
+// recycled by the next (possibly concurrent) sum.
+type sumScratch struct {
+	cs  []sumCursor
+	pts []Point
+}
+
+var sumPool = sync.Pool{New: func() any { return new(sumScratch) }}
+
 // sumPL returns the pointwise sum of the fs in a single k-way linear
 // merge: one left-to-right sweep over the union of all breakpoints,
 // maintaining the summed value and summed slope incrementally. This is the
 // engine behind both the binary add and the exported Sum, replacing the
-// former per-breakpoint binary-search evaluation.
+// former per-breakpoint binary-search evaluation. Scratch buffers are
+// pooled: the FCFS path sums one staircase per co-located subjob for
+// every subjob of the processor, and the fixed-point engine re-sums on
+// every dirty evaluation, so the merge buffers are the hottest allocation
+// in the entire analysis.
 func sumPL(fs []pl) pl {
 	if len(fs) == 0 {
 		return constPL(0)
@@ -219,11 +239,11 @@ func sumPL(fs []pl) pl {
 	if len(fs) == 1 {
 		return fs[0] // pls are immutable; sharing is safe
 	}
-	cs := make([]sumCursor, len(fs))
+	sc := sumPool.Get().(*sumScratch)
+	cs := sc.cs[:0]
 	var tail, slopeSum int64
 	var valRight Value
-	total := 0
-	for n, f := range fs {
+	for _, f := range fs {
 		c := sumCursor{pts: f.pts, tail: f.tail}
 		for c.i+1 < len(c.pts) && c.pts[c.i+1].X == 0 {
 			c.i++ // start from the post-jump value at x = 0
@@ -232,10 +252,9 @@ func sumPL(fs []pl) pl {
 		valRight += c.pts[c.i].Y
 		slopeSum += c.slope
 		tail += f.tail
-		total += len(f.pts)
-		cs[n] = c
+		cs = append(cs, c)
 	}
-	pts := make([]Point, 0, 2*total)
+	pts := sc.pts[:0]
 	pts = append(pts, Point{0, valRight})
 	prevX := Time(0)
 	for {
@@ -275,7 +294,13 @@ func sumPL(fs []pl) pl {
 		pts = append(pts, Point{next, r})
 		prevX, valRight = next, r
 	}
-	return canon(pts, tail)
+	out := canon(pts, tail)
+	for i := range cs {
+		cs[i] = sumCursor{} // drop summand references so the pool pins nothing
+	}
+	sc.cs, sc.pts = cs[:0], pts[:0]
+	sumPool.Put(sc)
+	return out
 }
 
 // add returns f + g by a two-pointer linear merge.

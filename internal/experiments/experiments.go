@@ -81,8 +81,14 @@ type Options struct {
 	Utilizations []float64
 	// Methods to evaluate.
 	Methods []Method
-	// Workers caps the worker pool (defaults to GOMAXPROCS).
+	// Workers caps the total worker budget of the sweep (defaults to
+	// GOMAXPROCS).
 	Workers int
+	// InnerWorkers is the level-pool size each analysis runs with
+	// (defaults to 1, i.e. serial engines). The draw pool shrinks to
+	// Workers/InnerWorkers so the sweep never oversubscribes the
+	// budget when inner parallelism is on.
+	InnerWorkers int
 }
 
 // DefaultUtilizations is the sweep grid used by the reproduction.
@@ -99,43 +105,44 @@ func DefaultUtilizations() []float64 {
 func Admit(d *workload.Draw, methods []Method) map[Method]bool {
 	out := make(map[Method]bool, len(methods))
 	for _, m := range methods {
-		out[m] = admitOne(d, m)
+		out[m] = admitOne(d, m, 1)
 	}
 	return out
 }
 
-func admitOne(d *workload.Draw, m Method) bool {
+func admitOne(d *workload.Draw, m Method, inner int) bool {
+	aopts := analysis.Options{Workers: inner}
 	switch m {
 	case SPPExact:
-		res, err := spp.Analyze(d.WithScheduler(model.SPP))
+		res, err := spp.AnalyzeWorkers(d.WithScheduler(model.SPP), inner)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: exact analysis failed: %v", err))
 		}
 		return res.Schedulable(d.System)
 	case SPNPApp:
 		sys := d.WithScheduler(model.SPNP)
-		res, err := analysis.Approximate(sys)
+		res, err := analysis.ApproximateOpts(sys, aopts)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: SPNP analysis failed: %v", err))
 		}
 		return res.Schedulable(sys)
 	case FCFSApp:
 		sys := d.WithScheduler(model.FCFS)
-		res, err := analysis.Approximate(sys)
+		res, err := analysis.ApproximateOpts(sys, aopts)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: FCFS analysis failed: %v", err))
 		}
 		return res.Schedulable(sys)
 	case SPNPAppTight:
 		sys := d.WithScheduler(model.SPNP)
-		res, err := analysis.Approximate(sys)
+		res, err := analysis.ApproximateOpts(sys, aopts)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: SPNP analysis failed: %v", err))
 		}
 		return res.SchedulableTight(sys)
 	case FCFSAppTight:
 		sys := d.WithScheduler(model.FCFS)
-		res, err := analysis.Approximate(sys)
+		res, err := analysis.ApproximateOpts(sys, aopts)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: FCFS analysis failed: %v", err))
 		}
@@ -180,6 +187,16 @@ func sweepPanels(specs []panelSpec, opts Options) ([]Panel, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	inner := opts.InnerWorkers
+	if inner <= 0 {
+		inner = 1
+	}
+	// The worker budget is shared between the draw pool and the level
+	// pools inside each analysis: outer*inner <= Workers.
+	outer := opts.Workers / inner
+	if outer < 1 {
+		outer = 1
+	}
 	nu, nm := len(opts.Utilizations), len(opts.Methods)
 	succ := make([]atomic.Int64, len(specs)*nu*nm)
 	trials := make([]atomic.Int64, len(specs)*nu)
@@ -192,7 +209,7 @@ func sweepPanels(specs []panelSpec, opts Options) ([]Panel, error) {
 		genErr  error
 		failed  atomic.Bool
 	)
-	for w := 0; w < opts.Workers; w++ {
+	for w := 0; w < outer; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -215,7 +232,7 @@ func sweepPanels(specs []panelSpec, opts Options) ([]Panel, error) {
 				trials[t.pi*nu+t.ui].Add(1)
 				base := (t.pi*nu + t.ui) * nm
 				for mi, m := range opts.Methods {
-					if admitOne(d, m) {
+					if admitOne(d, m, inner) {
 						succ[base+mi].Add(1)
 					}
 				}

@@ -29,6 +29,14 @@ type Topology struct {
 	blocking    []Ticks       // Equation (15)
 	pcpBlocking []Ticks       // priority-ceiling blocking (resources.go)
 	ceilings    map[int]int   // resource -> priority ceiling
+	// Analysis dependency graph, per subjob id: deps are the subjobs whose
+	// outputs feed this subjob's computation, dependents the reverse edges
+	// (who must be recomputed when this subjob's outputs change). levels
+	// partitions the ids into dependency levels when the graph is acyclic.
+	deps       [][]int
+	dependents [][]int
+	levels     [][]int
+	acyclic    bool
 }
 
 // topoSig fingerprints the fields the index depends on: processor
@@ -175,7 +183,108 @@ func buildTopology(s *System, sig uint64) *Topology {
 		t.higher[id] = hi
 		t.lower[id] = lo
 	}
+	buildDependencyGraph(s, t, n)
 	return t
+}
+
+// buildDependencyGraph derives the analysis dependency edges: which
+// subjobs' outputs each subjob reads. The edges mirror the data flow of
+// the per-subjob analyses exactly:
+//
+//   - the previous hop of the same job (its latest/earliest departures are
+//     this hop's arrival bounds);
+//   - on SPP/SPNP processors, the strictly higher-priority subjobs on the
+//     same processor (their service bounds are the interference terms);
+//   - on FCFS processors, every co-located subjob's previous hop (their
+//     arrivals form the total-workload function of Equation 21).
+//
+// Ids follow the (job, hop) numbering, so the previous hop of id is id-1.
+// The same graph drives Kahn scheduling and level partitioning in the
+// acyclic engines, and dirty-set propagation plus divergence marking in
+// the iterative engine (via the reverse edges).
+func buildDependencyGraph(s *System, t *Topology, n int) {
+	t.deps = make([][]int, n)
+	seen := make([]int, n) // stamp array for dedup
+	for i := range seen {
+		seen[i] = -1
+	}
+	for id, r := range t.refs {
+		add := func(dep int) {
+			if seen[dep] != id {
+				seen[dep] = id
+				t.deps[id] = append(t.deps[id], dep)
+			}
+		}
+		if r.Hop > 0 {
+			add(id - 1)
+		}
+		proc := s.Subjob(r).Proc
+		switch s.Procs[proc].Sched {
+		case SPP, SPNP:
+			for _, o := range t.higher[id] {
+				add(t.ID(o))
+			}
+		case FCFS:
+			for _, o := range t.onProc[proc] {
+				if o.Hop > 0 {
+					add(t.ID(o) - 1)
+				}
+			}
+		}
+	}
+	t.dependents = make([][]int, n)
+	for id, ds := range t.deps {
+		for _, d := range ds {
+			t.dependents[d] = append(t.dependents[d], id)
+		}
+	}
+	// Level partition: level(id) = 1 + max level of its deps, computed by
+	// Kahn's algorithm. A non-empty remainder means a dependency cycle
+	// (physical or logical loop); levels stays valid for the leveled prefix
+	// and acyclic reports false.
+	level := make([]int, n)
+	indeg := make([]int, n)
+	for id, ds := range t.deps {
+		indeg[id] = len(ds)
+	}
+	queue := make([]int, 0, n)
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	maxLevel := -1
+	for qi := 0; qi < len(queue); qi++ {
+		id := queue[qi]
+		l := 0
+		for _, d := range t.deps[id] {
+			if level[d]+1 > l {
+				l = level[d] + 1
+			}
+		}
+		level[id] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+		for _, dep := range t.dependents[id] {
+			if indeg[dep]--; indeg[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	t.acyclic = len(queue) == n
+	t.levels = make([][]int, maxLevel+1)
+	leveled := make([]bool, n)
+	for _, id := range queue {
+		leveled[id] = true
+	}
+	// Fill buckets in ascending id order so the serial sweep order is
+	// deterministic and matches the (job, hop) numbering within a level.
+	for id := 0; id < n; id++ {
+		if leveled[id] {
+			t.levels[level[id]] = append(t.levels[level[id]], id)
+		}
+	}
 }
 
 // ID returns the dense index of subjob r: subjobs are numbered in
@@ -212,6 +321,27 @@ func (t *Topology) PCPBlocking(r SubjobRef) Ticks { return t.pcpBlocking[t.ID(r)
 // Ceilings returns the resource-to-priority-ceiling map. Shared map; do
 // not mutate.
 func (t *Topology) Ceilings() map[int]int { return t.ceilings }
+
+// Deps returns the analysis prerequisites of subjob id: the ids whose
+// outputs (departure bounds or service bounds) feed id's computation. See
+// buildDependencyGraph for the edge definition. Shared slice; do not
+// mutate.
+func (t *Topology) Deps(id int) []int { return t.deps[id] }
+
+// Dependents returns the reverse dependency edges of subjob id: the ids
+// that must be recomputed when id's outputs change. Shared slice; do not
+// mutate.
+func (t *Topology) Dependents(id int) []int { return t.dependents[id] }
+
+// Levels partitions the subjob ids into dependency levels: every
+// dependency of a subjob in level l lies in a level strictly before l, so
+// the subjobs of one level touch disjoint state and can be evaluated
+// concurrently once all earlier levels are done. Ids are ascending within
+// each level. acyclic reports whether every subjob was leveled; when
+// false (a physical or logical loop) the levels cover only the acyclic
+// prefix and the worklist engines must be used instead. Shared slices; do
+// not mutate.
+func (t *Topology) Levels() (levels [][]int, acyclic bool) { return t.levels, t.acyclic }
 
 // String summarizes the index for debugging.
 func (t *Topology) String() string {

@@ -215,6 +215,112 @@ func TestTopologyCachedPointer(t *testing.T) {
 	}
 }
 
+// bruteDeps recomputes the analysis dependency edges of subjob id: the
+// previous hop, plus per-scheduler interference inputs (higher-priority
+// service bounds on SPP/SPNP, co-located predecessors' departures on
+// FCFS).
+func bruteDeps(sys *model.System, topo *model.Topology, id int) []int {
+	r := topo.Subjobs()[id]
+	set := map[int]bool{}
+	var out []int
+	add := func(d int) {
+		if !set[d] {
+			set[d] = true
+			out = append(out, d)
+		}
+	}
+	if r.Hop > 0 {
+		add(id - 1)
+	}
+	proc := sys.Subjob(r).Proc
+	switch sys.Procs[proc].Sched {
+	case model.SPP, model.SPNP:
+		for _, o := range bruteOnProc(sys, proc) {
+			if o != r && sys.HigherPriority(o, r) {
+				add(topo.ID(o))
+			}
+		}
+	case model.FCFS:
+		for _, o := range bruteOnProc(sys, proc) {
+			if o.Hop > 0 {
+				add(topo.ID(o) - 1)
+			}
+		}
+	}
+	return out
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTopologyDependencyGraph: Deps matches the brute-force edge
+// definition, Dependents is its exact transpose, and the level partition
+// is a valid topological schedule (every dependency strictly earlier).
+func TestTopologyDependencyGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	cfg := randsys.Default
+	cfg.Schedulers = []model.Scheduler{model.SPP, model.SPNP, model.FCFS}
+	for trial := 0; trial < 150; trial++ {
+		cfg.Loops = trial%2 == 1
+		sys := randsys.New(r, cfg)
+		topo := sys.Topology()
+		n := len(topo.Subjobs())
+		rev := make([][]int, n)
+		for id := 0; id < n; id++ {
+			want := bruteDeps(sys, topo, id)
+			if got := topo.Deps(id); !sameInts(got, want) {
+				t.Fatalf("trial %d: Deps(%d) = %v, want %v", trial, id, got, want)
+			}
+			for _, d := range want {
+				rev[d] = append(rev[d], id)
+			}
+		}
+		for id := 0; id < n; id++ {
+			if got := topo.Dependents(id); !sameInts(got, rev[id]) {
+				t.Fatalf("trial %d: Dependents(%d) = %v, want %v", trial, id, got, rev[id])
+			}
+		}
+		levels, acyclic := topo.Levels()
+		levelOf := make([]int, n)
+		for i := range levelOf {
+			levelOf[i] = -1 // unleveled (on a cycle)
+		}
+		covered := 0
+		for l, ids := range levels {
+			for i, id := range ids {
+				if i > 0 && ids[i-1] >= id {
+					t.Fatalf("trial %d: level %d not ascending: %v", trial, l, ids)
+				}
+				levelOf[id] = l
+				covered++
+			}
+		}
+		if acyclic != (covered == n) {
+			t.Fatalf("trial %d: acyclic = %v but %d/%d subjobs leveled", trial, acyclic, covered, n)
+		}
+		for id := 0; id < n; id++ {
+			if levelOf[id] < 0 {
+				continue
+			}
+			for _, d := range topo.Deps(id) {
+				if levelOf[d] < 0 || levelOf[d] >= levelOf[id] {
+					t.Fatalf("trial %d: dep %d (level %d) not before %d (level %d)",
+						trial, d, levelOf[d], id, levelOf[id])
+				}
+			}
+		}
+	}
+}
+
 // TestTopologySharedSlicesSafe: the exported System accessors return
 // copies, so callers may sort or mutate them without corrupting the
 // cached index (priority synthesis does exactly that).

@@ -1,0 +1,45 @@
+// Package par provides the bounded worker pool shared by the
+// level-parallel analysis engines.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Level runs f(id) for every id of one dependency level on up to workers
+// goroutines pulling from a shared atomic cursor. It returns after every
+// call has finished (the inter-level barrier). workers <= 1, or a
+// single-element level, runs inline without spawning.
+//
+// Correctness contract for callers: the f invocations of one level must
+// touch pairwise-disjoint state and read only data finalized by earlier
+// levels — then the schedule of a level is unobservable and the results
+// are identical for every worker count.
+func Level(ids []int, workers int, f func(id int)) {
+	if workers <= 1 || len(ids) == 1 {
+		for _, id := range ids {
+			f(id)
+		}
+		return
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				f(ids[i])
+			}
+		}()
+	}
+	wg.Wait()
+}

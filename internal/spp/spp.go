@@ -19,6 +19,7 @@ import (
 
 	"rta/internal/curve"
 	"rta/internal/model"
+	"rta/internal/par"
 )
 
 // Result is the full output of the exact analysis.
@@ -56,7 +57,16 @@ var ErrCyclic = errors.New("spp: cyclic subjob dependencies (physical or logical
 var ErrResources = errors.New("spp: exact analysis does not support shared resources")
 
 // Analyze runs the exact analysis on a valid, all-SPP system.
-func Analyze(sys *model.System) (*Result, error) {
+func Analyze(sys *model.System) (*Result, error) { return AnalyzeWorkers(sys, 1) }
+
+// AnalyzeWorkers is Analyze with a bounded worker pool: each dependency
+// level of the subjob graph (previous hop plus higher-priority neighbors;
+// see model.Topology.Levels) is evaluated by up to workers goroutines
+// with a barrier between levels. Every subjob writes only its own result
+// rows and its next hop's arrivals (a strictly later level), and reads
+// only service functions from completed levels, so the output is
+// field-identical for every worker count.
+func AnalyzeWorkers(sys *model.System, workers int) (*Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("spp: %w", err)
 	}
@@ -85,43 +95,19 @@ func Analyze(sys *model.System) (*Result, error) {
 		res.Arrival[k][0] = append([]model.Ticks(nil), sys.Jobs[k].Releases...)
 	}
 
-	// Kahn's algorithm over the dependency graph: each subjob depends on
-	// its previous hop and on the higher-priority subjobs sharing its
-	// processor. Every subjob is analyzed exactly once, when its
-	// dependencies are done; a non-empty remainder means a cycle.
+	// Dependency levels over the subjob graph: each subjob depends on its
+	// previous hop and on the higher-priority subjobs sharing its
+	// processor (for all-SPP systems the cached topology graph contains
+	// exactly these edges). Every subjob is analyzed exactly once, when
+	// its whole level is ready; missing coverage means a cycle.
 	topo := sys.Topology()
 	refs := topo.Subjobs()
-	indeg := make([]int, len(refs))
-	dependents := make([][]int, len(refs))
-	for id, r := range refs {
-		if r.Hop > 0 {
-			indeg[id]++
-			dependents[id-1] = append(dependents[id-1], id)
-		}
-		for _, o := range topo.Higher(r) {
-			indeg[id]++
-			dependents[topo.ID(o)] = append(dependents[topo.ID(o)], id)
-		}
-	}
-	queue := make([]int, 0, len(refs))
-	for id, d := range indeg {
-		if d == 0 {
-			queue = append(queue, id)
-		}
-	}
-	processed := 0
-	for qi := 0; qi < len(queue); qi++ {
-		id := queue[qi]
-		analyzeSubjob(sys, topo, res, refs[id])
-		processed++
-		for _, dep := range dependents[id] {
-			if indeg[dep]--; indeg[dep] == 0 {
-				queue = append(queue, dep)
-			}
-		}
-	}
-	if processed < len(refs) {
+	levels, acyclic := topo.Levels()
+	if !acyclic {
 		return nil, ErrCyclic
+	}
+	for _, level := range levels {
+		par.Level(level, workers, func(id int) { analyzeSubjob(sys, topo, res, refs[id]) })
 	}
 
 	for k := range sys.Jobs {

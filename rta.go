@@ -103,21 +103,42 @@ const Inf = curve.Inf
 // IsInf reports whether a response bound is unbounded.
 func IsInf(t Ticks) bool { return curve.IsInf(t) }
 
+// Options tune how an analysis executes without changing what it
+// computes; see analysis.Options. The zero value runs serially.
+type Options = analysis.Options
+
 // Analyze computes worst-case end-to-end response times, using the exact
 // analysis when every processor runs SPP and the approximate Theorem 4
 // pipeline otherwise.
 func Analyze(sys *System) (*Result, error) { return analysis.Analyze(sys) }
 
+// AnalyzeOpts is Analyze with execution options (e.g. a worker pool for
+// the level-parallel engines). Results are identical to Analyze.
+func AnalyzeOpts(sys *System, opts Options) (*Result, error) { return analysis.AnalyzeOpts(sys, opts) }
+
 // Exact runs the exact analysis (all processors must run SPP).
 func Exact(sys *System) (*Result, error) { return analysis.Exact(sys) }
 
+// ExactOpts is Exact with execution options.
+func ExactOpts(sys *System, opts Options) (*Result, error) { return analysis.ExactOpts(sys, opts) }
+
 // Approximate runs the Theorem 4 pipeline on any scheduler mix.
 func Approximate(sys *System) (*Result, error) { return analysis.Approximate(sys) }
+
+// ApproximateOpts is Approximate with execution options.
+func ApproximateOpts(sys *System, opts Options) (*Result, error) {
+	return analysis.ApproximateOpts(sys, opts)
+}
 
 // Iterative runs the fixed-point extension for systems with cyclic subjob
 // dependencies. maxRounds <= 0 selects the default bound.
 func Iterative(sys *System, maxRounds int) (*Result, error) {
 	return analysis.Iterative(sys, maxRounds)
+}
+
+// IterativeOpts is Iterative with execution options.
+func IterativeOpts(sys *System, maxRounds int, opts Options) (*Result, error) {
+	return analysis.IterativeOpts(sys, maxRounds, opts)
 }
 
 // Simulate runs the discrete-event simulator until every released
