@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"text/tabwriter"
 
 	"rta"
@@ -24,8 +25,20 @@ import (
 	"rta/internal/gantt"
 	"rta/internal/model"
 	"rta/internal/report"
+	"rta/internal/sched"
 	"rta/internal/tracelog"
 )
+
+// usageLine is the one-line synopsis, listing every registered scheduler
+// so the help output stays current as disciplines are added.
+func usageLine() string {
+	var names []string
+	for _, p := range sched.Policies() {
+		names = append(names, p.Name())
+	}
+	return fmt.Sprintf("usage: rta-analyze [flags] system.json\nschedulers: %s\n",
+		strings.Join(names, ", "))
+}
 
 func main() {
 	method := flag.String("method", "auto", "analysis method: auto, exact, approx or iterative")
@@ -38,7 +51,7 @@ func main() {
 	htmlPath := flag.String("html", "", "write a self-contained HTML dossier (tables + CDF chart + timeline)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the level-parallel analysis engines")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rta-analyze [flags] system.json\n")
+		fmt.Fprint(os.Stderr, usageLine())
 		flag.PrintDefaults()
 	}
 	flag.Parse()

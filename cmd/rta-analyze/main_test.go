@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rta/internal/model"
+	"rta/internal/sched"
+)
+
+// TestUsageListsRegisteredSchedulers pins the help output to the policy
+// registry: every registered discipline must be named, so the synopsis
+// stays current as schedulers are added.
+func TestUsageListsRegisteredSchedulers(t *testing.T) {
+	u := usageLine()
+	pols := sched.Policies()
+	if len(pols) < 4 {
+		t.Fatalf("expected at least 4 registered policies (SPP, SPNP, FCFS, TDMA), got %d", len(pols))
+	}
+	for _, p := range pols {
+		if !strings.Contains(u, p.Name()) {
+			t.Errorf("usage %q does not mention registered scheduler %s", u, p.Name())
+		}
+	}
+	// The model-level registry must agree with the policy registry.
+	for _, s := range model.RegisteredSchedulers() {
+		if _, ok := sched.Lookup(s); !ok {
+			t.Errorf("scheduler %v registered with the model layer but has no policy", s)
+		}
+	}
+}

@@ -5,13 +5,13 @@
 //
 //   - Exact: Section 4.1 (Theorems 1-3) for systems whose processors all
 //     run SPP; delegates to the spp package.
-//   - Approximate: Section 4.2 (Theorem 4) for arbitrary mixes of SPP,
-//     SPNP and FCFS processors, propagating per-subjob arrival bounds
-//     along each chain (Lemmas 1 and 2) and using the spnp/fcfs service
-//     bounds per processor.
-//   - Analyze: picks Exact when applicable, otherwise Approximate - the
-//     per-method selection the paper's evaluation calls SPP/Exact,
-//     SPNP/App and FCFS/App.
+//   - Approximate: Section 4.2 (Theorem 4) for arbitrary mixes of
+//     registered scheduling disciplines, propagating per-subjob arrival
+//     bounds along each chain (Lemmas 1 and 2) and dispatching the
+//     per-processor service bounds through the sched policy registry.
+//   - Analyze: picks Exact when applicable (every processor's policy is
+//     exact-capable), otherwise Approximate - the per-method selection
+//     the paper's evaluation calls SPP/Exact, SPNP/App and FCFS/App.
 //
 // The approximate path reports two end-to-end bounds: the paper's
 // Theorem 4 sum of per-hop local response times (Equation 11), used for
@@ -27,10 +27,9 @@ import (
 	"runtime"
 
 	"rta/internal/curve"
-	"rta/internal/fcfs"
 	"rta/internal/model"
 	"rta/internal/par"
-	"rta/internal/spnp"
+	"rta/internal/sched"
 	"rta/internal/spp"
 )
 
@@ -133,14 +132,7 @@ func Analyze(sys *model.System) (*Result, error) { return AnalyzeOpts(sys, Optio
 
 // AnalyzeOpts is Analyze with execution options.
 func AnalyzeOpts(sys *model.System, opts Options) (*Result, error) {
-	allSPP := true
-	for p := range sys.Procs {
-		if sys.Procs[p].Sched != model.SPP {
-			allSPP = false
-			break
-		}
-	}
-	if allSPP && !sys.HasResources() {
+	if sched.ExactAll(sys) && !sys.HasResources() {
 		return ExactOpts(sys, opts)
 	}
 	return ApproximateOpts(sys, opts)
@@ -284,44 +276,22 @@ func (st *state) computeSubjob(r model.SubjobRef) {
 	sys, topo := st.sys, st.topo
 	sj := sys.Subjob(r)
 	hop := &st.hops[r.Job][r.Hop]
-	id := topo.ID(r)
-	demandLo, demandHi := st.demandLo[id], st.demandHi[id]
-
-	switch sys.Procs[sj.Proc].Sched {
-	case model.SPP, model.SPNP:
-		var blocking model.Ticks
-		if sys.Procs[sj.Proc].Sched == model.SPNP {
-			blocking = topo.Blocking(r)
-		} else {
-			// Preemptive processors block only through shared local
-			// resources: one lower-priority critical section whose
-			// ceiling reaches this priority (priority ceiling protocol).
-			blocking = topo.PCPBlocking(r)
-		}
-		higher := topo.Higher(r)
-		interf := make([]spnp.Interference, 0, len(higher))
-		for _, o := range higher {
-			oh := &st.hops[o.Job][o.Hop]
-			interf = append(interf, spnp.Interference{Lo: oh.SvcLo, Hi: oh.SvcHi})
-		}
-		hop.SvcLo, hop.SvcHi = spnp.Bounds(blocking, interf, demandLo, demandHi)
-	case model.FCFS:
-		onp := topo.OnProc(sj.Proc)
-		los := make([]*curve.Curve, 0, len(onp))
-		his := make([]*curve.Curve, 0, len(onp))
-		los = append(los, demandLo)
-		his = append(his, demandHi)
-		for _, o := range onp {
-			if o == r {
-				continue
-			}
+	// Policy dispatch: the registered policy of the processor's scheduler
+	// derives the service bounds from the cached demand staircases and
+	// (for priority-driven disciplines) the already-final service bounds
+	// of the dependency subjobs — all strictly earlier levels.
+	ctx := &sched.ServiceContext{
+		Sys: sys, Topo: topo, Ref: r,
+		Demand: func(o model.SubjobRef) (*curve.Curve, *curve.Curve) {
 			oid := topo.ID(o)
-			los = append(los, st.demandLo[oid])
-			his = append(his, st.demandHi[oid])
-		}
-		totalLo, totalHi := curve.Sum(los...), curve.Sum(his...)
-		hop.SvcLo, hop.SvcHi = fcfs.Bounds(sj.Exec, demandLo, demandHi, totalLo, totalHi)
+			return st.demandLo[oid], st.demandHi[oid]
+		},
+		Service: func(o model.SubjobRef) (*curve.Curve, *curve.Curve) {
+			oh := &st.hops[o.Job][o.Hop]
+			return oh.SvcLo, oh.SvcHi
+		},
 	}
+	hop.SvcLo, hop.SvcHi = sched.For(sys.Procs[sj.Proc].Sched).ServiceBounds(ctx)
 
 	n := len(hop.ArrEarly)
 	hop.DepLate = hop.SvcLo.CompletionTimes(sj.Exec, n)

@@ -5,9 +5,8 @@ import (
 	"fmt"
 
 	"rta/internal/curve"
-	"rta/internal/fcfs"
 	"rta/internal/model"
-	"rta/internal/spnp"
+	"rta/internal/sched"
 )
 
 // Iterative implements the extension sketched in the paper's conclusion
@@ -154,7 +153,7 @@ func IterativeOpts(sys *model.System, maxRounds int, opts Options) (*Result, err
 				changedRound[id] = round + 1
 			}
 			if svcCh {
-				st.dirtyServiceReaders(refs[id], dirty)
+				st.dirtyServiceReaders(id, dirty)
 			}
 			if arrCh {
 				st.dirtyArrivalReaders(id+1, dirty)
@@ -219,30 +218,24 @@ func (st *state) unconvergedJobs(seeds []bool) []int {
 	return jobs
 }
 
-// dirtyServiceReaders marks the subjobs that consume r's service bounds:
-// the lower-priority subjobs on its processor (interference terms of
-// Theorems 5/6), which exist only under priority scheduling.
-func (st *state) dirtyServiceReaders(r model.SubjobRef, dirty []bool) {
-	proc := st.sys.Subjob(r).Proc
-	if s := st.sys.Procs[proc].Sched; s != model.SPP && s != model.SPNP {
-		return
-	}
-	for _, o := range st.topo.Lower(r) {
-		dirty[st.topo.ID(o)] = true
+// dirtyServiceReaders marks the subjobs that consume subjob id's service
+// bounds - the reverse of the policy registry's ServiceDeps hook (e.g. the
+// lower-priority neighbors under SPP/SPNP, the interference terms of
+// Theorems 5/6).
+func (st *state) dirtyServiceReaders(id int, dirty []bool) {
+	for _, o := range st.topo.ServiceReaders(id) {
+		dirty[o] = true
 	}
 }
 
 // dirtyArrivalReaders marks the subjobs that consume subjob id's late
-// arrival bounds: the subjob itself (its demand staircase) and, on FCFS
-// processors, every co-located subjob (Equation 21's total workload).
+// arrival bounds: the subjob itself (its demand staircase) and the reverse
+// of the policy registry's DemandDeps hook (e.g. every co-located subjob
+// on FCFS processors, Equation 21's total workload).
 func (st *state) dirtyArrivalReaders(id int, dirty []bool) {
 	dirty[id] = true
-	r := st.topo.Subjobs()[id]
-	proc := st.sys.Subjob(r).Proc
-	if st.sys.Procs[proc].Sched == model.FCFS {
-		for _, o := range st.topo.OnProc(proc) {
-			dirty[st.topo.ID(o)] = true
-		}
+	for _, o := range st.topo.DemandReaders(id) {
+		dirty[o] = true
 	}
 }
 
@@ -282,46 +275,26 @@ func (st *state) iterateSubjob(r model.SubjobRef) (svcChanged, arrChanged, chang
 	demandHi := st.iterDemandHi(id, r)
 	oldLo, oldHi := hop.SvcLo, hop.SvcHi
 
-	switch sys.Procs[sj.Proc].Sched {
-	case model.SPP, model.SPNP:
-		var blocking model.Ticks
-		if sys.Procs[sj.Proc].Sched == model.SPNP {
-			blocking = topo.Blocking(r)
-		} else {
-			blocking = topo.PCPBlocking(r)
-		}
-		higher := topo.Higher(r)
-		interf := make([]spnp.Interference, 0, len(higher))
-		for _, o := range higher {
-			oh := &st.hops[o.Job][o.Hop]
-			lo, hi := oh.SvcLo, oh.SvcHi
-			if lo == nil {
-				// Not yet computed this round: assume nothing about
-				// its service (no guaranteed progress, full possible
-				// interference bounded by its workload upper bound).
-				lo = curve.Zero()
-				hi = st.iterDemandHi(topo.ID(o), o)
-			}
-			interf = append(interf, spnp.Interference{Lo: lo, Hi: hi})
-		}
-		hop.SvcLo, hop.SvcHi = spnp.Bounds(blocking, interf, demandLo, demandHi)
-	case model.FCFS:
-		onp := topo.OnProc(sj.Proc)
-		los := make([]*curve.Curve, 0, len(onp))
-		his := make([]*curve.Curve, 0, len(onp))
-		los = append(los, demandLo)
-		his = append(his, demandHi)
-		for _, o := range onp {
+	// Policy dispatch against the current bound vector. Demand accessors
+	// hand out the version-checked caches (the subjob's own pair was
+	// resolved above); Service hands out whatever this Gauss-Seidel sweep
+	// has so far - nil before a neighbor's first evaluation, which the
+	// policies treat as "assume nothing" (see sched.ServiceContext).
+	ctx := &sched.ServiceContext{
+		Sys: sys, Topo: topo, Ref: r,
+		Demand: func(o model.SubjobRef) (*curve.Curve, *curve.Curve) {
 			if o == r {
-				continue
+				return demandLo, demandHi
 			}
 			oid := topo.ID(o)
-			los = append(los, st.iterDemandLo(oid, o))
-			his = append(his, st.iterDemandHi(oid, o))
-		}
-		totalLo, totalHi := curve.Sum(los...), curve.Sum(his...)
-		hop.SvcLo, hop.SvcHi = fcfs.Bounds(sj.Exec, demandLo, demandHi, totalLo, totalHi)
+			return st.iterDemandLo(oid, o), st.iterDemandHi(oid, o)
+		},
+		Service: func(o model.SubjobRef) (*curve.Curve, *curve.Curve) {
+			oh := &st.hops[o.Job][o.Hop]
+			return oh.SvcLo, oh.SvcHi
+		},
 	}
+	hop.SvcLo, hop.SvcHi = sched.For(sys.Procs[sj.Proc].Sched).ServiceBounds(ctx)
 	svcChanged = !hop.SvcLo.Equal(oldLo) || !hop.SvcHi.Equal(oldHi)
 
 	n := len(hop.ArrEarly)

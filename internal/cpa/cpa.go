@@ -23,10 +23,17 @@ import (
 
 	"rta/internal/envelope"
 	"rta/internal/model"
+	"rta/internal/sched"
 )
 
 // Inf marks a divergent (unschedulable) response time.
 const Inf model.Ticks = math.MaxInt64
+
+// ErrUnsupportedScheduler is returned (wrapped, naming the processor) when
+// a processor's discipline has no registered policy or its policy does not
+// support the classic static-priority busy-window method (the
+// sched.BusyWindow capability).
+var ErrUnsupportedScheduler = errors.New("cpa: scheduler is not supported by the busy-window baseline")
 
 // Task is a chain of subjobs activated according to an arrival envelope.
 type Task struct {
@@ -37,8 +44,9 @@ type Task struct {
 	Subjobs []model.Subjob
 }
 
-// System is a CPA-analyzable system: SPP/SPNP processors and
-// envelope-activated tasks.
+// System is a CPA-analyzable system: envelope-activated tasks on
+// processors whose registered policy supports the busy-window method
+// (sched.BusyWindow - the static-priority disciplines).
 type System struct {
 	Procs []model.Processor
 	Tasks []Task
@@ -242,9 +250,10 @@ func hopResponse(sys *System, env [][]envelope.Envelope, k, j int, cap model.Tic
 	self := sys.Tasks[k].Subjobs[j]
 	selfEnv := env[k][j]
 
-	// Blocking: non-preemptive processors take Equation (15).
+	// Blocking: policies flagging BusyWindowBlocking (the non-preemptive
+	// disciplines) take Equation (15).
 	var blocking model.Ticks
-	if sys.Procs[self.Proc].Sched == model.SPNP {
+	if sched.For(sys.Procs[self.Proc].Sched).(sched.BusyWindow).BusyWindowBlocking() {
 		for h := range sys.Tasks {
 			for i, o := range sys.Tasks[h].Subjobs {
 				if o.Proc != self.Proc || (h == k && i == j) {
@@ -335,8 +344,13 @@ func validate(sys *System) error {
 		return errors.New("cpa: no tasks")
 	}
 	for p := range sys.Procs {
-		if sys.Procs[p].Sched == model.FCFS {
-			return errors.New("cpa: FCFS processors are not supported by this baseline")
+		pol, ok := sched.Lookup(sys.Procs[p].Sched)
+		if !ok {
+			return fmt.Errorf("cpa: processor %d: unregistered scheduler %d: %w",
+				p, int(sys.Procs[p].Sched), ErrUnsupportedScheduler)
+		}
+		if _, bw := pol.(sched.BusyWindow); !bw {
+			return fmt.Errorf("cpa: processor %d: %s: %w", p, pol.Name(), ErrUnsupportedScheduler)
 		}
 	}
 	for k, t := range sys.Tasks {

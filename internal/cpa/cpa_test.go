@@ -1,6 +1,7 @@
 package cpa
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -150,13 +151,21 @@ func randomEnvelope(r *rand.Rand) envelope.Envelope {
 }
 
 func TestValidation(t *testing.T) {
-	bad := &System{
-		Procs: []model.Processor{{Sched: model.FCFS}},
-		Tasks: []Task{{Arrival: envelope.Periodic(5, 3),
-			Subjobs: []model.Subjob{{Proc: 0, Exec: 1}}}},
-	}
-	if _, err := Analyze(bad); err == nil {
-		t.Error("FCFS must be rejected")
+	// Schedulers whose policy lacks the busy-window capability (FCFS) and
+	// schedulers with no registered policy at all must both be rejected
+	// with the typed sentinel, not silently analyzed.
+	for _, s := range []model.Scheduler{model.FCFS, model.Scheduler(77)} {
+		bad := &System{
+			Procs: []model.Processor{{Sched: s}},
+			Tasks: []Task{{Arrival: envelope.Periodic(5, 3),
+				Subjobs: []model.Subjob{{Proc: 0, Exec: 1}}}},
+		}
+		_, err := Analyze(bad)
+		if err == nil {
+			t.Errorf("scheduler %d must be rejected", int(s))
+		} else if !errors.Is(err, ErrUnsupportedScheduler) {
+			t.Errorf("scheduler %d: error %v does not wrap ErrUnsupportedScheduler", int(s), err)
+		}
 	}
 	empty := &System{Procs: []model.Processor{{Sched: model.SPP}}}
 	if _, err := Analyze(empty); err == nil {

@@ -20,6 +20,8 @@ import (
 	"rta/internal/model"
 	"rta/internal/periodic"
 	"rta/internal/randsys"
+	"rta/internal/sched"
+	_ "rta/internal/sched/tdma" // register the TDMA policy for the mixed draws
 	"rta/internal/sim"
 	"rta/internal/spp"
 	"rta/internal/sunliu"
@@ -78,7 +80,8 @@ func TestOrderingLatticeMixedSchedulers(t *testing.T) {
 	r := rand.New(rand.NewSource(102))
 	for trial := 0; trial < 600; trial++ {
 		cfg := randsys.Default
-		cfg.Schedulers = []model.Scheduler{model.SPP, model.SPNP, model.FCFS}
+		// Every registered discipline, including TDMA, joins the mix.
+		cfg.Schedulers = randsys.MixedSchedulers()
 		cfg.Resources = 2
 		cfg.MaxPostDelay = 8
 		sys := randsys.New(r, cfg)
@@ -97,6 +100,49 @@ func TestOrderingLatticeMixedSchedulers(t *testing.T) {
 				t.Fatalf("trial %d job %d: thm4 %d < sim %d", trial, k+1, app.WCRTSum[k], w)
 			}
 		}
+	}
+}
+
+// TestBracketingPerPolicy drives the simulation-bracketing property
+// separately for every registered policy: on homogeneous random systems of
+// each discipline, the observed responses must never exceed the analytic
+// upper bounds (the per-instance pipeline bound and the Theorem 4 sum).
+// The loop is registry-driven, so a newly registered discipline is covered
+// without touching this test.
+func TestBracketingPerPolicy(t *testing.T) {
+	for _, pol := range sched.Policies() {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(105 + int64(pol.Scheduler())))
+			for trial := 0; trial < 300; trial++ {
+				cfg := randsys.Default
+				cfg.Schedulers = []model.Scheduler{pol.Scheduler()}
+				cfg.MaxPostDelay = 6
+				sys := randsys.New(r, cfg)
+
+				simRes := sim.Run(sys)
+				app, err := analysis.Approximate(sys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				iter, err := analysis.Iterative(sys, 0)
+				if err != nil {
+					iter = nil // divergence is a valid outcome
+				}
+				for k := range sys.Jobs {
+					w := simRes.WorstResponse(k)
+					if !curve.IsInf(app.WCRT[k]) && app.WCRT[k] < w {
+						t.Fatalf("trial %d job %d: tight %d < sim %d", trial, k+1, app.WCRT[k], w)
+					}
+					if !curve.IsInf(app.WCRTSum[k]) && app.WCRTSum[k] < w {
+						t.Fatalf("trial %d job %d: thm4 %d < sim %d", trial, k+1, app.WCRTSum[k], w)
+					}
+					if iter != nil && !curve.IsInf(iter.WCRT[k]) && iter.WCRT[k] < w {
+						t.Fatalf("trial %d job %d: iterative %d < sim %d", trial, k+1, iter.WCRT[k], w)
+					}
+				}
+			}
+		})
 	}
 }
 

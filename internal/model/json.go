@@ -20,8 +20,10 @@ import (
 //	  ]
 //	}
 //
-// Times are integer ticks; scheduler names follow the paper (SPP, SPNP,
-// FCFS).
+// Times are integer ticks; scheduler names are the registered
+// abbreviations (the paper's SPP, SPNP and FCFS, plus any discipline
+// registered via RegisterScheduler, e.g. TDMA with its per-processor
+// "slot", "cycle" and "offset" fields).
 
 // MarshalJSON encodes the scheduler as its paper abbreviation.
 func (s Scheduler) MarshalJSON() ([]byte, error) {
@@ -45,6 +47,11 @@ func (s *Scheduler) UnmarshalJSON(data []byte) error {
 type jsonProc struct {
 	Name  string    `json:"name,omitempty"`
 	Sched Scheduler `json:"scheduler"`
+	// Slot, Cycle and Offset parameterize slotted schedulers (TDMA);
+	// omitted for the priority-driven built-ins, which ignore them.
+	Slot   Ticks `json:"slot,omitempty"`
+	Cycle  Ticks `json:"cycle,omitempty"`
+	Offset Ticks `json:"offset,omitempty"`
 }
 
 type jsonCS struct {
@@ -77,7 +84,10 @@ type jsonSystem struct {
 func (s *System) MarshalJSON() ([]byte, error) {
 	doc := jsonSystem{}
 	for _, p := range s.Procs {
-		doc.Procs = append(doc.Procs, jsonProc{Name: p.Name, Sched: p.Sched})
+		doc.Procs = append(doc.Procs, jsonProc{
+			Name: p.Name, Sched: p.Sched,
+			Slot: p.Slot, Cycle: p.Cycle, Offset: p.Offset,
+		})
 	}
 	for _, j := range s.Jobs {
 		jj := jsonJob{Name: j.Name, Deadline: j.Deadline, Releases: j.Releases}
@@ -101,7 +111,10 @@ func (s *System) UnmarshalJSON(data []byte) error {
 	}
 	out := System{}
 	for _, p := range doc.Procs {
-		out.Procs = append(out.Procs, Processor{Name: p.Name, Sched: p.Sched})
+		out.Procs = append(out.Procs, Processor{
+			Name: p.Name, Sched: p.Sched,
+			Slot: p.Slot, Cycle: p.Cycle, Offset: p.Offset,
+		})
 	}
 	for _, j := range doc.Jobs {
 		job := Job{Name: j.Name, Deadline: j.Deadline, Releases: j.Releases}

@@ -18,7 +18,9 @@ import (
 type Ticks = int64
 
 // Scheduler identifies the scheduling algorithm a processor runs
-// (Section 3.2 of the paper).
+// (Section 3.2 of the paper). The three paper disciplines are built in;
+// further disciplines register themselves via RegisterScheduler (see
+// schedulers.go and the internal/sched package).
 type Scheduler int
 
 const (
@@ -30,28 +32,19 @@ const (
 	FCFS
 )
 
-// String returns the conventional abbreviation used in the paper.
+// String returns the registered abbreviation (the paper's for the
+// built-ins).
 func (s Scheduler) String() string {
-	switch s {
-	case SPP:
-		return "SPP"
-	case SPNP:
-		return "SPNP"
-	case FCFS:
-		return "FCFS"
+	if info, ok := LookupScheduler(s); ok {
+		return info.Name
 	}
 	return fmt.Sprintf("Scheduler(%d)", int(s))
 }
 
-// ParseScheduler converts the paper's abbreviation back to a Scheduler.
+// ParseScheduler converts a registered abbreviation back to a Scheduler.
 func ParseScheduler(s string) (Scheduler, error) {
-	switch s {
-	case "SPP":
-		return SPP, nil
-	case "SPNP":
-		return SPNP, nil
-	case "FCFS":
-		return FCFS, nil
+	if v, ok := schedulerNames[s]; ok {
+		return v, nil
 	}
 	return 0, fmt.Errorf("model: unknown scheduler %q", s)
 }
@@ -64,6 +57,12 @@ type Processor struct {
 	// Sched is the scheduling algorithm the processor runs. Different
 	// processors may run different schedulers (heterogeneous systems).
 	Sched Scheduler
+	// Slot, Cycle and Offset parameterize slotted disciplines (see the
+	// sched/tdma package): the processor repeats a cycle of Cycle ticks
+	// starting at Offset, within which each assigned subjob owns one
+	// contiguous slot of Slot ticks. The priority-driven built-ins ignore
+	// all three.
+	Slot, Cycle, Offset Ticks
 }
 
 // Subjob is one hop of a job's chain: tau_{k,j} time units of execution on
@@ -188,6 +187,11 @@ func (s *System) Validate() error {
 	if len(s.Jobs) == 0 {
 		return errors.New("model: system has no jobs")
 	}
+	for p := range s.Procs {
+		if !SchedulerRegistered(s.Procs[p].Sched) {
+			return fmt.Errorf("model: processor %d uses unregistered scheduler %d", p, int(s.Procs[p].Sched))
+		}
+	}
 	for k := range s.Jobs {
 		job := &s.Jobs[k]
 		if len(job.Subjobs) == 0 {
@@ -241,7 +245,21 @@ func (s *System) Validate() error {
 			return fmt.Errorf("model: job %d has unknown sync policy %d", k, job.Sync)
 		}
 	}
-	return s.ValidateResources()
+	if err := s.ValidateResources(); err != nil {
+		return err
+	}
+	// Discipline-specific processor checks run last, once the structural
+	// invariants they may rely on (processor indices, execution times,
+	// critical sections) are established.
+	for p := range s.Procs {
+		info, _ := LookupScheduler(s.Procs[p].Sched)
+		if info.ValidateProc != nil {
+			if err := info.ValidateProc(s, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // ProcName returns the processor's name, defaulting to the paper's P<i+1>.
@@ -440,7 +458,7 @@ func (s *System) String() string {
 		scheds[p.Sched]++
 	}
 	parts := make([]string, 0, 3)
-	for _, sc := range []Scheduler{SPP, SPNP, FCFS} {
+	for _, sc := range RegisteredSchedulers() {
 		if n := scheds[sc]; n > 0 {
 			parts = append(parts, fmt.Sprintf("%d %s", n, sc))
 		}

@@ -37,6 +37,13 @@ type Topology struct {
 	dependents [][]int
 	levels     [][]int
 	acyclic    bool
+	// Reverse policy-input maps, per subjob id: serviceReaders are the
+	// co-located subjobs whose analysis consumes id's service bounds,
+	// demandReaders those consuming id's arrival/demand curves (beyond id
+	// itself). Both derive from the scheduler registry's ServiceDeps and
+	// DemandDeps hooks and drive the iterative engine's dirty sets.
+	serviceReaders [][]int
+	demandReaders  [][]int
 }
 
 // topoSig fingerprints the fields the index depends on: processor
@@ -193,17 +200,22 @@ func buildTopology(s *System, sig uint64) *Topology {
 //
 //   - the previous hop of the same job (its latest/earliest departures are
 //     this hop's arrival bounds);
-//   - on SPP/SPNP processors, the strictly higher-priority subjobs on the
-//     same processor (their service bounds are the interference terms);
-//   - on FCFS processors, every co-located subjob's previous hop (their
-//     arrivals form the total-workload function of Equation 21).
+//   - the scheduler's ServiceDeps (e.g. the strictly higher-priority
+//     subjobs on a SPP/SPNP processor, whose service bounds are the
+//     interference terms);
+//   - the previous hop of each of the scheduler's DemandDeps (e.g. every
+//     co-located subjob on a FCFS processor, whose arrivals form the
+//     total-workload function of Equation 21).
 //
 // Ids follow the (job, hop) numbering, so the previous hop of id is id-1.
 // The same graph drives Kahn scheduling and level partitioning in the
 // acyclic engines, and dirty-set propagation plus divergence marking in
-// the iterative engine (via the reverse edges).
+// the iterative engine (via the reverse edges). The reverse policy-input
+// maps (serviceReaders, demandReaders) are built in the same pass.
 func buildDependencyGraph(s *System, t *Topology, n int) {
 	t.deps = make([][]int, n)
+	t.serviceReaders = make([][]int, n)
+	t.demandReaders = make([][]int, n)
 	seen := make([]int, n) // stamp array for dedup
 	for i := range seen {
 		seen[i] = -1
@@ -218,16 +230,24 @@ func buildDependencyGraph(s *System, t *Topology, n int) {
 		if r.Hop > 0 {
 			add(id - 1)
 		}
-		proc := s.Subjob(r).Proc
-		switch s.Procs[proc].Sched {
-		case SPP, SPNP:
-			for _, o := range t.higher[id] {
-				add(t.ID(o))
+		// Unregistered schedulers (rejected by Validate) contribute no
+		// policy edges, keeping the index total on arbitrary systems.
+		info, _ := LookupScheduler(s.Procs[s.Subjob(r).Proc].Sched)
+		if info.ServiceDeps != nil {
+			for _, o := range info.ServiceDeps(s, t, r) {
+				oid := t.ID(o)
+				add(oid)
+				t.serviceReaders[oid] = append(t.serviceReaders[oid], id)
 			}
-		case FCFS:
-			for _, o := range t.onProc[proc] {
+		}
+		if info.DemandDeps != nil {
+			for _, o := range info.DemandDeps(s, t, r) {
+				oid := t.ID(o)
 				if o.Hop > 0 {
-					add(t.ID(o) - 1)
+					add(oid - 1)
+				}
+				if oid != id {
+					t.demandReaders[oid] = append(t.demandReaders[oid], id)
 				}
 			}
 		}
@@ -332,6 +352,18 @@ func (t *Topology) Deps(id int) []int { return t.deps[id] }
 // that must be recomputed when id's outputs change. Shared slice; do not
 // mutate.
 func (t *Topology) Dependents(id int) []int { return t.dependents[id] }
+
+// ServiceReaders returns the co-located subjobs whose analysis consumes
+// id's service bounds (the registry's ServiceDeps, reversed): under
+// static-priority scheduling these are exactly the lower-priority
+// neighbors. Shared slice; do not mutate.
+func (t *Topology) ServiceReaders(id int) []int { return t.serviceReaders[id] }
+
+// DemandReaders returns the co-located subjobs (other than id itself)
+// whose analysis consumes id's arrival/demand curves (the registry's
+// DemandDeps, reversed): under FCFS these are the subjobs sharing the
+// processor. Shared slice; do not mutate.
+func (t *Topology) DemandReaders(id int) []int { return t.demandReaders[id] }
 
 // Levels partitions the subjob ids into dependency levels: every
 // dependency of a subjob in level l lies in a level strictly before l, so

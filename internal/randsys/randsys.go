@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"rta/internal/model"
+	"rta/internal/sched"
 )
 
 // Config bounds the generated systems.
@@ -52,6 +53,19 @@ var Default = Config{
 	Burstiness:       25,
 	Schedulers:       []model.Scheduler{model.SPP},
 	PriorityLevels:   4,
+}
+
+// MixedSchedulers returns every scheduler with a registered policy, for
+// drawing mixed-discipline systems. It is a function rather than a
+// variable so the set is read after all policy registrations (package
+// inits) have run, whatever the init order.
+func MixedSchedulers() []model.Scheduler {
+	pols := sched.Policies()
+	out := make([]model.Scheduler, len(pols))
+	for i, p := range pols {
+		out[i] = p.Scheduler()
+	}
+	return out
 }
 
 // New draws a random system from the configuration.
@@ -137,6 +151,16 @@ func New(r *rand.Rand, cfg Config) *model.System {
 			}
 		}
 		sys.Jobs = append(sys.Jobs, job)
+	}
+	// Policies with extra per-processor parameters (e.g. TDMA's slot table)
+	// fix up each of their processors so the drawn system validates; TDMA
+	// also strips critical sections, which it rejects.
+	for p := range sys.Procs {
+		if pol, ok := sched.Lookup(sys.Procs[p].Sched); ok {
+			if pr, ok := pol.(sched.ProcRandomizer); ok {
+				pr.RandomizeProc(r, sys, p)
+			}
+		}
 	}
 	return sys
 }

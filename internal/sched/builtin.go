@@ -1,0 +1,131 @@
+package sched
+
+// The paper's three disciplines as registered policies. The curve-level
+// theorem machinery stays in internal/spnp and internal/fcfs; these
+// adapters wire it to the policy interface so the engines dispatch through
+// the registry alone.
+
+import (
+	"rta/internal/curve"
+	"rta/internal/fcfs"
+	"rta/internal/model"
+	"rta/internal/spnp"
+)
+
+// staticPriority covers SPP and SPNP: both take the Theorem 5/6 service
+// bounds with higher-priority interference; they differ in the blocking
+// term and in preemptivity.
+type staticPriority struct {
+	sched      model.Scheduler
+	name       string
+	preemptive bool
+}
+
+func (p staticPriority) Scheduler() model.Scheduler { return p.sched }
+func (p staticPriority) Name() string               { return p.name }
+func (p staticPriority) Preemptive() bool           { return p.preemptive }
+
+// ServiceBounds pairs the sound variants of Theorems 5 and 6 with the
+// discipline's blocking term: Equation (15) for SPNP; for SPP only shared
+// local resources block, one lower-priority critical section whose
+// priority ceiling reaches this priority (priority ceiling protocol).
+func (p staticPriority) ServiceBounds(ctx *ServiceContext) (lo, hi *curve.Curve) {
+	r := ctx.Ref
+	var blocking model.Ticks
+	if p.preemptive {
+		blocking = ctx.Topo.PCPBlocking(r)
+	} else {
+		blocking = ctx.Topo.Blocking(r)
+	}
+	higher := ctx.Topo.Higher(r)
+	interf := make([]spnp.Interference, 0, len(higher))
+	for _, o := range higher {
+		slo, shi := ctx.Service(o)
+		if slo == nil {
+			// Not yet computed (iterative engine, cyclic sweep): assume
+			// nothing about its service — no guaranteed progress, full
+			// possible interference bounded by its workload upper bound.
+			slo = curve.Zero()
+			_, shi = ctx.Demand(o)
+		}
+		interf = append(interf, spnp.Interference{Lo: slo, Hi: shi})
+	}
+	demandLo, demandHi := ctx.Demand(r)
+	return spnp.Bounds(blocking, interf, demandLo, demandHi)
+}
+
+// Order dispatches by IPCP-effective priority; ties fall to the shared
+// deterministic (job, hop, idx) order.
+func (p staticPriority) Order(ctx *SimContext, a, b Instance) bool {
+	return EffectivePriority(ctx, a) < EffectivePriority(ctx, b)
+}
+
+// sppPolicy adds the SPP-only capabilities on top of staticPriority.
+type sppPolicy struct{ staticPriority }
+
+// ExactService marks SPP processors as admitting the Theorem 3 exact
+// analysis.
+func (sppPolicy) ExactService() {}
+
+// BusyWindowBlocking: preemptive static priority takes no Equation (15)
+// blocking in the CPA busy window.
+func (sppPolicy) BusyWindowBlocking() bool { return false }
+
+// spnpPolicy adds the CPA capability on top of staticPriority.
+type spnpPolicy struct{ staticPriority }
+
+// BusyWindowBlocking: non-preemptive static priority includes the
+// Equation (15) blocking term in the CPA busy window.
+func (spnpPolicy) BusyWindowBlocking() bool { return true }
+
+// fcfsPolicy implements first-come-first-served (Theorems 7-9).
+type fcfsPolicy struct{}
+
+func (fcfsPolicy) Scheduler() model.Scheduler { return model.FCFS }
+func (fcfsPolicy) Name() string               { return "FCFS" }
+func (fcfsPolicy) Preemptive() bool           { return false }
+
+// ServiceBounds instantiates the Theorem 7-9 utilization/composition
+// bounds with the processor-wide total workload of Equation (21).
+func (fcfsPolicy) ServiceBounds(ctx *ServiceContext) (lo, hi *curve.Curve) {
+	r := ctx.Ref
+	sj := ctx.Sys.Subjob(r)
+	demandLo, demandHi := ctx.Demand(r)
+	onp := ctx.Topo.OnProc(sj.Proc)
+	los := make([]*curve.Curve, 0, len(onp))
+	his := make([]*curve.Curve, 0, len(onp))
+	los = append(los, demandLo)
+	his = append(his, demandHi)
+	for _, o := range onp {
+		if o == r {
+			continue
+		}
+		olo, ohi := ctx.Demand(o)
+		los = append(los, olo)
+		his = append(his, ohi)
+	}
+	totalLo, totalHi := curve.Sum(los...), curve.Sum(his...)
+	return fcfs.Bounds(sj.Exec, demandLo, demandHi, totalLo, totalHi)
+}
+
+// Order dispatches by arrival instant; simultaneous arrivals fall to the
+// optional randomized tie-break, then to the shared deterministic order.
+func (fcfsPolicy) Order(ctx *SimContext, a, b Instance) bool {
+	if a.Arrived != b.Arrived {
+		return a.Arrived < b.Arrived
+	}
+	if ctx.TieKey != nil {
+		ka := ctx.TieKey(a.Job, a.Hop, a.Idx)
+		kb := ctx.TieKey(b.Job, b.Hop, b.Idx)
+		if ka != kb {
+			return ka < kb
+		}
+	}
+	return false
+}
+
+func init() {
+	Register(sppPolicy{staticPriority{sched: model.SPP, name: "SPP", preemptive: true}})
+	Register(spnpPolicy{staticPriority{sched: model.SPNP, name: "SPNP", preemptive: false}})
+	Register(fcfsPolicy{})
+}

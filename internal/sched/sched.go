@@ -1,0 +1,206 @@
+// Package sched is the pluggable scheduler-policy layer: one registry,
+// keyed by model.Scheduler, that centralizes everything a scheduling
+// discipline contributes to the toolkit —
+//
+//   - the Theorem 5-9-style lower/upper service-curve transforms consumed
+//     by the Approximate and Iterative pipelines (ServiceBounds);
+//   - the discrete-event queue-pick and preemption rule consumed by the
+//     simulator (Order, Preemptive);
+//   - optional capabilities: exact trace analysis (ExactCapable, Theorem 3),
+//     busy-window/CPA support (BusyWindow), wall-clock availability gating
+//     (Gated, e.g. TDMA slots) and random-system parameter fix-up
+//     (ProcRandomizer).
+//
+// The model layer keeps its own registry (model.RegisterScheduler) for
+// name parsing, JSON round-trip, dependency-graph hooks and processor
+// validation; a discipline registers in both from its package init. The
+// paper's three disciplines are registered here; see internal/sched/tdma
+// for the walkthrough of adding a new one without touching any engine.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"rta/internal/curve"
+	"rta/internal/model"
+)
+
+// ServiceContext hands a policy the inputs of one per-subjob service-bound
+// computation inside the Theorem 4 pipeline. The accessors return shared
+// curves that must not be mutated.
+type ServiceContext struct {
+	Sys  *model.System
+	Topo *model.Topology
+	// Ref is the subjob being analyzed.
+	Ref model.SubjobRef
+	// Demand returns the workload staircases of a co-located subjob (or
+	// Ref itself): lo built from its latest possible arrivals, hi from its
+	// earliest (Lemmas 1 and 2).
+	Demand func(o model.SubjobRef) (lo, hi *curve.Curve)
+	// Service returns the current service bounds of a co-located subjob.
+	// Both are nil when the subjob has not been computed yet (possible
+	// only under the iterative engine's cyclic sweeps); policies must then
+	// assume nothing: no guaranteed progress (lower bound zero) and full
+	// interference (upper bound = the subjob's demand upper bound).
+	Service func(o model.SubjobRef) (lo, hi *curve.Curve)
+}
+
+// Instance is the simulator-facing view of one ready or running subjob
+// instance.
+type Instance struct {
+	Job, Hop, Idx int
+	// Arrived is the release time at this hop.
+	Arrived model.Ticks
+	// Executed is the execution progress in ticks (zero while queued,
+	// unless the instance was preempted).
+	Executed model.Ticks
+}
+
+// SimContext carries the per-run simulator state a policy's queueing rule
+// may consult.
+type SimContext struct {
+	Sys *model.System
+	// Ceilings maps each shared resource to its priority ceiling (IPCP).
+	Ceilings map[int]int
+	// TieKey, when non-nil, is the randomized FCFS tie-break for
+	// simultaneous arrivals.
+	TieKey func(job, hop, idx int) int64
+}
+
+// EffectivePriority returns the IPCP-effective priority of an instance,
+// encoded as 2*priority, minus one while holding a resource whose ceiling
+// reaches that level. A lock is held strictly between its boundaries: at
+// the acquisition instant it is not yet taken, at the release instant it
+// is already gone — both boundaries trigger a re-dispatch, so the
+// effective priority is re-evaluated exactly there.
+func EffectivePriority(ctx *SimContext, in Instance) int {
+	sj := &ctx.Sys.Jobs[in.Job].Subjobs[in.Hop]
+	eff := 2 * sj.Priority
+	for _, cs := range sj.CS {
+		if cs.Start < in.Executed && in.Executed < cs.Start+cs.Duration {
+			if c := 2*ctx.Ceilings[cs.Resource] - 1; c < eff {
+				eff = c
+			}
+		}
+	}
+	return eff
+}
+
+// Policy is one scheduling discipline's contribution to the analyses and
+// the simulator. Implementations must be stateless values: one instance
+// serves every processor and every concurrent analysis.
+type Policy interface {
+	// Scheduler is the registry key.
+	Scheduler() model.Scheduler
+	// Name is the canonical abbreviation (matches the model registry).
+	Name() string
+	// ServiceBounds computes sound (lower, upper) service-curve bounds for
+	// ctx.Ref, in the style of Theorems 5-9: the lower bound against the
+	// subjob's latest-arrival workload yields latest completions, the
+	// upper against its earliest-arrival workload yields earliest ones.
+	ServiceBounds(ctx *ServiceContext) (lo, hi *curve.Curve)
+	// Order reports whether ready instance a is dispatched strictly before
+	// b by the discipline-specific rule alone. Ties (neither a before b
+	// nor b before a) fall to the deterministic (job, hop, idx) order the
+	// simulator shares with the analyses.
+	Order(ctx *SimContext, a, b Instance) bool
+	// Preemptive reports whether a newly ready instance may displace the
+	// running one (re-checked through Order at every scheduling event).
+	Preemptive() bool
+}
+
+// ExactCapable marks policies whose processors admit the paper's exact
+// trace analysis (Theorem 3); consulted by analysis.Analyze when choosing
+// between the exact and approximate engines.
+type ExactCapable interface {
+	Policy
+	// ExactService is a marker; it is never called.
+	ExactService()
+}
+
+// BusyWindow marks policies analyzable with the classic static-priority
+// busy-window method of the CPA baseline.
+type BusyWindow interface {
+	Policy
+	// BusyWindowBlocking reports whether the Equation (15) blocking term
+	// applies (non-preemptive variants).
+	BusyWindowBlocking() bool
+}
+
+// Gated is implemented by policies that gate processor availability by
+// wall-clock windows (e.g. TDMA slots). Gate reports whether subjob r may
+// execute at time now; next is the end of the current window when open
+// (the simulator suspends the running instance there) and the next opening
+// instant when closed (the simulator re-dispatches then). next must be
+// strictly greater than now.
+type Gated interface {
+	Policy
+	Gate(sys *model.System, r model.SubjobRef, now model.Ticks) (open bool, next model.Ticks)
+}
+
+// ProcRandomizer is implemented by policies whose processors carry extra
+// parameters: RandomizeProc adjusts processor p of a randomly generated
+// system so it is valid under the policy, drawing the parameters from rng.
+// The randsys generator applies it after the job set is drawn.
+type ProcRandomizer interface {
+	Policy
+	RandomizeProc(rng interface{ Intn(int) int }, sys *model.System, p int)
+}
+
+var policies = map[model.Scheduler]Policy{}
+
+// Register adds a policy to the registry. It must be called from a package
+// init (the registry is not synchronized) and panics on a duplicate key.
+func Register(p Policy) {
+	if prev, dup := policies[p.Scheduler()]; dup {
+		panic(fmt.Sprintf("sched: scheduler %d registered twice (%s, %s)",
+			int(p.Scheduler()), prev.Name(), p.Name()))
+	}
+	policies[p.Scheduler()] = p
+}
+
+// Lookup returns the registered policy for s.
+func Lookup(s model.Scheduler) (Policy, bool) {
+	p, ok := policies[s]
+	return p, ok
+}
+
+// For returns the registered policy for s, panicking when none is
+// registered: the engines call it only on validated systems, so a miss is
+// a programming error (a discipline registered with the model layer but
+// not here).
+func For(s model.Scheduler) Policy {
+	p, ok := policies[s]
+	if !ok {
+		panic(fmt.Sprintf("sched: no policy registered for scheduler %v", s))
+	}
+	return p
+}
+
+// Policies returns every registered policy, ordered by Scheduler value
+// (the built-ins first, extensions after).
+func Policies() []Policy {
+	out := make([]Policy, 0, len(policies))
+	for _, p := range policies {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Scheduler() < out[b].Scheduler() })
+	return out
+}
+
+// ExactAll reports whether every processor's policy admits the exact
+// trace analysis (Theorem 3). Shared resources are a separate concern the
+// caller checks (see analysis.Analyze).
+func ExactAll(sys *model.System) bool {
+	for p := range sys.Procs {
+		pol, ok := Lookup(sys.Procs[p].Sched)
+		if !ok {
+			return false
+		}
+		if _, exact := pol.(ExactCapable); !exact {
+			return false
+		}
+	}
+	return true
+}

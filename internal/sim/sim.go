@@ -1,16 +1,21 @@
 // Package sim is a discrete-event simulator for the distributed real-time
 // systems of the paper's Section 3: jobs flow through chains of subjobs on
-// processors running preemptive static-priority (SPP), non-preemptive
-// static-priority (SPNP) or FCFS schedulers, with direct synchronization
-// (a subjob instance is released the moment its predecessor completes).
+// processors, with direct synchronization (a subjob instance is released
+// the moment its predecessor completes).
+//
+// The per-processor scheduling discipline is dispatched through the sched
+// policy registry: the policy supplies the queue-pick order, preemptivity
+// and (for slotted disciplines) wall-clock availability gating, so the
+// event loop itself is discipline-agnostic.
 //
 // The simulator is the ground truth for the analyses: the SPP exact
 // analysis (Theorems 1-3) must reproduce its response times instance by
-// instance, and the SPNP/FCFS approximate analyses (Theorems 4-9) must
-// dominate them. Its tie-breaking rules are deterministic and shared with
-// the analysis packages: priority ties resolve by (job, hop), FCFS arrival
-// ties by (arrival time, job, hop, instance), and all instances of one
-// subjob are served in release order.
+// instance, and the approximate analyses (Theorems 4-9) must dominate
+// them. Its tie-breaking rules are deterministic and shared with the
+// analysis packages: the policy order first, then (job, hop, instance) -
+// so priority ties resolve by (job, hop), FCFS arrival ties by (arrival
+// time, job, hop, instance), and all instances of one subjob are served in
+// release order.
 package sim
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 
 	"rta/internal/model"
+	"rta/internal/sched"
 )
 
 // Segment is one contiguous stretch of execution of a subjob instance on
@@ -83,7 +89,8 @@ type event struct {
 const (
 	evComplete = 0 // completions sort before releases at equal times
 	evRelease  = 1
-	evBoundary = 2 // critical-section boundary: forces a re-dispatch
+	evBoundary = 2 // critical-section or availability-window boundary: suspends the running instance
+	evWake     = 3 // gated processor becomes available: forces a re-dispatch
 )
 
 // eventQueue is a time-ordered min-heap of events.
@@ -108,62 +115,29 @@ func (q *eventQueue) Pop() interface{} {
 }
 
 // readyQueue orders ready instances according to the processor's
-// scheduling policy. ceilings maps each shared resource to its priority
-// ceiling; on SPP processors the effective priority of an instance inside
-// a critical section is raised to the ceiling (immediate priority ceiling
-// protocol), with the holder winning ties against same-level base
-// priorities (the "minus epsilon" encoded by doubling).
+// registered scheduling policy: the policy's discipline-specific rule
+// first (e.g. IPCP-effective priority, or arrival order with the optional
+// random tie-break), then the deterministic (job, hop, idx) order shared
+// with the analyses.
 type readyQueue struct {
-	sys      *model.System
-	sched    model.Scheduler
-	ceilings map[int]int
-	tieKey   func(job, hop, idx int) int64 // optional random FCFS tie-break
-	items    []*instance
+	sys   *model.System
+	pol   sched.Policy
+	ctx   *sched.SimContext
+	items []*instance
 }
 
-// effPriority returns the IPCP-effective priority of an instance, encoded
-// as 2*priority, minus one while holding a resource whose ceiling reaches
-// that level. extra is the execution progress not yet folded into
-// remaining (non-zero only for the currently running instance, whose
-// remaining is updated lazily). A lock is held strictly between its
-// boundaries: at the acquisition instant it is not yet taken, at the
-// release instant it is already gone - both boundaries trigger a
-// re-dispatch, so the effective priority is re-evaluated exactly there.
-func effPriority(sys *model.System, ceilings map[int]int, in *instance, extra model.Ticks) int {
-	sj := &sys.Jobs[in.job].Subjobs[in.hop]
-	eff := 2 * sj.Priority
-	done := in.executed(sys) + extra
-	for _, cs := range sj.CS {
-		if cs.Start < done && done < cs.Start+cs.Duration {
-			if c := 2*ceilings[cs.Resource] - 1; c < eff {
-				eff = c
-			}
-		}
+// view converts an in-flight instance to the policy-facing value. extra is
+// the execution progress not yet folded into remaining (non-zero only for
+// the currently running instance, whose remaining is updated lazily).
+func (q *readyQueue) view(in *instance, extra model.Ticks) sched.Instance {
+	return sched.Instance{
+		Job: in.job, Hop: in.hop, Idx: in.idx,
+		Arrived: in.arrived, Executed: in.executed(q.sys) + extra,
 	}
-	return eff
 }
 
-func (q readyQueue) Len() int { return len(q.items) }
-func (q readyQueue) Less(a, b int) bool {
-	x, y := q.items[a], q.items[b]
-	if q.sched == model.FCFS {
-		if x.arrived != y.arrived {
-			return x.arrived < y.arrived
-		}
-		if q.tieKey != nil {
-			kx := q.tieKey(x.job, x.hop, x.idx)
-			ky := q.tieKey(y.job, y.hop, y.idx)
-			if kx != ky {
-				return kx < ky
-			}
-		}
-	} else {
-		px := effPriority(q.sys, q.ceilings, x, 0)
-		py := effPriority(q.sys, q.ceilings, y, 0)
-		if px != py {
-			return px < py
-		}
-	}
+// instLess is the deterministic (job, hop, idx) tie-break.
+func instLess(x, y *instance) bool {
 	if x.job != y.job {
 		return x.job < y.job
 	}
@@ -171,6 +145,23 @@ func (q readyQueue) Less(a, b int) bool {
 		return x.hop < y.hop
 	}
 	return x.idx < y.idx
+}
+
+// before reports whether x is dispatched before y: the policy's strict
+// order, with ties falling to (job, hop, idx).
+func (q *readyQueue) before(x, y *instance) bool {
+	if q.pol.Order(q.ctx, q.view(x, 0), q.view(y, 0)) {
+		return true
+	}
+	if q.pol.Order(q.ctx, q.view(y, 0), q.view(x, 0)) {
+		return false
+	}
+	return instLess(x, y)
+}
+
+func (q readyQueue) Len() int { return len(q.items) }
+func (q readyQueue) Less(a, b int) bool {
+	return (&q).before(q.items[a], q.items[b])
 }
 func (q readyQueue) Swap(a, b int)       { q.items[a], q.items[b] = q.items[b], q.items[a] }
 func (q *readyQueue) Push(x interface{}) { q.items = append(q.items, x.(*instance)) }
@@ -245,13 +236,16 @@ func run(sys *model.System, exec ExecTimes, tieKey func(job, hop, idx int) int64
 		}
 	}
 
-	// Priority ceilings of the shared resources (IPCP), from the cached
-	// topology index (read-only shared map).
-	ceilings := sys.Topology().Ceilings()
+	// Policy-facing context: priority ceilings of the shared resources
+	// (IPCP) from the cached topology index (read-only shared map), plus
+	// the optional random tie-break.
+	simctx := &sched.SimContext{Sys: sys, Ceilings: sys.Topology().Ceilings(), TieKey: tieKey}
 
 	procs := make([]*procState, len(sys.Procs))
+	pols := make([]sched.Policy, len(sys.Procs))
 	for p := range procs {
-		procs[p] = &procState{ready: readyQueue{sys: sys, sched: sys.Procs[p].Sched, ceilings: ceilings, tieKey: tieKey}}
+		pols[p] = sched.For(sys.Procs[p].Sched)
+		procs[p] = &procState{ready: readyQueue{sys: sys, pol: pols[p], ctx: simctx}}
 	}
 
 	// lastRelease[k][j] tracks the previous release instant per hop for
@@ -289,59 +283,89 @@ func run(sys *model.System, exec ExecTimes, tieKey func(job, hop, idx int) int64
 	// dispatch re-evaluates who should run on processor p at time now.
 	dispatch := func(p int, now model.Ticks) {
 		ps := procs[p]
+		pol := pols[p]
 		if ps.ready.Len() == 0 && ps.running == nil {
 			return
 		}
-		switch sys.Procs[p].Sched {
-		case model.SPP:
-			if ps.running != nil && ps.ready.Len() > 0 {
-				top := ps.ready.items[0]
-				cur := ps.running
-				pt := effPriority(sys, ceilings, top, 0)
-				pc := effPriority(sys, ceilings, cur, now-ps.startedAt)
-				preempt := pt < pc ||
-					(pt == pc && (top.job < cur.job ||
-						(top.job == cur.job && (top.hop < cur.hop ||
-							(top.hop == cur.hop && top.idx < cur.idx)))))
-				if preempt {
-					cur.remaining -= now - ps.startedAt
-					if now > ps.startedAt {
-						res.Segments[p] = append(res.Segments[p], Segment{
-							Job: cur.job, Hop: cur.hop, Idx: cur.idx,
-							From: ps.startedAt, To: now,
-						})
+		// Preemptive disciplines: displace the running instance when the
+		// head of the queue is dispatched strictly before it (policy order,
+		// ties to the deterministic (job, hop, idx) order).
+		if pol.Preemptive() && ps.running != nil && ps.ready.Len() > 0 {
+			top := ps.ready.items[0]
+			cur := ps.running
+			vt := ps.ready.view(top, 0)
+			vc := ps.ready.view(cur, now-ps.startedAt)
+			preempt := pol.Order(simctx, vt, vc) ||
+				(!pol.Order(simctx, vc, vt) && instLess(top, cur))
+			if preempt {
+				cur.remaining -= now - ps.startedAt
+				if now > ps.startedAt {
+					res.Segments[p] = append(res.Segments[p], Segment{
+						Job: cur.job, Hop: cur.hop, Idx: cur.idx,
+						From: ps.startedAt, To: now,
+					})
+				}
+				ps.running = nil
+				ps.seq++
+				heap.Push(&ps.ready, cur)
+			}
+		}
+		if ps.running != nil || ps.ready.Len() == 0 {
+			return
+		}
+		var next *instance
+		var windowEnd model.Ticks = -1
+		if gated, isGated := pol.(sched.Gated); !isGated {
+			next = heap.Pop(&ps.ready).(*instance)
+		} else {
+			// Availability-gated disciplines: pick the best ready
+			// instance whose window is open; when none is, sleep until
+			// the earliest window opening among the waiters.
+			bestIdx := -1
+			var wake model.Ticks = -1
+			for i, in := range ps.ready.items {
+				open, nx := gated.Gate(sys, model.SubjobRef{Job: in.job, Hop: in.hop}, now)
+				if open {
+					if bestIdx < 0 || ps.ready.before(in, ps.ready.items[bestIdx]) {
+						bestIdx, windowEnd = i, nx
 					}
-					ps.running = nil
-					ps.seq++
-					heap.Push(&ps.ready, cur)
+				} else if wake < 0 || nx < wake {
+					wake = nx
 				}
 			}
-		case model.SPNP, model.FCFS:
-			// Non-preemptive: never displace a running instance.
+			if bestIdx < 0 {
+				heap.Push(&q, &event{at: wake, kind: evWake, proc: p})
+				return
+			}
+			next = heap.Remove(&ps.ready, bestIdx).(*instance)
 		}
-		if ps.running == nil && ps.ready.Len() > 0 {
-			next := heap.Pop(&ps.ready).(*instance)
-			ps.running = next
-			ps.startedAt = now
-			ps.seq++
-			heap.Push(&q, &event{at: now + next.remaining, kind: evComplete, proc: p, seq: ps.seq})
-			// On SPP, the effective priority changes at critical-section
-			// boundaries; schedule a re-dispatch at the first one ahead.
-			if sys.Procs[p].Sched == model.SPP {
-				sj := &sys.Jobs[next.job].Subjobs[next.hop]
-				if len(sj.CS) > 0 {
-					done := next.executed(sys)
-					var delta model.Ticks = -1
-					for _, cs := range sj.CS {
-						for _, at := range [2]model.Ticks{cs.Start, cs.Start + cs.Duration} {
-							if at > done && (delta < 0 || at-done < delta) {
-								delta = at - done
-							}
+		ps.running = next
+		ps.startedAt = now
+		ps.seq++
+		heap.Push(&q, &event{at: now + next.remaining, kind: evComplete, proc: p, seq: ps.seq})
+		// The instance is suspended when its availability window closes
+		// before it completes; the boundary handler requeues it and the
+		// wake at the next opening resumes it.
+		if windowEnd >= 0 && windowEnd < now+next.remaining {
+			heap.Push(&q, &event{at: windowEnd, kind: evBoundary, proc: p, seq: ps.seq})
+		}
+		// Under preemptive disciplines, the effective priority changes at
+		// critical-section boundaries; schedule a re-dispatch at the first
+		// one ahead.
+		if pol.Preemptive() {
+			sj := &sys.Jobs[next.job].Subjobs[next.hop]
+			if len(sj.CS) > 0 {
+				done := next.executed(sys)
+				var delta model.Ticks = -1
+				for _, cs := range sj.CS {
+					for _, at := range [2]model.Ticks{cs.Start, cs.Start + cs.Duration} {
+						if at > done && (delta < 0 || at-done < delta) {
+							delta = at - done
 						}
 					}
-					if delta > 0 && delta < next.remaining {
-						heap.Push(&q, &event{at: now + delta, kind: evBoundary, proc: p, seq: ps.seq})
-					}
+				}
+				if delta > 0 && delta < next.remaining {
+					heap.Push(&q, &event{at: now + delta, kind: evBoundary, proc: p, seq: ps.seq})
 				}
 			}
 		}
@@ -418,6 +442,8 @@ func run(sys *model.System, exec ExecTimes, tieKey func(job, hop, idx int) int64
 				ps.running = nil
 				ps.seq++
 				heap.Push(&ps.ready, cur)
+				dirty[e.proc] = true
+			case evWake:
 				dirty[e.proc] = true
 			}
 		}

@@ -5,11 +5,13 @@
 //	Real-Time Systems with Bursty Job Arrivals." ICPP 1998.
 //
 // A system is a set of processors - each running preemptive static
-// priority (SPP), non-preemptive static priority (SPNP) or FCFS
-// scheduling - and a set of jobs, each a chain of subjobs executed on
-// successive processors under direct synchronization. Jobs release
-// instances at arbitrary times given as concrete traces: periodic,
-// sporadic and bursty patterns are all just traces.
+// priority (SPP), non-preemptive static priority (SPNP), FCFS or
+// time-division-multiple-access (TDMA) scheduling, or any discipline
+// registered with the internal/sched policy registry - and a set of jobs,
+// each a chain of subjobs executed on successive processors under direct
+// synchronization. Jobs release instances at arbitrary times given as
+// concrete traces: periodic, sporadic and bursty patterns are all just
+// traces.
 //
 // Three analyses compute worst-case end-to-end response times:
 //
@@ -61,6 +63,8 @@ import (
 	"rta/internal/periodic"
 	"rta/internal/priority"
 	"rta/internal/report"
+	"rta/internal/sched"
+	"rta/internal/sched/tdma"
 	"rta/internal/sensitivity"
 	"rta/internal/sim"
 	"rta/internal/sunliu"
@@ -77,7 +81,7 @@ type (
 	Subjob = model.Subjob
 	// Processor is one processing resource with its scheduler.
 	Processor = model.Processor
-	// Scheduler selects SPP, SPNP or FCFS.
+	// Scheduler selects the per-processor scheduling discipline.
 	Scheduler = model.Scheduler
 	// Ticks is integer model time.
 	Ticks = model.Ticks
@@ -89,11 +93,13 @@ type (
 	SimResult = sim.Result
 )
 
-// Scheduler values (Section 3.2 of the paper).
+// Scheduler values: the paper's disciplines (Section 3.2) plus the TDMA
+// extension (importing this package registers all four).
 const (
 	SPP  = model.SPP
 	SPNP = model.SPNP
 	FCFS = model.FCFS
+	TDMA = tdma.Sched
 )
 
 // Inf marks an unbounded response time (an instance the analysis cannot
@@ -206,13 +212,7 @@ func Slack(sys *System) ([]Ticks, error) {
 // the sensitivity package for why this is a frontier scan.
 func Breakdown(sys *System, maxScale float64) (float64, error) {
 	verdict := sensitivity.Theorem4Verdict
-	allSPP := true
-	for p := range sys.Procs {
-		if sys.Procs[p].Sched != SPP {
-			allSPP = false
-		}
-	}
-	if allSPP && !sys.HasResources() {
+	if sched.ExactAll(sys) && !sys.HasResources() {
 		verdict = sensitivity.ExactVerdict
 	}
 	return sensitivity.Breakdown(sys, verdict, maxScale, 128)
@@ -230,13 +230,7 @@ func AssignPriorities(sys *System) { priority.RelativeDeadlineMonotonic(sys) }
 // reassigned (e.g. with AssignPriorities). Optimal on single-processor
 // systems; a verified heuristic on distributed ones.
 func SynthesizePriorities(sys *System) (bool, error) {
-	allSPP := true
-	for p := range sys.Procs {
-		if sys.Procs[p].Sched != SPP {
-			allSPP = false
-		}
-	}
-	exact := allSPP && !sys.HasResources()
+	exact := sched.ExactAll(sys) && !sys.HasResources()
 	return priority.Audsley(sys, func(s *System, job int) (bool, error) {
 		var res *Result
 		var err error
@@ -367,6 +361,21 @@ func (b *Builder) Processor(name string, sched Scheduler) *Builder {
 	}
 	b.procs[name] = len(b.sys.Procs)
 	b.sys.Procs = append(b.sys.Procs, Processor{Name: name, Sched: sched})
+	return b
+}
+
+// SlottedProcessor adds a TDMA processor: within each repetition of the
+// cycle (anchored at offset), the i-th subjob assigned to the processor
+// owns the i-th window of slot ticks.
+func (b *Builder) SlottedProcessor(name string, slot, cycle, offset Ticks) *Builder {
+	if _, dup := b.procs[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("rta: duplicate processor %q", name))
+		return b
+	}
+	b.procs[name] = len(b.sys.Procs)
+	b.sys.Procs = append(b.sys.Procs, Processor{
+		Name: name, Sched: TDMA, Slot: slot, Cycle: cycle, Offset: offset,
+	})
 	return b
 }
 

@@ -1,6 +1,7 @@
 package rta_test
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -142,5 +143,61 @@ func TestFacadeReportDotConformance(t *testing.T) {
 	agg := rta.AggregateEnvelopes(rta.PeriodicEnvelope(10, 4), rta.PeriodicEnvelope(10, 4))
 	if err := agg.Validate(); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSlottedProcessorBuilderRoundTrip drives a TDMA processor through the
+// fluent builder, the JSON codec and the full analysis/simulation stack.
+func TestSlottedProcessorBuilderRoundTrip(t *testing.T) {
+	sys := rta.NewSystem().
+		SlottedProcessor("BUS", 2, 8, 1).
+		Processor("CPU", rta.SPP).
+		Job("a", 200,
+			rta.Hop("CPU", 2, 0),
+			rta.Hop("BUS", 3, 0)).
+		Job("b", 200,
+			rta.Hop("BUS", 2, 0)).
+		Releases("a", 0, 20, 40).
+		Releases("b", 5, 25).
+		Build()
+	if sys.Procs[0].Sched != rta.TDMA || sys.Procs[0].Slot != 2 ||
+		sys.Procs[0].Cycle != 8 || sys.Procs[0].Offset != 1 {
+		t.Fatalf("builder lost TDMA parameters: %+v", sys.Procs[0])
+	}
+
+	// JSON round trip preserves the slotted processor.
+	var buf strings.Builder
+	if err := json.NewEncoder(&buf).Encode(sys); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"TDMA"`) {
+		t.Fatalf("JSON does not name TDMA: %s", buf.String())
+	}
+	var back rta.System
+	if err := json.NewDecoder(strings.NewReader(buf.String())).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Procs[0] != sys.Procs[0] {
+		t.Fatalf("round trip mutated the processor: %+v != %+v", back.Procs[0], sys.Procs[0])
+	}
+
+	// Analysis (approximate: TDMA is not exact-capable) brackets the
+	// simulation, and the iterative engine agrees on this acyclic system.
+	res, err := rta.Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "App" {
+		t.Fatalf("method = %q, want App (TDMA is not exact-capable)", res.Method)
+	}
+	simRes := rta.Simulate(sys)
+	for k := range sys.Jobs {
+		w := simRes.WorstResponse(k)
+		if rta.IsInf(res.WCRT[k]) || res.WCRT[k] < w {
+			t.Errorf("job %d: analytic bound %d < simulated %d", k, res.WCRT[k], w)
+		}
+	}
+	if _, err := rta.Iterative(sys, 0); err != nil {
+		t.Errorf("iterative on acyclic TDMA system: %v", err)
 	}
 }
