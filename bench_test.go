@@ -560,7 +560,10 @@ func BenchmarkExtensionOtherParameters(b *testing.B) {
 						if err != nil {
 							b.Fatal(err)
 						}
-						got := experiments.Admit(d, []experiments.Method{experiments.SPPExact, experiments.SunLiu})
+						got, err := experiments.Admit(d, []experiments.Method{experiments.SPPExact, experiments.SunLiu})
+						if err != nil {
+							b.Fatal(err)
+						}
 						ex.Add(got[experiments.SPPExact])
 						sl.Add(got[experiments.SunLiu])
 						if got[experiments.SunLiu] && !got[experiments.SPPExact] {

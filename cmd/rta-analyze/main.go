@@ -10,9 +10,15 @@
 // responses are printed for comparison (the exact analysis matches them;
 // the approximate analyses dominate them). -gantt additionally draws the
 // simulated schedule as a per-processor timeline.
+//
+// -timeout bounds the wall-clock time of the analysis and the simulator;
+// -budget-breakpoints and -budget-steps bound the work of the analysis
+// itself (see DESIGN.md, "Fault containment"). A budget-exceeded run
+// still prints the jobs that converged; the rest show as "inf".
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +27,7 @@ import (
 	"text/tabwriter"
 
 	"rta"
+	"rta/internal/cli"
 	"rta/internal/dot"
 	"rta/internal/gantt"
 	"rta/internal/model"
@@ -40,7 +47,9 @@ func usageLine() string {
 		strings.Join(names, ", "))
 }
 
-func main() {
+func main() { cli.Main("rta-analyze", body) }
+
+func body() error {
 	method := flag.String("method", "auto", "analysis method: auto, exact, approx or iterative")
 	withSim := flag.Bool("sim", false, "also run the discrete-event simulator")
 	withGantt := flag.Bool("gantt", false, "draw the simulated schedule (implies -sim)")
@@ -50,6 +59,9 @@ func main() {
 	reportPath := flag.String("report", "", "write a full markdown dossier (analysis + simulation)")
 	htmlPath := flag.String("html", "", "write a self-contained HTML dossier (tables + CDF chart + timeline)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the level-parallel analysis engines")
+	timeout := flag.Duration("timeout", 0, "abort analysis and simulation after this long (0 = no limit)")
+	budgetBreaks := flag.Int64("budget-breakpoints", 0, "abort the analysis after materializing this many curve breakpoints (0 = no limit)")
+	budgetSteps := flag.Int64("budget-steps", 0, "abort the iterative analysis after this many fixed-point steps (0 = no limit)")
 	flag.Usage = func() {
 		fmt.Fprint(os.Stderr, usageLine())
 		flag.PrintDefaults()
@@ -57,21 +69,27 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		return cli.Exit(2)
 	}
+	ctx, cancel := cli.Timeout(*timeout)
+	defer cancel()
 
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	sys, err := model.Load(f)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var res *rta.Result
-	opts := rta.Options{Workers: *workers}
+	opts := rta.Options{
+		Workers: *workers,
+		Context: ctx,
+		Budget:  rta.Budget{Breakpoints: *budgetBreaks, FixedPointSteps: *budgetSteps},
+	}
 	switch *method {
 	case "auto":
 		res, err = rta.AnalyzeOpts(sys, opts)
@@ -82,18 +100,27 @@ func main() {
 	case "iterative":
 		res, err = rta.IterativeOpts(sys, 0, opts)
 	default:
-		fatal(fmt.Errorf("unknown method %q", *method))
+		return fmt.Errorf("unknown method %q", *method)
 	}
-	if err != nil {
-		fatal(err)
+	// A budget trip still carries partial results: report them, flag the
+	// run as over budget, and exit 1 through the MISS path below.
+	overBudget := err != nil && errors.Is(err, rta.ErrBudgetExceeded) && res != nil
+	if err != nil && !overBudget {
+		return err
 	}
 
 	var simRes *rta.SimResult
 	if *withSim || *withGantt || *tracePath != "" {
-		simRes = rta.Simulate(sys)
+		simRes, err = rta.SimulateOpts(sys, rta.SimOptions{Context: ctx})
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Printf("method: %s\n", res.Method)
+	if overBudget {
+		fmt.Printf("# over budget: %v\n", err)
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprint(w, "job\tdeadline\twcrt\twcrt(thm4)\tverdict")
 	if simRes != nil {
@@ -120,58 +147,56 @@ func main() {
 		gantt.Render(os.Stdout, sys, simRes, gantt.Options{Width: *width})
 	}
 	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := tracelog.Write(f, sys, simRes); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		if err := writeFile(*tracePath, func(f *os.File) error {
+			return tracelog.Write(f, sys, simRes)
+		}); err != nil {
+			return err
 		}
 		fmt.Printf("\nwrote %s (open in https://ui.perfetto.dev)\n", *tracePath)
 	}
 	if *reportPath != "" {
-		f, err := os.Create(*reportPath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := report.Write(f, sys, report.Options{Title: "Response-time analysis: " + flag.Arg(0)}); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		if err := writeFile(*reportPath, func(f *os.File) error {
+			return report.Write(f, sys, report.Options{Title: "Response-time analysis: " + flag.Arg(0)})
+		}); err != nil {
+			return err
 		}
 		fmt.Printf("wrote %s\n", *reportPath)
 	}
 	if *htmlPath != "" {
-		f, err := os.Create(*htmlPath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := report.WriteHTML(f, sys, report.Options{Title: "Response-time analysis: " + flag.Arg(0)}); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		if err := writeFile(*htmlPath, func(f *os.File) error {
+			return report.WriteHTML(f, sys, report.Options{Title: "Response-time analysis: " + flag.Arg(0)})
+		}); err != nil {
+			return err
 		}
 		fmt.Printf("wrote %s\n", *htmlPath)
 	}
 	if *dotPath != "" {
-		f, err := os.Create(*dotPath)
-		if err != nil {
-			fatal(err)
-		}
-		dot.Write(f, sys)
-		if err := f.Close(); err != nil {
-			fatal(err)
+		if err := writeFile(*dotPath, func(f *os.File) error {
+			dot.Write(f, sys)
+			return nil
+		}); err != nil {
+			return err
 		}
 		fmt.Printf("wrote %s (render with: dot -Tsvg)\n", *dotPath)
 	}
-	if !allOK {
-		os.Exit(1)
+	if !allOK || overBudget {
+		return cli.Exit(1)
 	}
+	return nil
+}
+
+// writeFile creates path, runs body on it and closes it, reporting the
+// first error.
+func writeFile(path string, body func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := body(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func tick(t rta.Ticks) string {
@@ -179,9 +204,4 @@ func tick(t rta.Ticks) string {
 		return "inf"
 	}
 	return fmt.Sprintf("%d", t)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rta-analyze:", err)
-	os.Exit(1)
 }

@@ -24,6 +24,7 @@ import (
 
 	"rta/internal/analysis"
 	"rta/internal/benchsys"
+	"rta/internal/cli"
 	"rta/internal/model"
 )
 
@@ -50,7 +51,9 @@ type Report struct {
 	} `json:"workload"`
 }
 
-func main() {
+func main() { cli.Main("rta-bench", body) }
+
+func body() error {
 	out := flag.String("out", "BENCH_PR2.json", "output file")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
 	flag.Parse()
@@ -134,13 +137,12 @@ func main() {
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rta-bench:", err)
-		os.Exit(1)
+		return err
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "rta-bench:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Println("wrote", *out)
+	return nil
 }

@@ -20,13 +20,17 @@ import (
 	"os"
 
 	"rta"
+	"rta/internal/cli"
 	"rta/internal/conformance"
 	"rta/internal/model"
 )
 
-func main() {
+func main() { cli.Main("rta-conform", body) }
+
+func body() error {
 	noBound := flag.Bool("nobound", false, "skip the analyzed-bound check")
 	groups := flag.Int("groups", 8, "largest instance group in the reported envelopes")
+	timeout := flag.Duration("timeout", 0, "abort the bound analysis after this long (0 = no limit)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: rta-conform [flags] system.json observations.csv")
 		flag.PrintDefaults()
@@ -34,32 +38,34 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 2 {
 		flag.Usage()
-		os.Exit(2)
+		return cli.Exit(2)
 	}
+	ctx, cancel := cli.Timeout(*timeout)
+	defer cancel()
 	sysFile, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer sysFile.Close()
 	sys, err := model.Load(sysFile)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	logFile, err := os.Open(flag.Arg(1))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer logFile.Close()
 	log, err := conformance.ParseCSV(logFile)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var bounds []rta.Ticks
 	if !*noBound {
-		res, err := rta.Analyze(sys)
+		res, err := rta.AnalyzeOpts(sys, rta.Options{Context: ctx})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		bounds = res.WCRTSum
 	}
@@ -79,11 +85,7 @@ func main() {
 		fmt.Printf("  %-10s minGaps %v\n", sys.JobName(k), e.MinGap)
 	}
 	if len(violations) > 0 {
-		os.Exit(1)
+		return cli.Exit(1)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rta-conform:", err)
-	os.Exit(1)
+	return nil
 }

@@ -21,13 +21,16 @@ import (
 	"strconv"
 	"strings"
 
+	"rta/internal/cli"
 	"rta/internal/envelope"
 	"rta/internal/model"
 )
 
-func main() {
+func main() { cli.Main("rta-envelope", body) }
+
+func body() error {
 	if len(os.Args) < 2 {
-		usage()
+		return usage()
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -35,7 +38,10 @@ func main() {
 	case "extract":
 		groups := fs.Int("groups", 8, "largest instance group to characterize")
 		fs.Parse(os.Args[2:])
-		trace := readTrace(fs.Arg(0))
+		trace, err := readTrace(fs.Arg(0))
+		if err != nil {
+			return err
+		}
 		env := envelope.FromTrace(trace, *groups)
 		fmt.Printf("instances: %d\n", len(trace))
 		for i, g := range env.MinGap {
@@ -45,61 +51,67 @@ func main() {
 		gaps := fs.String("gaps", "", "comma-separated minimum spans (index i: i+2 instances)")
 		n := fs.Int("n", 10, "instances to generate")
 		fs.Parse(os.Args[2:])
-		env := parseEnv(*gaps)
+		env, err := parseEnv(*gaps)
+		if err != nil {
+			return err
+		}
 		for _, t := range env.MaximalTrace(*n) {
 			fmt.Println(t)
 		}
 	case "check":
 		gaps := fs.String("gaps", "", "comma-separated minimum spans")
 		fs.Parse(os.Args[2:])
-		env := parseEnv(*gaps)
-		trace := readTrace(fs.Arg(0))
+		env, err := parseEnv(*gaps)
+		if err != nil {
+			return err
+		}
+		trace, err := readTrace(fs.Arg(0))
+		if err != nil {
+			return err
+		}
 		if env.Admits(trace) {
 			fmt.Println("trace satisfies the envelope")
-			return
+			return nil
 		}
 		fmt.Println("VIOLATION: trace is denser than the envelope allows")
-		os.Exit(1)
+		return cli.Exit(1)
 	default:
-		usage()
+		return usage()
 	}
+	return nil
 }
 
-func usage() {
+func usage() error {
 	fmt.Fprintln(os.Stderr, "usage: rta-envelope extract|trace|check [flags] [file]")
-	os.Exit(2)
+	return cli.Exit(2)
 }
 
-func parseEnv(gaps string) envelope.Envelope {
-	if gaps == "" {
-		fmt.Fprintln(os.Stderr, "rta-envelope: -gaps is required")
-		os.Exit(2)
-	}
+func parseEnv(gaps string) (envelope.Envelope, error) {
 	var env envelope.Envelope
+	if gaps == "" {
+		return env, cli.Usagef("-gaps is required")
+	}
 	for _, part := range strings.Split(gaps, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rta-envelope: bad gap %q: %v\n", part, err)
-			os.Exit(2)
+			return env, cli.Usagef("bad gap %q: %v", part, err)
 		}
 		env.MinGap = append(env.MinGap, v)
 	}
 	if err := env.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "rta-envelope:", err)
-		os.Exit(2)
+		return env, cli.Usagef("%v", err)
 	}
-	return env
+	return env, nil
 }
 
-func readTrace(path string) []model.Ticks {
+func readTrace(path string) ([]model.Ticks, error) {
 	var r *bufio.Scanner
 	if path == "" || path == "-" {
 		r = bufio.NewScanner(os.Stdin)
 	} else {
 		f, err := os.Open(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rta-envelope:", err)
-			os.Exit(1)
+			return nil, err
 		}
 		defer f.Close()
 		r = bufio.NewScanner(f)
@@ -112,14 +124,15 @@ func readTrace(path string) []model.Ticks {
 		}
 		v, err := strconv.ParseInt(line, 10, 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rta-envelope: bad release time %q: %v\n", line, err)
-			os.Exit(1)
+			return nil, fmt.Errorf("bad release time %q: %v", line, err)
 		}
 		out = append(out, v)
 	}
-	if len(out) == 0 {
-		fmt.Fprintln(os.Stderr, "rta-envelope: empty trace")
-		os.Exit(1)
+	if err := r.Err(); err != nil {
+		return nil, err
 	}
-	return out
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty trace")
+	}
+	return out, nil
 }

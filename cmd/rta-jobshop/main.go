@@ -20,11 +20,14 @@ import (
 	"runtime"
 	"time"
 
+	"rta/internal/cli"
 	"rta/internal/experiments"
 	"rta/internal/workload"
 )
 
-func main() {
+func main() { cli.Main("rta-jobshop", body) }
+
+func body() error {
 	figure := flag.Int("figure", 3, "figure to regenerate: 3 (periodic) or 4 (aperiodic)")
 	sets := flag.Int("sets", 1000, "random job sets per utilization point")
 	seed := flag.Int64("seed", 1, "master seed; results are deterministic per seed")
@@ -35,7 +38,10 @@ func main() {
 	procsPerStage := flag.Int("procs", workload.Default.ProcsPerStage, "processors per stage")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "total worker budget of the sweep")
 	innerWorkers := flag.Int("inner-workers", 1, "level-pool size inside each analysis; the draw pool shrinks to workers/inner-workers")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 	flag.Parse()
+	ctx, cancel := cli.Timeout(*timeout)
+	defer cancel()
 
 	opts := experiments.Options{
 		Seed:         *seed,
@@ -43,6 +49,7 @@ func main() {
 		Utilizations: experiments.DefaultUtilizations(),
 		Workers:      *workers,
 		InnerWorkers: *innerWorkers,
+		Context:      ctx,
 	}
 	base := workload.Default
 	base.Jobs = *jobs
@@ -53,70 +60,58 @@ func main() {
 	if *replot != "" {
 		f, err := os.Open(*replot)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rta-jobshop:", err)
-			os.Exit(1)
+			return err
 		}
 		panels, err = experiments.ParseCSV(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rta-jobshop:", err)
-			os.Exit(1)
+			return err
 		}
 	} else {
-		panels = runSweep(*figure, base, opts)
+		var err error
+		panels, err = runSweep(*figure, base, opts)
+		if err != nil {
+			return err
+		}
 	}
-	_ = start
 	experiments.Render(os.Stdout, panels)
 	if *replot == "" {
 		fmt.Printf("# %d sets/point, seed %d, %s\n", *sets, *seed, time.Since(start).Round(time.Millisecond))
 	}
-	writeOutputs(*csvPath, *svgDir, panels)
+	return writeOutputs(*csvPath, *svgDir, panels)
 }
 
-func runSweep(figure int, base workload.Config, opts experiments.Options) []experiments.Panel {
-	var (
-		panels []experiments.Panel
-		err    error
-	)
+func runSweep(figure int, base workload.Config, opts experiments.Options) ([]experiments.Panel, error) {
 	switch figure {
 	case 3:
-		panels, err = experiments.Figure3(base, experiments.Figure3Stages, experiments.Figure3DeadlineFactors, opts)
+		return experiments.Figure3(base, experiments.Figure3Stages, experiments.Figure3DeadlineFactors, opts)
 	case 4:
 		base.Stages = 4
-		panels, err = experiments.Figure4(base, experiments.Figure4Means, experiments.Figure4Scales, opts)
+		return experiments.Figure4(base, experiments.Figure4Means, experiments.Figure4Scales, opts)
 	default:
-		fmt.Fprintf(os.Stderr, "rta-jobshop: unknown figure %d\n", figure)
-		os.Exit(2)
+		return nil, cli.Usagef("unknown figure %d", figure)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rta-jobshop:", err)
-		os.Exit(1)
-	}
-	return panels
 }
 
-func writeOutputs(csvPath, svgDir string, panels []experiments.Panel) {
+func writeOutputs(csvPath, svgDir string, panels []experiments.Panel) error {
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rta-jobshop:", err)
-			os.Exit(1)
+			return err
 		}
 		experiments.RenderCSV(f, panels)
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "rta-jobshop:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	if svgDir != "" {
 		if err := os.MkdirAll(svgDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "rta-jobshop:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := experiments.WriteSVGs(svgDir, panels); err != nil {
-			fmt.Fprintln(os.Stderr, "rta-jobshop:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("# wrote %d SVG panels to %s\n", len(panels), svgDir)
 	}
+	return nil
 }

@@ -20,13 +20,17 @@ import (
 
 	"rta"
 	"rta/internal/analysis"
+	"rta/internal/cli"
 	"rta/internal/metrics"
 	"rta/internal/network"
 )
 
-func main() {
+func main() { cli.Main("rta-net", body) }
+
+func body() error {
 	withSim := flag.Bool("sim", false, "also simulate and report delay distributions")
 	withBacklog := flag.Bool("backlog", false, "print per-hop queue bounds")
+	timeout := flag.Duration("timeout", 0, "abort analysis and simulation after this long (0 = no limit)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: rta-net [flags] network.json")
 		flag.PrintDefaults()
@@ -34,24 +38,26 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		return cli.Exit(2)
 	}
+	ctx, cancel := cli.Timeout(*timeout)
+	defer cancel()
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	net, err := network.Load(f)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sys, err := net.Build()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	res, err := analysis.Analyze(sys)
+	res, err := analysis.AnalyzeOpts(sys, analysis.Options{Context: ctx})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -84,12 +90,17 @@ func main() {
 	}
 
 	if *withSim {
+		simRes, err := rta.SimulateOpts(sys, rta.SimOptions{Context: ctx})
+		if err != nil {
+			return err
+		}
 		fmt.Println("\nsimulated delay distributions:")
-		metrics.Render(os.Stdout, sys, metrics.Summarize(sys, rta.Simulate(sys)))
+		metrics.Render(os.Stdout, sys, metrics.Summarize(sys, simRes))
 	}
 	if !allOK {
-		os.Exit(1)
+		return cli.Exit(1)
 	}
+	return nil
 }
 
 func tick(t rta.Ticks) string {
@@ -97,9 +108,4 @@ func tick(t rta.Ticks) string {
 		return "inf"
 	}
 	return fmt.Sprint(t)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rta-net:", err)
-	os.Exit(1)
 }

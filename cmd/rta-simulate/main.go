@@ -18,6 +18,7 @@ import (
 
 	"rta"
 	"rta/internal/analysis"
+	"rta/internal/cli"
 	"rta/internal/metrics"
 	"rta/internal/model"
 	"rta/internal/spp"
@@ -25,14 +26,19 @@ import (
 	"rta/internal/workload"
 )
 
-func main() {
+func main() { cli.Main("rta-simulate", body) }
+
+func body() error {
 	sets := flag.Int("sets", 50, "random job sets to draw")
 	seed := flag.Int64("seed", 1, "master seed")
 	stages := flag.Int("stages", 4, "stages in the shop")
 	util := flag.Float64("util", 0.6, "per-processor utilization")
 	arrival := flag.String("arrival", "periodic", "arrival pattern: periodic or aperiodic")
 	detail := flag.Bool("detail", false, "print the response-time distribution of the first drawn set")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.Parse()
+	ctx, cancel := cli.Timeout(*timeout)
+	defer cancel()
 
 	cfg := workload.Default
 	cfg.Stages = *stages
@@ -43,8 +49,11 @@ func main() {
 	case "aperiodic":
 		cfg.Arrival = workload.Aperiodic
 	default:
-		fmt.Fprintf(os.Stderr, "rta-simulate: unknown arrival pattern %q\n", *arrival)
-		os.Exit(2)
+		return cli.Usagef("unknown arrival pattern %q", *arrival)
+	}
+
+	simulate := func(sys *model.System) (*rta.SimResult, error) {
+		return rta.SimulateOpts(sys, rta.SimOptions{Context: ctx})
 	}
 
 	var exactGap, spnpGap, fcfsGap stats.Summary
@@ -54,18 +63,19 @@ func main() {
 		r := stats.NewRand(*seed, int64(set))
 		d, err := workload.Generate(r, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rta-simulate:", err)
-			os.Exit(1)
+			return err
 		}
 
 		// Exact vs simulation on the SPP variant.
 		sysSPP := d.WithScheduler(model.SPP)
-		ex, err := spp.Analyze(sysSPP)
+		ex, err := spp.AnalyzeWith(ctx, sysSPP, 1, nil)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rta-simulate:", err)
-			os.Exit(1)
+			return err
 		}
-		simSPP := rta.Simulate(sysSPP)
+		simSPP, err := simulate(sysSPP)
+		if err != nil {
+			return err
+		}
 		for k := range sysSPP.Jobs {
 			jobsSeen++
 			w := simSPP.WorstResponse(k)
@@ -80,12 +90,14 @@ func main() {
 		// Approximate bounds vs their simulations.
 		for _, sched := range []model.Scheduler{model.SPNP, model.FCFS} {
 			sys := d.WithScheduler(sched)
-			res, err := analysis.Approximate(sys)
+			res, err := analysis.ApproximateOpts(sys, analysis.Options{Context: ctx})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "rta-simulate:", err)
-				os.Exit(1)
+				return err
 			}
-			simRes := rta.Simulate(sys)
+			simRes, err := simulate(sys)
+			if err != nil {
+				return err
+			}
 			for k := range sys.Jobs {
 				w := simRes.WorstResponse(k)
 				if w <= 0 || rta.IsInf(res.WCRTSum[k]) {
@@ -118,11 +130,15 @@ func main() {
 		r := stats.NewRand(*seed, 0)
 		d, err := workload.Generate(r, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rta-simulate:", err)
-			os.Exit(1)
+			return err
 		}
 		sys := d.WithScheduler(model.SPP)
+		simRes, err := simulate(sys)
+		if err != nil {
+			return err
+		}
 		fmt.Println("\nfirst drawn set, SPP simulation detail:")
-		metrics.Render(os.Stdout, sys, metrics.Summarize(sys, rta.Simulate(sys)))
+		metrics.Render(os.Stdout, sys, metrics.Summarize(sys, simRes))
 	}
+	return nil
 }

@@ -22,11 +22,13 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 
 	"rta/internal/curve"
+	"rta/internal/fault"
 	"rta/internal/model"
 	"rta/internal/par"
 	"rta/internal/sched"
@@ -36,6 +38,16 @@ import (
 // ErrCyclic is returned when the subjob dependency graph has a cycle; use
 // Iterative for such systems.
 var ErrCyclic = errors.New("analysis: cyclic subjob dependencies (physical or logical loop); use Iterative")
+
+// ErrBudgetExceeded identifies runs stopped by an Options.Budget ceiling:
+// errors.Is(err, ErrBudgetExceeded) holds on every budget-truncated result.
+// Such runs still return a partial Result — jobs whose computation
+// completed keep their finite bounds, the rest report curve.Inf.
+var ErrBudgetExceeded = fault.ErrBudgetExceeded
+
+// InternalError is the typed error the entry points return when an engine
+// invariant panics mid-analysis; see package fault.
+type InternalError = fault.InternalError
 
 // Hop holds the per-subjob artifacts of the approximate analysis.
 type Hop struct {
@@ -107,10 +119,33 @@ type Options struct {
 	// field-identical for every worker count (see run). Zero or one
 	// selects the serial sweep; negative selects GOMAXPROCS.
 	Workers int
+	// Context cancels the analysis: cancellation is observed between
+	// subjob evaluations (within one dependency-level barrier for the
+	// parallel engines), in-flight evaluations drain, and the entry point
+	// returns an error wrapping ctx.Err(). Nil means context.Background.
+	Context context.Context
+	// Budget bounds the resources one analysis may consume; the zero
+	// value is unlimited. Exceeding a ceiling stops the run with a partial
+	// Result and an error wrapping ErrBudgetExceeded.
+	Budget Budget
 	// fullSweep disables the dirty-set worklist of the iterative engine,
 	// re-evaluating every subjob every round. Testing hook: the package
 	// tests assert both modes reach the identical fixed point.
 	fullSweep bool
+}
+
+// Budget caps the resources of a single analysis run. Zero (or negative)
+// fields mean unlimited. Budgets bound cumulative work, not peak memory,
+// so a budgeted run terminates even on inputs where the unbudgeted
+// analysis would effectively run away.
+type Budget struct {
+	// Breakpoints caps the total number of curve breakpoints the run may
+	// materialize across all demand staircases and service bounds.
+	Breakpoints int64
+	// FixedPointSteps caps the number of subjob evaluations of the
+	// Iterative fixed point (across all rounds). The acyclic engines
+	// evaluate each subjob exactly once and ignore it.
+	FixedPointSteps int64
 }
 
 // workers resolves the effective worker count.
@@ -122,6 +157,40 @@ func (o Options) workers() int {
 		return 1
 	}
 	return o.Workers
+}
+
+// ctx resolves the effective context.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// limiter resolves the breakpoint limiter; nil (never trips) without a
+// ceiling.
+func (o Options) limiter() *curve.Limiter {
+	if o.Budget.Breakpoints > 0 {
+		return curve.NewLimiter(o.Budget.Breakpoints)
+	}
+	return nil
+}
+
+// catchBudget runs f and intercepts a *curve.BudgetError panic (possibly
+// fault-tagged) raised by a limiter; any other panic keeps unwinding
+// toward the entry-point boundary.
+func catchBudget(f func()) (be *curve.BudgetError) {
+	defer func() {
+		if r := recover(); r != nil {
+			if b, ok := fault.Payload(r).(*curve.BudgetError); ok {
+				be = b
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
 }
 
 // Analyze dispatches to the exact analysis when every processor runs SPP
@@ -142,19 +211,26 @@ func AnalyzeOpts(sys *model.System, opts Options) (*Result, error) {
 func Exact(sys *model.System) (*Result, error) { return ExactOpts(sys, Options{}) }
 
 // ExactOpts is Exact with execution options.
-func ExactOpts(sys *model.System, opts Options) (*Result, error) {
-	er, err := spp.AnalyzeWorkers(sys, opts.workers())
-	if err != nil {
-		if errors.Is(err, spp.ErrCyclic) {
+func ExactOpts(sys *model.System, opts Options) (res *Result, err error) {
+	defer fault.Boundary("analysis.Exact", &err)
+	er, sppErr := spp.AnalyzeWith(opts.ctx(), sys, opts.workers(), opts.limiter())
+	if sppErr != nil && er == nil {
+		if errors.Is(sppErr, spp.ErrCyclic) {
 			return nil, ErrCyclic
 		}
-		return nil, err
+		return nil, sppErr
 	}
-	res := &Result{
+	res = &Result{
 		Method:  "SPP/Exact",
 		WCRT:    append([]model.Ticks(nil), er.WCRT...),
 		WCRTSum: append([]model.Ticks(nil), er.WCRT...),
 		Exact:   er,
+	}
+	if sppErr != nil {
+		// Budget-truncated partial result: completed jobs keep their exact
+		// bounds, the rest already report curve.Inf.
+		res.Method = "SPP/Exact(budget)"
+		return res, sppErr
 	}
 	return res, nil
 }
@@ -166,12 +242,27 @@ func Approximate(sys *model.System) (*Result, error) {
 }
 
 // ApproximateOpts is Approximate with execution options.
-func ApproximateOpts(sys *model.System, opts Options) (*Result, error) {
+func ApproximateOpts(sys *model.System, opts Options) (res *Result, err error) {
+	defer fault.Boundary("analysis.Approximate", &err)
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("analysis: %w", err)
 	}
-	st := newState(sys)
-	if err := st.run(opts.workers()); err != nil {
+	var st *state
+	be := catchBudget(func() {
+		st = newState(sys, opts.limiter())
+		err = st.run(opts.ctx(), opts.workers())
+	})
+	if be != nil {
+		// Partial result: jobs with an uncomputed hop report curve.Inf
+		// (see result), the rest keep the bounds already derived.
+		if st == nil {
+			return nil, fmt.Errorf("analysis: %w", be)
+		}
+		res := st.result()
+		res.Method = "App(budget)"
+		return res, fmt.Errorf("analysis: %w", be)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return st.result(), nil
@@ -196,10 +287,13 @@ type state struct {
 	// the pair to rebuild a staircase only when its arrivals moved (the
 	// acyclic engines never mutate arrivals, so they ignore both).
 	arrVer, demandLoVer []uint64
+	// lim meters the curve breakpoints the run materializes; nil (no
+	// budget) never trips.
+	lim *curve.Limiter
 }
 
-func newState(sys *model.System) *state {
-	st := &state{sys: sys, topo: sys.Topology()}
+func newState(sys *model.System, lim *curve.Limiter) *state {
+	st := &state{sys: sys, topo: sys.Topology(), lim: lim}
 	st.hops = make([][]Hop, len(sys.Jobs))
 	n := len(st.topo.Subjobs())
 	st.demandLo = make([]*curve.Curve, n)
@@ -224,6 +318,7 @@ func (st *state) publishDemand(r model.SubjobRef) {
 	id := st.topo.ID(r)
 	st.demandLo[id] = curve.Staircase(finiteTimes(hop.ArrLate), exec)
 	st.demandHi[id] = curve.Staircase(hop.ArrEarly, exec)
+	st.lim.Charge(st.demandLo[id], st.demandHi[id])
 }
 
 // run computes every subjob in dependency-level order: subjobs of one
@@ -236,14 +331,26 @@ func (st *state) publishDemand(r model.SubjobRef) {
 // results are field-identical for every worker count, including the
 // serial sweep. Total cost stays O(subjobs + dependency edges) plus the
 // curve work itself.
-func (st *state) run(workers int) error {
+//
+// Fault containment: every evaluation runs under a fault.Tag carrying the
+// subjob's coordinates, so a panic (invariant violation or budget trip)
+// surfaces with its analysis context; cancellation is observed by
+// par.Level between items and returns wrapping ctx.Err() after the level
+// drains.
+func (st *state) run(ctx context.Context, workers int) error {
 	levels, acyclic := st.topo.Levels()
 	if !acyclic {
 		return ErrCyclic
 	}
 	refs := st.topo.Subjobs()
 	for _, level := range levels {
-		par.Level(level, workers, func(id int) { st.computeSubjob(refs[id]) })
+		err := par.Level(ctx, level, workers, func(id int) {
+			r := refs[id]
+			fault.Tag(r.Job, r.Hop, st.sys.Subjob(r).Proc, func() { st.computeSubjob(r) })
+		})
+		if err != nil {
+			return fmt.Errorf("analysis: %w", err)
+		}
 	}
 	return nil
 }
@@ -292,6 +399,7 @@ func (st *state) computeSubjob(r model.SubjobRef) {
 		},
 	}
 	hop.SvcLo, hop.SvcHi = sched.For(sys.Procs[sj.Proc].Sched).ServiceBounds(ctx)
+	st.lim.Charge(hop.SvcLo, hop.SvcHi)
 
 	n := len(hop.ArrEarly)
 	hop.DepLate = hop.SvcLo.CompletionTimes(sj.Exec, n)
@@ -353,6 +461,13 @@ func (st *state) result() *Result {
 	}
 	for k := range sys.Jobs {
 		last := len(sys.Jobs[k].Subjobs) - 1
+		// A hop never evaluated (budget-truncated run) has no departure
+		// bounds; the job's response is unknown, reported unbounded.
+		if st.hops[k][last].DepLate == nil {
+			res.WCRT[k] = curve.Inf
+			res.WCRTSum[k] = curve.Inf
+			continue
+		}
 		// Per-instance pipeline bound: latest completion at the last hop
 		// minus the actual release.
 		var tight model.Ticks
@@ -379,6 +494,10 @@ func (st *state) result() *Result {
 		}
 		var sum model.Ticks
 		for j := range st.hops[k] {
+			if st.hops[k][j].DepLate == nil {
+				sum = curve.Inf
+				break
+			}
 			l := st.hops[k][j].Local
 			if curve.IsInf(l) {
 				sum = curve.Inf

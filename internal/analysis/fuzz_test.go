@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rta/internal/model"
+)
+
+// FuzzAnalyzeSystem feeds arbitrary JSON through the hardened decoder and
+// runs every analysis entry point, budgeted, on whatever decodes: no
+// input may panic past the fault boundaries — malformed documents error
+// in the decoder, pathological-but-valid systems either finish or trip
+// the budget. Run with
+//
+//	go test -fuzz FuzzAnalyzeSystem ./internal/analysis
+func FuzzAnalyzeSystem(f *testing.F) {
+	for _, name := range []string{"pipeline.json", "loopshop.json"} {
+		if data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name)); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"processors": [{"scheduler": "FCFS"}],
+		"jobs": [{"deadline": 5, "subjobs": [{"proc": 0, "exec": 2}], "releases": [0, 1, 1]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, err := model.Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Budgeted so that even adversarial valid systems terminate
+		// quickly; the entry-point boundaries turn any engine panic into
+		// an error, which would surface here as a *fault.InternalError —
+		// acceptable to return, unacceptable to panic.
+		opts := Options{Budget: Budget{Breakpoints: 1 << 14, FixedPointSteps: 1 << 10}}
+		if res, err := AnalyzeOpts(sys, opts); err == nil && res == nil {
+			t.Fatal("AnalyzeOpts returned neither result nor error")
+		}
+		if res, err := IterativeOpts(sys, 8, opts); err == nil && res == nil {
+			t.Fatal("IterativeOpts returned neither result nor error")
+		}
+	})
+}

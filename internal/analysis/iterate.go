@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rta/internal/curve"
+	"rta/internal/fault"
 	"rta/internal/model"
 	"rta/internal/sched"
 )
@@ -59,14 +60,21 @@ func Iterative(sys *model.System, maxRounds int) (*Result, error) {
 // ascending-id Gauss-Seidel order (dirt raised at a higher id is consumed
 // in the same round, at a lower or equal id in the next - exactly when
 // the full sweep would revisit it).
-func IterativeOpts(sys *model.System, maxRounds int, opts Options) (*Result, error) {
+func IterativeOpts(sys *model.System, maxRounds int, opts Options) (res *Result, err error) {
+	defer fault.Boundary("analysis.Iterative", &err)
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("analysis: %w", err)
 	}
 	if maxRounds <= 0 {
 		maxRounds = 64
 	}
-	st := newState(sys)
+	ctx := opts.ctx()
+	var st *state
+	if be := catchBudget(func() { st = newState(sys, opts.limiter()) }); be != nil {
+		// Tripped while building the first-hop demand staircases: nothing
+		// was computed, no partial result to salvage.
+		return nil, fmt.Errorf("analysis: %w", be)
+	}
 	// Sound early bounds: release plus cumulative execution prefix.
 	// DepEarly of hop j is ArrEarly of hop j+1; both stay fixed.
 	for k := range sys.Jobs {
@@ -140,14 +148,47 @@ func IterativeOpts(sys *model.System, maxRounds int, opts Options) (*Result, err
 	}
 	changedRound := make([]int, n) // last round id's merges moved, +1 (0 = never)
 	converged := false
+	// Budget bookkeeping: steps counts subjob evaluations against
+	// Budget.FixedPointSteps; a breakpoint-budget trip inside an
+	// evaluation is recovered here (catchBudget), where the partial bound
+	// vector is still available. Either ceiling stops the sweep with
+	// lastRound/bailID recording where, so the divergence-localization
+	// logic below can mark exactly the jobs whose bounds are uncertified.
+	maxSteps := opts.Budget.FixedPointSteps
+	var steps int64
+	var bailErr error
+	bailID, lastRound := -1, 0
+sweep:
 	for round := 0; round < maxRounds && !converged; round++ {
+		lastRound = round + 1
 		anyChange := false
 		for _, id := range order {
 			if !opts.fullSweep && !dirty[id] {
 				continue
 			}
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("analysis: %w", cerr)
+			}
+			if maxSteps > 0 {
+				if steps++; steps > maxSteps {
+					bailErr = fmt.Errorf("analysis: fixed-point step budget of %d exceeded: %w", maxSteps, ErrBudgetExceeded)
+					bailID = id // still dirty: seeds itself below
+					break sweep
+				}
+			}
 			dirty[id] = false
-			svcCh, arrCh, ch := st.iterateSubjob(refs[id])
+			r := refs[id]
+			var svcCh, arrCh, ch bool
+			be := catchBudget(func() {
+				fault.Tag(r.Job, r.Hop, sys.Subjob(r).Proc, func() {
+					svcCh, arrCh, ch = st.iterateSubjob(r)
+				})
+			})
+			if be != nil {
+				bailErr = fmt.Errorf("analysis: %w", be)
+				bailID = id // half-evaluated: its job cannot be certified
+				break sweep
+			}
 			if ch {
 				anyChange = true
 				changedRound[id] = round + 1
@@ -164,21 +205,30 @@ func IterativeOpts(sys *model.System, maxRounds int, opts Options) (*Result, err
 	if converged {
 		return st.result(), nil
 	}
-	// Did not converge. Only the subjobs whose merged bounds were still
-	// moving in the final round (or whose inputs still are - the dirty
-	// remainder), and everything transitively depending on them, can
-	// still grow; jobs outside that closure sit at the fixed point of
-	// their own dependency cone and keep their finite bounds.
+	// Did not converge (rounds exhausted or budget tripped). Only the
+	// subjobs whose merged bounds were still moving in the final (possibly
+	// partial) round, those whose inputs still are - the dirty remainder
+	// plus the evaluation the budget interrupted - and everything
+	// transitively depending on them, can still grow; jobs outside that
+	// closure sit at the fixed point of their own dependency cone and keep
+	// their finite bounds.
 	seeds := dirty
 	for id := 0; id < n; id++ {
-		if changedRound[id] == maxRounds {
+		if changedRound[id] == lastRound {
 			seeds[id] = true
 		}
 	}
-	res := st.result()
+	if bailID >= 0 {
+		seeds[bailID] = true
+	}
+	res = st.result()
 	for _, k := range st.unconvergedJobs(seeds) {
 		res.WCRT[k] = curve.Inf
 		res.WCRTSum[k] = curve.Inf
+	}
+	if bailErr != nil {
+		res.Method = "App/Iterative(budget)"
+		return res, bailErr
 	}
 	res.Method = "App/Iterative(diverged)"
 	return res, errors.New("analysis: iteration did not converge; affected jobs reported unschedulable")
@@ -247,6 +297,7 @@ func (st *state) iterDemandLo(id int, r model.SubjobRef) *curve.Curve {
 		hop := &st.hops[r.Job][r.Hop]
 		st.demandLo[id] = curve.Staircase(finiteTimes(hop.ArrLate), st.sys.Subjob(r).Exec)
 		st.demandLoVer[id] = st.arrVer[id]
+		st.lim.Charge(st.demandLo[id])
 	}
 	return st.demandLo[id]
 }
@@ -258,6 +309,7 @@ func (st *state) iterDemandHi(id int, r model.SubjobRef) *curve.Curve {
 	if st.demandHi[id] == nil {
 		hop := &st.hops[r.Job][r.Hop]
 		st.demandHi[id] = curve.Staircase(hop.ArrEarly, st.sys.Subjob(r).Exec)
+		st.lim.Charge(st.demandHi[id])
 	}
 	return st.demandHi[id]
 }
@@ -295,6 +347,7 @@ func (st *state) iterateSubjob(r model.SubjobRef) (svcChanged, arrChanged, chang
 		},
 	}
 	hop.SvcLo, hop.SvcHi = sched.For(sys.Procs[sj.Proc].Sched).ServiceBounds(ctx)
+	st.lim.Charge(hop.SvcLo, hop.SvcHi)
 	svcChanged = !hop.SvcLo.Equal(oldLo) || !hop.SvcHi.Equal(oldHi)
 
 	n := len(hop.ArrEarly)

@@ -1,0 +1,97 @@
+// Package cli is the shared top-level error path of the command-line
+// tools: every main() delegates to Main, which guarantees that no error
+// — and no panic — reaches the user as a bare stack trace. Errors print
+// as "tool: error: ..." and exit 1; usage errors exit 2; panics are
+// converted to internal-error messages (the engines' own fault boundaries
+// make these unreachable for malformed input, so one firing indicates a
+// toolkit bug, reported as such instead of crashing).
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// exitCoder is implemented by the sentinel errors that carry an explicit
+// exit status (Exit, Usagef).
+type exitCoder interface {
+	error
+	exitCode() int
+}
+
+// exitErr exits silently with a status (the body already printed what it
+// had to say — e.g. a deadline MISS report).
+type exitErr int
+
+func (e exitErr) Error() string { return fmt.Sprintf("exit status %d", int(e)) }
+func (e exitErr) exitCode() int { return int(e) }
+
+// Exit returns an error that makes Main terminate with the given status
+// without printing anything.
+func Exit(code int) error { return exitErr(code) }
+
+// usageErr is a command-line usage error: printed plainly, exit 2.
+type usageErr string
+
+func (e usageErr) Error() string { return string(e) }
+func (e usageErr) exitCode() int { return 2 }
+
+// Usagef returns an error that Main prints as a usage complaint (followed
+// by nothing else; the caller should have printed usage) and exits 2.
+func Usagef(format string, args ...any) error {
+	return usageErr(fmt.Sprintf(format, args...))
+}
+
+// outcome resolves a body result to (message, exit status); message "" is
+// printed as nothing. Split from Main so the mapping is unit-testable.
+func outcome(tool string, err error) (string, int) {
+	if err == nil {
+		return "", 0
+	}
+	if ec, ok := err.(exitCoder); ok {
+		if _, silent := err.(exitErr); silent {
+			return "", ec.exitCode()
+		}
+		return fmt.Sprintf("%s: %s", tool, err), ec.exitCode()
+	}
+	return fmt.Sprintf("%s: error: %v", tool, err), 1
+}
+
+// run executes body under a panic boundary and resolves the outcome;
+// split from Main for the package tests.
+func run(tool string, stderr io.Writer, body func() error) int {
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("internal: %v", r)
+			}
+		}()
+		return body()
+	}()
+	msg, code := outcome(tool, err)
+	if msg != "" {
+		fmt.Fprintln(stderr, msg)
+	}
+	return code
+}
+
+// Main runs body and exits the process with its resolved status. Typical
+// use:
+//
+//	func main() { cli.Main("rta-analyze", body) }
+func Main(tool string, body func() error) {
+	os.Exit(run(tool, os.Stderr, body))
+}
+
+// Timeout returns the context for an optional -timeout flag value: the
+// background context when d <= 0, a deadline context otherwise. The
+// CancelFunc is safe to defer in either case.
+func Timeout(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
+}

@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOutcome(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		wantMsg  string
+		wantCode int
+	}{
+		{"nil", nil, "", 0},
+		{"plain error", errors.New("boom"), "tool: error: boom", 1},
+		{"silent exit", Exit(3), "", 3},
+		{"usage", Usagef("bad flag %d", 7), "tool: bad flag 7", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msg, code := outcome("tool", tc.err)
+			if msg != tc.wantMsg || code != tc.wantCode {
+				t.Fatalf("outcome = (%q, %d), want (%q, %d)", msg, code, tc.wantMsg, tc.wantCode)
+			}
+		})
+	}
+}
+
+// TestRunRecoversPanic: a panicking body becomes an internal-error line
+// and exit 1 instead of crashing the process.
+func TestRunRecoversPanic(t *testing.T) {
+	var buf strings.Builder
+	code := run("tool", &buf, func() error { panic("unexpected invariant") })
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if got := buf.String(); !strings.Contains(got, "tool: error: internal: unexpected invariant") {
+		t.Fatalf("stderr = %q", got)
+	}
+}
+
+func TestRunSilentExit(t *testing.T) {
+	var buf strings.Builder
+	if code := run("tool", &buf, func() error { return Exit(2) }); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("stderr = %q, want empty", buf.String())
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	ctx, cancel := Timeout(0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("Timeout(0) has a deadline")
+	}
+	ctx, cancel = Timeout(time.Hour)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("Timeout(1h) has no deadline")
+	}
+}

@@ -58,6 +58,10 @@ func TestCommands(t *testing.T) {
 	if err := os.WriteFile(trace, []byte("0\n0\n50\n100\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	badJSON := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badJSON, []byte(`{"processors": [{"scheduler": `), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	outDir := t.TempDir()
 
 	cases := []cliCase{
@@ -120,6 +124,39 @@ func TestCommands(t *testing.T) {
 			name: "jobshop tiny", bin: "rta-jobshop",
 			args: []string{"-figure", "3", "-sets", "2", "-jobs", "3"},
 			want: []string{"Figure 3(a)", "SPP/Exact", "SPP/S&L"},
+		},
+		// Fault-containment paths: malformed input, timeouts and budgets
+		// must surface as one-line errors with the documented exit codes,
+		// never as a panic trace.
+		{
+			name: "analyze malformed json", bin: "rta-analyze",
+			args: []string{badJSON}, wantExit: 1,
+			want: []string{"rta-analyze: error:"},
+		},
+		{
+			name: "analyze missing file", bin: "rta-analyze",
+			args: []string{filepath.Join(outDir, "no-such.json")}, wantExit: 1,
+			want: []string{"rta-analyze: error:"},
+		},
+		{
+			name: "analyze expired timeout", bin: "rta-analyze",
+			args: []string{"-timeout", "1ns", pipeline}, wantExit: 1,
+			want: []string{"rta-analyze: error:", "context deadline exceeded"},
+		},
+		{
+			name: "analyze step budget partial", bin: "rta-analyze",
+			args: []string{"-method", "iterative", "-budget-steps", "1", pipeline}, wantExit: 1,
+			want: []string{"App/Iterative(budget)", "over budget"},
+		},
+		{
+			name: "net expired timeout", bin: "rta-net",
+			args: []string{"-timeout", "1ns", network}, wantExit: 1,
+			want: []string{"rta-net: error:", "context deadline exceeded"},
+		},
+		{
+			name: "envelope missing gaps", bin: "rta-envelope",
+			args: []string{"trace"}, wantExit: 2,
+			want: []string{"rta-envelope: -gaps is required"},
 		},
 	}
 

@@ -16,12 +16,14 @@
 package cpa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"rta/internal/envelope"
+	"rta/internal/fault"
 	"rta/internal/model"
 	"rta/internal/sched"
 )
@@ -127,6 +129,18 @@ const maxGlobalPasses = 200
 
 // Analyze runs the global CPA iteration.
 func Analyze(sys *System) (*Result, error) {
+	return AnalyzeCtx(context.Background(), sys)
+}
+
+// AnalyzeCtx is Analyze with cancellation: ctx is observed between hop
+// evaluations of the global fixed point, and a canceled run returns an
+// error wrapping ctx.Err(). Panics past validation surface as
+// *fault.InternalError.
+func AnalyzeCtx(ctx context.Context, sys *System) (_ *Result, err error) {
+	defer fault.Boundary("cpa.Analyze", &err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := validate(sys); err != nil {
 		return nil, err
 	}
@@ -163,6 +177,9 @@ func Analyze(sys *System) (*Result, error) {
 		changed := false
 		for k := range sys.Tasks {
 			for j := range sys.Tasks[k].Subjobs {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, fmt.Errorf("cpa: %w", cerr)
+				}
 				r := hopResponse(sys, env, k, j, cap)
 				if r != resp[k][j] {
 					resp[k][j] = r

@@ -324,6 +324,10 @@ func (c *Curve) Sup() (v Value, ok bool) {
 	return c.f.pts[len(c.f.pts)-1].Y, true
 }
 
+// Breaks returns the number of breakpoints in the representation, the unit
+// metered by Limiter budgets.
+func (c *Curve) Breaks() int { return len(c.f.pts) }
+
 // Breakpoints returns a copy of the breakpoint list. Primarily for tests
 // and debugging.
 func (c *Curve) Breakpoints() []Point {

@@ -12,6 +12,7 @@ package experiments
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -25,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"rta/internal/analysis"
+	"rta/internal/fault"
 	"rta/internal/model"
 	"rta/internal/plot"
 	"rta/internal/spp"
@@ -89,6 +91,10 @@ type Options struct {
 	// Workers/InnerWorkers so the sweep never oversubscribes the
 	// budget when inner parallelism is on.
 	InnerWorkers int
+	// Context cancels the sweep: workers stop picking up draws, the pool
+	// drains, and the sweep returns an error wrapping ctx.Err(). Nil
+	// means context.Background.
+	Context context.Context
 }
 
 // DefaultUtilizations is the sweep grid used by the reproduction.
@@ -101,61 +107,73 @@ func DefaultUtilizations() []float64 {
 }
 
 // Admit runs every requested method on one draw and reports the per-method
-// admission decision.
-func Admit(d *workload.Draw, methods []Method) map[Method]bool {
+// admission decision. A failing analysis (or an unknown method) surfaces
+// as an error, never a panic.
+func Admit(d *workload.Draw, methods []Method) (map[Method]bool, error) {
 	out := make(map[Method]bool, len(methods))
 	for _, m := range methods {
-		out[m] = admitOne(d, m, 1)
+		ok, err := admitOne(context.Background(), d, m, 1)
+		if err != nil {
+			return nil, err
+		}
+		out[m] = ok
 	}
-	return out
+	return out, nil
 }
 
-func admitOne(d *workload.Draw, m Method, inner int) bool {
-	aopts := analysis.Options{Workers: inner}
+func admitOne(ctx context.Context, d *workload.Draw, m Method, inner int) (bool, error) {
+	aopts := analysis.Options{Workers: inner, Context: ctx}
 	switch m {
 	case SPPExact:
-		res, err := spp.AnalyzeWorkers(d.WithScheduler(model.SPP), inner)
+		res, err := spp.AnalyzeWith(ctx, d.WithScheduler(model.SPP), inner, nil)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: exact analysis failed: %v", err))
+			return false, fmt.Errorf("experiments: exact analysis failed: %w", err)
 		}
-		return res.Schedulable(d.System)
+		return res.Schedulable(d.System), nil
 	case SPNPApp:
 		sys := d.WithScheduler(model.SPNP)
 		res, err := analysis.ApproximateOpts(sys, aopts)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: SPNP analysis failed: %v", err))
+			return false, fmt.Errorf("experiments: SPNP analysis failed: %w", err)
 		}
-		return res.Schedulable(sys)
+		return res.Schedulable(sys), nil
 	case FCFSApp:
 		sys := d.WithScheduler(model.FCFS)
 		res, err := analysis.ApproximateOpts(sys, aopts)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: FCFS analysis failed: %v", err))
+			return false, fmt.Errorf("experiments: FCFS analysis failed: %w", err)
 		}
-		return res.Schedulable(sys)
+		return res.Schedulable(sys), nil
 	case SPNPAppTight:
 		sys := d.WithScheduler(model.SPNP)
 		res, err := analysis.ApproximateOpts(sys, aopts)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: SPNP analysis failed: %v", err))
+			return false, fmt.Errorf("experiments: SPNP analysis failed: %w", err)
 		}
-		return res.SchedulableTight(sys)
+		return res.SchedulableTight(sys), nil
 	case FCFSAppTight:
 		sys := d.WithScheduler(model.FCFS)
 		res, err := analysis.ApproximateOpts(sys, aopts)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: FCFS analysis failed: %v", err))
+			return false, fmt.Errorf("experiments: FCFS analysis failed: %w", err)
 		}
-		return res.SchedulableTight(sys)
+		return res.SchedulableTight(sys), nil
 	case SunLiu:
 		ts := d.SunLiu()
 		res, err := sunliu.Analyze(ts)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: S&L analysis failed: %v", err))
+			return false, fmt.Errorf("experiments: S&L analysis failed: %w", err)
 		}
-		return res.Schedulable(ts)
+		return res.Schedulable(ts), nil
 	}
-	panic("experiments: unknown method " + string(m))
+	return false, fmt.Errorf("experiments: unknown method %q", string(m))
+}
+
+// safeAdmit is admitOne behind a panic boundary, so one pathological draw
+// cannot take down the whole sweep's worker pool.
+func safeAdmit(ctx context.Context, d *workload.Draw, m Method, inner int) (ok bool, err error) {
+	defer fault.Boundary("experiments.Sweep", &err)
+	return admitOne(ctx, d, m, inner)
 }
 
 // Sweep estimates the admission probability of each method over the
@@ -197,6 +215,10 @@ func sweepPanels(specs []panelSpec, opts Options) ([]Panel, error) {
 	if outer < 1 {
 		outer = 1
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nu, nm := len(opts.Utilizations), len(opts.Methods)
 	succ := make([]atomic.Int64, len(specs)*nu*nm)
 	trials := make([]atomic.Int64, len(specs)*nu)
@@ -209,6 +231,12 @@ func sweepPanels(specs []panelSpec, opts Options) ([]Panel, error) {
 		genErr  error
 		failed  atomic.Bool
 	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			genErr = err
+			failed.Store(true)
+		})
+	}
 	for w := 0; w < outer; w++ {
 		wg.Add(1)
 		go func() {
@@ -217,22 +245,29 @@ func sweepPanels(specs []panelSpec, opts Options) ([]Panel, error) {
 				if failed.Load() {
 					continue // drain the queue after the first error
 				}
+				if cerr := ctx.Err(); cerr != nil {
+					fail(fmt.Errorf("experiments: %w", cerr))
+					continue
+				}
 				c := specs[t.pi].cfg
 				c.Utilization = opts.Utilizations[t.ui]
 				r := stats.NewRand(opts.Seed, int64(t.ui)*1_000_003+int64(t.set))
 				d, err := workload.Generate(r, c)
 				if err != nil {
-					errOnce.Do(func() {
-						genErr = fmt.Errorf("experiments: %s utilization %g set %d: %w",
-							specs[t.pi].name, c.Utilization, t.set, err)
-						failed.Store(true)
-					})
+					fail(fmt.Errorf("experiments: %s utilization %g set %d: %w",
+						specs[t.pi].name, c.Utilization, t.set, err))
 					continue
 				}
 				trials[t.pi*nu+t.ui].Add(1)
 				base := (t.pi*nu + t.ui) * nm
 				for mi, m := range opts.Methods {
-					if admitOne(d, m, inner) {
+					admitted, aerr := safeAdmit(ctx, d, m, inner)
+					if aerr != nil {
+						fail(fmt.Errorf("experiments: %s utilization %g set %d: %w",
+							specs[t.pi].name, c.Utilization, t.set, aerr))
+						break
+					}
+					if admitted {
 						succ[base+mi].Add(1)
 					}
 				}

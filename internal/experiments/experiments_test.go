@@ -47,6 +47,15 @@ func TestSweepDeterministic(t *testing.T) {
 			}
 		}
 	}
+	// The rendered figure CSVs must be byte-identical too (the acceptance
+	// bar for the fault-containment plumbing being unobservable on
+	// uncanceled, unbudgeted runs at any worker count).
+	var csvA, csvB bytes.Buffer
+	RenderCSV(&csvA, []Panel{a})
+	RenderCSV(&csvB, []Panel{b})
+	if !bytes.Equal(csvA.Bytes(), csvB.Bytes()) {
+		t.Fatalf("CSV output differs across worker counts:\n%s\n---\n%s", csvA.String(), csvB.String())
+	}
 }
 
 // TestSweepReportsGeneratorError: an invalid configuration surfaces as an
@@ -74,7 +83,10 @@ func TestPaperAnchorSingleStage(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := Admit(d, []Method{SPPExact, SunLiu})
+		got, err := Admit(d, []Method{SPPExact, SunLiu})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if got[SPPExact] != got[SunLiu] {
 			t.Fatalf("set %d: single-stage decisions differ: exact=%v S&L=%v",
 				set, got[SPPExact], got[SunLiu])
@@ -98,7 +110,10 @@ func TestPaperAnchorOrdering(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := Admit(d, []Method{SPPExact, SunLiu})
+		got, err := Admit(d, []Method{SPPExact, SunLiu})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if got[SunLiu] && !got[SPPExact] {
 			t.Fatalf("set %d: S&L admits but the exact analysis rejects", set)
 		}
@@ -150,7 +165,11 @@ func TestDeadlineDoublingHelps(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if Admit(d, []Method{SPNPApp})[SPNPApp] {
+			got, err := Admit(d, []Method{SPNPApp})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[SPNPApp] {
 				n++
 			}
 		}

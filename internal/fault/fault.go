@@ -1,0 +1,117 @@
+// Package fault is the fault-containment layer shared by the analysis
+// engines: a panic raised deep inside the curve algebra or a scheduling
+// policy is annotated with the unit of work being evaluated while it
+// unwinds, and converted into a typed *InternalError at the public entry
+// points instead of killing the process with a bare stack trace. The
+// package also owns the budget sentinel the engines return when a
+// resource ceiling (curve breakpoints, fixed-point steps) is exhausted.
+//
+// The division of labor with the engines:
+//
+//   - per-subjob closures wrap their work in Tag, so a panic records which
+//     subjob (and processor) was being evaluated;
+//   - internal/par re-raises the first worker panic on the calling
+//     goroutine after the pool drains;
+//   - engines recover budget panics (curve.BudgetError, recognized via
+//     Payload + errors.As) close to the computation, where partial results
+//     can still be assembled;
+//   - every public entry point carries `defer fault.Boundary(op, &err)`,
+//     which converts anything still unwinding into an *InternalError.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrBudgetExceeded is the sentinel every budget-limited engine wraps:
+// errors.Is(err, ErrBudgetExceeded) identifies a run stopped by a resource
+// ceiling rather than by a modeling error. Results returned next to it are
+// partial but sound: jobs whose computation completed keep their finite
+// bounds, the rest are reported unbounded.
+var ErrBudgetExceeded = errors.New("resource budget exceeded")
+
+// InternalError reports an engine invariant violation: a panic recovered
+// at a public entry point. It signals a bug in the toolkit or in a
+// registered policy — never a user input error — and carries enough
+// context to report the failure without terminating the process.
+type InternalError struct {
+	// Op is the entry point whose computation panicked, e.g.
+	// "analysis.Approximate".
+	Op string
+	// Job and Hop locate the subjob being evaluated, -1 when unknown.
+	Job, Hop int
+	// Proc is that subjob's processor, -1 when unknown.
+	Proc int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the stack captured where the panic was first observed.
+	Stack []byte
+}
+
+// Error formats the failure with its analysis context, in the paper's
+// T_{k,j} notation when the subjob is known.
+func (e *InternalError) Error() string {
+	if e.Job >= 0 {
+		return fmt.Sprintf("%s: internal error at T_{%d,%d} on processor %d: %v",
+			e.Op, e.Job+1, e.Hop+1, e.Proc, e.Value)
+	}
+	return fmt.Sprintf("%s: internal error: %v", e.Op, e.Value)
+}
+
+// tagged is a panic value annotated with the subjob context while it
+// unwinds toward an entry-point boundary.
+type tagged struct {
+	job, hop, proc int
+	value          any
+	stack          []byte
+}
+
+// Tag runs f and re-raises any panic annotated with the subjob context, so
+// boundaries upstream can report which unit of work failed. Nested tags
+// keep the innermost annotation (the most precise one).
+func Tag(job, hop, proc int, f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if t, ok := r.(tagged); ok {
+				panic(t) // already annotated by a nested unit
+			}
+			panic(tagged{job: job, hop: hop, proc: proc, value: r, stack: debug.Stack()})
+		}
+	}()
+	f()
+}
+
+// Payload returns the original panic value beneath any Tag annotation.
+// Engines use it to recognize typed panics (e.g. *curve.BudgetError) they
+// handle themselves.
+func Payload(r any) any {
+	if t, ok := r.(tagged); ok {
+		return t.value
+	}
+	return r
+}
+
+// Internal converts a recovered panic value into an *InternalError for op.
+func Internal(op string, r any) *InternalError {
+	if t, ok := r.(tagged); ok {
+		return &InternalError{Op: op, Job: t.job, Hop: t.hop, Proc: t.proc, Value: t.value, Stack: t.stack}
+	}
+	return &InternalError{Op: op, Job: -1, Hop: -1, Proc: -1, Value: r, Stack: debug.Stack()}
+}
+
+// Boundary is the deferred panic-to-error boundary of the public entry
+// points:
+//
+//	func Analyze(...) (res *Result, err error) {
+//		defer fault.Boundary("analysis.Analyze", &err)
+//		...
+//
+// Any panic escaping the calling function is recovered and stored in *errp
+// as an *InternalError; errors returned normally pass through untouched.
+func Boundary(op string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = Internal(op, r)
+	}
+}

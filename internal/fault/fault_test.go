@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// boundaryCatch runs f behind a Boundary and returns the resolved error.
+func boundaryCatch(op string, f func()) (err error) {
+	defer Boundary(op, &err)
+	f()
+	return nil
+}
+
+// TestBoundaryConvertsTaggedPanic: a panic under a Tag surfaces as an
+// *InternalError carrying the subjob coordinates in T_{k,j} notation.
+func TestBoundaryConvertsTaggedPanic(t *testing.T) {
+	err := boundaryCatch("analysis.Test", func() {
+		Tag(2, 1, 4, func() { panic("curve invariant violated") })
+	})
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %T %v, want *InternalError", err, err)
+	}
+	if ie.Op != "analysis.Test" || ie.Job != 2 || ie.Hop != 1 || ie.Proc != 4 {
+		t.Fatalf("context = %+v", ie)
+	}
+	want := "analysis.Test: internal error at T_{3,2} on processor 4: curve invariant violated"
+	if ie.Error() != want {
+		t.Fatalf("Error() = %q, want %q", ie.Error(), want)
+	}
+	if len(ie.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+}
+
+// TestBoundaryUntaggedPanic: a panic outside any Tag still converts, with
+// unknown (-1) coordinates and the plain message format.
+func TestBoundaryUntaggedPanic(t *testing.T) {
+	err := boundaryCatch("sim.Run", func() { panic("heap corruption") })
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %T, want *InternalError", err)
+	}
+	if ie.Job != -1 || ie.Hop != -1 || ie.Proc != -1 {
+		t.Fatalf("coordinates = %+v, want unknown", ie)
+	}
+	if got := ie.Error(); got != "sim.Run: internal error: heap corruption" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+// TestBoundaryPassesErrorsThrough: a normal error return is untouched.
+func TestBoundaryPassesErrorsThrough(t *testing.T) {
+	sentinel := errors.New("plain")
+	err := func() (err error) {
+		defer Boundary("op", &err)
+		return sentinel
+	}()
+	if err != sentinel {
+		t.Fatalf("err = %v, want the sentinel unchanged", err)
+	}
+}
+
+// TestNestedTagsKeepInnermost: the most precise (innermost) annotation
+// wins when tags nest — e.g. a policy evaluating a neighbor's curves.
+func TestNestedTagsKeepInnermost(t *testing.T) {
+	err := boundaryCatch("op", func() {
+		Tag(9, 9, 9, func() {
+			Tag(0, 1, 2, func() { panic("inner") })
+		})
+	})
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatal(err)
+	}
+	if ie.Job != 0 || ie.Hop != 1 || ie.Proc != 2 {
+		t.Fatalf("outer tag overwrote the inner one: %+v", ie)
+	}
+}
+
+// TestPayloadUnwraps: Payload sees through the annotation, so engines can
+// recognize typed panics they handle themselves.
+func TestPayloadUnwraps(t *testing.T) {
+	type budget struct{ limit int }
+	var got any
+	func() {
+		defer func() { got = Payload(recover()) }()
+		Tag(1, 2, 3, func() { panic(&budget{limit: 7}) })
+	}()
+	b, ok := got.(*budget)
+	if !ok || b.limit != 7 {
+		t.Fatalf("Payload = %#v, want the original *budget", got)
+	}
+	if v := Payload("bare"); v != "bare" {
+		t.Fatalf("Payload(bare) = %v", v)
+	}
+}
+
+// TestTagNoPanic: Tag is transparent when f returns normally.
+func TestTagNoPanic(t *testing.T) {
+	ran := false
+	Tag(0, 0, 0, func() { ran = true })
+	if !ran {
+		t.Fatal("f did not run")
+	}
+}
+
+// TestErrBudgetExceededMessage pins the sentinel's message, which the
+// engines' wrapped errors embed.
+func TestErrBudgetExceededMessage(t *testing.T) {
+	if !strings.Contains(ErrBudgetExceeded.Error(), "budget") {
+		t.Fatalf("sentinel message = %q", ErrBudgetExceeded)
+	}
+}

@@ -1,0 +1,52 @@
+package model
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecodeSystem drives the hardened JSON decoder with arbitrary bytes:
+// any input must produce either a valid system or an error — never a
+// panic, and never a system that fails its own validation. Run with
+//
+//	go test -fuzz FuzzDecodeSystem ./internal/model
+//
+// for an open-ended search; the seeds below (including the shipped
+// testdata) run as part of `go test`.
+func FuzzDecodeSystem(f *testing.F) {
+	for _, name := range []string{"pipeline.json", "loopshop.json", "network.json"} {
+		if data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name)); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"processors": [{"scheduler": "SPP"}], "jobs": []}`))
+	f.Add([]byte(`{"processors": [{"scheduler": "??"}]}`))
+	f.Add([]byte(`{"jobs": [{"deadline": -1, "subjobs": [{"proc": 9}], "releases": [3, 1]}]}`))
+	f.Add([]byte(`[1, 2, 3]`))
+	f.Add([]byte(`{"processors"`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if sys != nil {
+				t.Fatal("Load returned both a system and an error")
+			}
+			return
+		}
+		// A decoded system must satisfy its own invariants and survive a
+		// marshal/unmarshal round trip.
+		if verr := sys.Validate(); verr != nil {
+			t.Fatalf("Load accepted a system failing Validate: %v", verr)
+		}
+		out, merr := json.Marshal(sys)
+		if merr != nil {
+			t.Fatalf("re-marshal failed: %v", merr)
+		}
+		if _, rerr := Load(bytes.NewReader(out)); rerr != nil {
+			t.Fatalf("round trip rejected: %v\n%s", rerr, out)
+		}
+	})
+}

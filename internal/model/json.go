@@ -103,13 +103,72 @@ func (s *System) MarshalJSON() ([]byte, error) {
 	return json.Marshal(doc)
 }
 
-// UnmarshalJSON decodes the documented format and validates the result.
-func (s *System) UnmarshalJSON(data []byte) error {
-	var doc jsonSystem
-	if err := json.Unmarshal(data, &doc); err != nil {
-		return err
+// Limits bounds how large an untrusted JSON document may be before the
+// decoder rejects it. Hitting a ceiling is an input error with a
+// path-qualified message, never a panic or an allocation blow-up further
+// down: the counts are checked on the raw document, before any analysis
+// data structure is sized from them. Zero or negative fields mean
+// unlimited.
+type Limits struct {
+	// MaxBytes caps the raw input size read by LoadLimited.
+	MaxBytes int64
+	// MaxProcs caps len(processors).
+	MaxProcs int
+	// MaxJobs caps len(jobs).
+	MaxJobs int
+	// MaxSubjobs caps len(jobs[k].subjobs) for each job.
+	MaxSubjobs int
+	// MaxReleases caps len(jobs[k].releases) for each job.
+	MaxReleases int
+	// MaxCriticalSections caps len(jobs[k].subjobs[j].criticalSections).
+	MaxCriticalSections int
+}
+
+// DefaultLimits is what Load and System.UnmarshalJSON enforce: generous
+// enough for any realistic system (the paper's evaluation stays orders of
+// magnitude below), tight enough that adversarial inputs cannot drive the
+// decoder or the engines behind it into pathological allocations.
+var DefaultLimits = Limits{
+	MaxBytes:            64 << 20,
+	MaxProcs:            4096,
+	MaxJobs:             1 << 16,
+	MaxSubjobs:          512,
+	MaxReleases:         1 << 20,
+	MaxCriticalSections: 128,
+}
+
+// check verifies the collection counts of a decoded document against the
+// limits, reporting the offending JSON path.
+func (l Limits) check(doc *jsonSystem) error {
+	over := func(n, max int, path string) error {
+		return fmt.Errorf("model: %s: %d entries exceed the limit of %d", path, n, max)
 	}
-	out := System{}
+	if l.MaxProcs > 0 && len(doc.Procs) > l.MaxProcs {
+		return over(len(doc.Procs), l.MaxProcs, "processors")
+	}
+	if l.MaxJobs > 0 && len(doc.Jobs) > l.MaxJobs {
+		return over(len(doc.Jobs), l.MaxJobs, "jobs")
+	}
+	for k, j := range doc.Jobs {
+		if l.MaxSubjobs > 0 && len(j.Subjobs) > l.MaxSubjobs {
+			return over(len(j.Subjobs), l.MaxSubjobs, fmt.Sprintf("jobs[%d].subjobs", k))
+		}
+		if l.MaxReleases > 0 && len(j.Releases) > l.MaxReleases {
+			return over(len(j.Releases), l.MaxReleases, fmt.Sprintf("jobs[%d].releases", k))
+		}
+		for i, sj := range j.Subjobs {
+			if l.MaxCriticalSections > 0 && len(sj.CS) > l.MaxCriticalSections {
+				return over(len(sj.CS), l.MaxCriticalSections,
+					fmt.Sprintf("jobs[%d].subjobs[%d].criticalSections", k, i))
+			}
+		}
+	}
+	return nil
+}
+
+// build converts a decoded document into a validated System.
+func (doc *jsonSystem) build() (*System, error) {
+	out := &System{}
 	for _, p := range doc.Procs {
 		out.Procs = append(out.Procs, Processor{
 			Name: p.Name, Sched: p.Sched,
@@ -128,6 +187,24 @@ func (s *System) UnmarshalJSON(data []byte) error {
 		out.Jobs = append(out.Jobs, job)
 	}
 	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// UnmarshalJSON decodes the documented format and validates the result,
+// enforcing DefaultLimits on the collection counts (use LoadLimited for
+// custom limits).
+func (s *System) UnmarshalJSON(data []byte) error {
+	var doc jsonSystem
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if err := DefaultLimits.check(&doc); err != nil {
+		return err
+	}
+	out, err := doc.build()
+	if err != nil {
 		return err
 	}
 	s.Procs, s.Jobs = out.Procs, out.Jobs
@@ -135,14 +212,39 @@ func (s *System) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// Load reads and validates a system from JSON.
+// Load reads and validates a system from JSON under DefaultLimits.
 func Load(r io.Reader) (*System, error) {
-	var s System
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&s); err != nil {
+	return LoadLimited(r, DefaultLimits)
+}
+
+// LoadLimited is Load with explicit input limits: the raw input is capped
+// at MaxBytes and the decoded collection counts at the per-collection
+// ceilings, with errors naming the offending JSON path. The decoder
+// itself never panics on any input; semantic errors come from
+// System.Validate with job/hop coordinates.
+func LoadLimited(r io.Reader, lim Limits) (*System, error) {
+	if lim.MaxBytes > 0 {
+		r = io.LimitReader(r, lim.MaxBytes+1)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("model: reading system: %w", err)
+	}
+	if lim.MaxBytes > 0 && int64(len(data)) > lim.MaxBytes {
+		return nil, fmt.Errorf("model: input exceeds the %d-byte limit", lim.MaxBytes)
+	}
+	var doc jsonSystem
+	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("model: decoding system: %w", err)
 	}
-	return &s, nil
+	if err := lim.check(&doc); err != nil {
+		return nil, err
+	}
+	sys, err := doc.build()
+	if err != nil {
+		return nil, fmt.Errorf("model: decoding system: %w", err)
+	}
+	return sys, nil
 }
 
 // Dump writes the system as indented JSON.

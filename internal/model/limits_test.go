@@ -1,0 +1,111 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// limitDoc builds a JSON system with the given collection sizes.
+func limitDoc(procs, jobs, subjobs, releases, cs int) string {
+	var b strings.Builder
+	b.WriteString(`{"processors": [`)
+	for p := 0; p < procs; p++ {
+		if p > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"scheduler": "SPNP"}`)
+	}
+	b.WriteString(`], "jobs": [`)
+	for k := 0; k < jobs; k++ {
+		if k > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"deadline": 1000, "subjobs": [`)
+		for j := 0; j < subjobs; j++ {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`{"proc": 0, "exec": 10, "criticalSections": [`)
+			for c := 0; c < cs; c++ {
+				if c > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, `{"resource": 0, "start": %d, "duration": 1}`, c)
+			}
+			b.WriteString(`]}`)
+		}
+		b.WriteString(`], "releases": [`)
+		for i := 0; i < releases; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", i*100)
+		}
+		b.WriteString(`]}`)
+	}
+	b.WriteString(`]}`)
+	return b.String()
+}
+
+// TestLoadLimitedByteCap: input larger than MaxBytes is rejected with the
+// documented message, before decoding.
+func TestLoadLimitedByteCap(t *testing.T) {
+	doc := limitDoc(1, 1, 1, 2, 0)
+	lim := DefaultLimits
+	lim.MaxBytes = int64(len(doc)) - 1
+	_, err := LoadLimited(strings.NewReader(doc), lim)
+	if err == nil || !strings.Contains(err.Error(), "byte limit") {
+		t.Fatalf("err = %v, want the byte-limit error", err)
+	}
+	lim.MaxBytes = int64(len(doc))
+	if _, err := LoadLimited(strings.NewReader(doc), lim); err != nil {
+		t.Fatalf("exactly-at-the-cap input rejected: %v", err)
+	}
+}
+
+// TestLoadLimitedCountCaps: every collection ceiling rejects with a
+// path-qualified message naming the offending collection.
+func TestLoadLimitedCountCaps(t *testing.T) {
+	small := Limits{MaxProcs: 2, MaxJobs: 2, MaxSubjobs: 2, MaxReleases: 3, MaxCriticalSections: 1}
+	cases := []struct {
+		name     string
+		doc      string
+		wantPath string
+	}{
+		{"procs", limitDoc(3, 1, 1, 1, 0), "processors"},
+		{"jobs", limitDoc(1, 3, 1, 1, 0), "jobs"},
+		{"subjobs", limitDoc(1, 2, 3, 1, 0), "jobs[0].subjobs"},
+		{"releases", limitDoc(1, 2, 1, 4, 0), "jobs[0].releases"},
+		{"critical sections", limitDoc(1, 1, 2, 1, 2), "jobs[0].subjobs[0].criticalSections"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadLimited(strings.NewReader(tc.doc), small)
+			if err == nil {
+				t.Fatal("oversized document accepted")
+			}
+			if !strings.Contains(err.Error(), "model: "+tc.wantPath+":") ||
+				!strings.Contains(err.Error(), "exceed the limit") {
+				t.Fatalf("err = %v, want a limit error at path %q", err, tc.wantPath)
+			}
+		})
+	}
+	// Unlimited (zero) fields accept the same documents.
+	for _, tc := range cases {
+		if _, err := LoadLimited(strings.NewReader(tc.doc), Limits{}); err != nil {
+			t.Fatalf("%s: unlimited load failed: %v", tc.name, err)
+		}
+	}
+}
+
+// TestUnmarshalEnforcesDefaultLimits: the json.Unmarshal path applies
+// DefaultLimits too, so no decoding route bypasses the ceilings.
+func TestUnmarshalEnforcesDefaultLimits(t *testing.T) {
+	doc := limitDoc(1, 1, DefaultLimits.MaxSubjobs+1, 1, 0)
+	var sys System
+	err := sys.UnmarshalJSON([]byte(doc))
+	if err == nil || !strings.Contains(err.Error(), "jobs[0].subjobs") {
+		t.Fatalf("err = %v, want the subjobs limit error", err)
+	}
+}

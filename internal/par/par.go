@@ -3,43 +3,82 @@
 package par
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
 
 // Level runs f(id) for every id of one dependency level on up to workers
 // goroutines pulling from a shared atomic cursor. It returns after every
-// call has finished (the inter-level barrier). workers <= 1, or a
+// started call has finished (the inter-level barrier). workers <= 1, or a
 // single-element level, runs inline without spawning.
+//
+// Fault containment at the barrier:
+//
+//   - Cancellation: ctx (nil means context.Background) is polled before
+//     each item is pulled. Once ctx is done no new item starts, in-flight
+//     items drain, and Level returns ctx.Err(). Items that already ran are
+//     left fully published; the caller decides how to surface the partial
+//     state.
+//   - Panics: a panic in f stops the pool the same way, and after the
+//     drain the first recovered panic value is re-raised on the calling
+//     goroutine, so engine-level recover/Boundary handling sees it exactly
+//     as in the serial path.
+//
+// Both stop paths use plain polling (no channel selects), so a
+// deterministic fake context can observe exactly how many items ran.
 //
 // Correctness contract for callers: the f invocations of one level must
 // touch pairwise-disjoint state and read only data finalized by earlier
 // levels — then the schedule of a level is unobservable and the results
 // are identical for every worker count.
-func Level(ids []int, workers int, f func(id int)) {
+func Level(ctx context.Context, ids []int, workers int, f func(id int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 1 || len(ids) == 1 {
 		for _, id := range ids {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			f(id)
 		}
-		return
+		return ctx.Err()
 	}
 	if workers > len(ids) {
 		workers = len(ids)
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next      atomic.Int64
+		stop      atomic.Bool
+		panicOnce sync.Once
+		panicked  any
+		wg        sync.WaitGroup
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !stop.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(ids) {
 					return
 				}
-				f(ids[i])
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicked = r })
+							stop.Store(true)
+						}
+					}()
+					f(ids[i])
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return ctx.Err()
 }

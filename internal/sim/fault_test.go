@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"rta/internal/model"
+)
+
+// validSim returns a small two-hop system the fault tests simulate.
+func validSim() *model.System {
+	return &model.System{
+		Procs: []model.Processor{{Sched: model.SPNP}, {Sched: model.SPNP}},
+		Jobs: []model.Job{
+			{Deadline: 100, Subjobs: []model.Subjob{
+				{Proc: 0, Exec: 3}, {Proc: 1, Exec: 2}},
+				Releases: ticks(0, 10)},
+			{Deadline: 100, Subjobs: []model.Subjob{{Proc: 0, Exec: 4, Priority: 1}},
+				Releases: ticks(1)},
+		},
+	}
+}
+
+// TestRunErrInvalidSystem: RunErr reports validation failures as errors
+// while the legacy Run panics on the same input.
+func TestRunErrInvalidSystem(t *testing.T) {
+	bad := &model.System{
+		Procs: []model.Processor{{Sched: model.SPNP}},
+		Jobs: []model.Job{{Deadline: 10,
+			Subjobs:  []model.Subjob{{Proc: 3, Exec: 1}},
+			Releases: ticks(0)}},
+	}
+	res, err := RunErr(bad)
+	if err == nil || res != nil {
+		t.Fatalf("RunErr = (%v, %v), want a validation error", res, err)
+	}
+	if !strings.Contains(err.Error(), "sim: invalid system") {
+		t.Fatalf("err = %v, want the sim: invalid system prefix", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("legacy Run did not panic on an invalid system")
+			}
+		}()
+		Run(bad)
+	}()
+}
+
+// TestRunOptsBadExecOverride: an out-of-range execution override is an
+// input error with the instance's coordinates, not a panic.
+func TestRunOptsBadExecOverride(t *testing.T) {
+	sys := validSim()
+	res, err := RunOpts(sys, Options{Exec: func(job, hop, idx int) model.Ticks {
+		if job == 0 && hop == 1 && idx == 1 {
+			return 99 // above the subjob's WCET of 2
+		}
+		return 1
+	}})
+	if err == nil || res != nil {
+		t.Fatalf("RunOpts = (%v, %v), want an override error", res, err)
+	}
+	want := "sim: exec override for T_{1,2} #1 out of [1,2]: got 99"
+	if err.Error() != want {
+		t.Fatalf("err = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestRunOptsCanceledContext: a pre-canceled context stops the event loop
+// before any timestamp batch and wraps context.Canceled.
+func TestRunOptsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunOpts(validSim(), Options{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("returned a result under a pre-canceled context")
+	}
+}
+
+// TestRunOptsMatchesRun: on the default options the error-returning entry
+// point reproduces the legacy panicking one exactly.
+func TestRunOptsMatchesRun(t *testing.T) {
+	sys := validSim()
+	legacy := Run(sys)
+	res, err := RunOpts(sys, Options{Context: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range sys.Jobs {
+		if legacy.WorstResponse(k) != res.WorstResponse(k) {
+			t.Fatalf("job %d: WorstResponse %d != %d", k, res.WorstResponse(k), legacy.WorstResponse(k))
+		}
+		for j := range sys.Jobs[k].Subjobs {
+			for i := range sys.Jobs[k].Releases {
+				if legacy.Departure[k][j][i] != res.Departure[k][j][i] {
+					t.Fatalf("departure (%d,%d,%d) differs", k, j, i)
+				}
+			}
+		}
+	}
+}

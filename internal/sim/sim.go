@@ -20,8 +20,10 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
+	"rta/internal/fault"
 	"rta/internal/model"
 	"rta/internal/sched"
 )
@@ -185,9 +187,53 @@ type procState struct {
 
 // Run simulates the system until every released instance has completed its
 // last hop, and returns the observed arrival, departure and response
-// times. The system must be valid.
+// times. The system must be valid: Run panics on an invalid one (legacy
+// convenience for code that already validated). RunErr / RunOpts return
+// the error instead and are what request-serving callers should use.
 func Run(sys *model.System) *Result {
-	return RunWithExec(sys, nil)
+	return mustRun(sys, Options{})
+}
+
+// Options tunes one simulation run.
+type Options struct {
+	// Context cancels the event loop between timestamp batches; the run
+	// returns an error wrapping ctx.Err(). Nil means context.Background.
+	Context context.Context
+	// Exec overrides per-instance execution times (see ExecTimes); nil
+	// means full WCET everywhere.
+	Exec ExecTimes
+	// TieBreak randomizes the FCFS simultaneous-arrival order (see
+	// RunWithTieBreak); nil keeps the deterministic order.
+	TieBreak func(job, hop, idx int) int64
+}
+
+// RunErr is Run with errors instead of panics: an invalid system, a bad
+// exec override or an internal invariant violation surfaces as a non-nil
+// error, never as a panic.
+func RunErr(sys *model.System) (*Result, error) { return RunOpts(sys, Options{}) }
+
+// RunOpts is RunErr with options. Validation errors are reported before
+// the simulation starts; anything that panics past that boundary returns
+// as a *fault.InternalError.
+func RunOpts(sys *model.System, opts Options) (res *Result, err error) {
+	if verr := sys.Validate(); verr != nil {
+		return nil, fmt.Errorf("sim: invalid system: %w", verr)
+	}
+	defer fault.Boundary("sim.Run", &err)
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return run(ctx, sys, opts.Exec, opts.TieBreak)
+}
+
+// mustRun backs the legacy panicking entry points.
+func mustRun(sys *model.System, opts Options) *Result {
+	res, err := RunOpts(sys, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // ExecTimes overrides per-instance execution times: ExecTimes(k, j, i)
@@ -199,9 +245,11 @@ func Run(sys *model.System) *Result {
 // sustainability tests). nil means full WCET everywhere.
 type ExecTimes func(job, hop, idx int) model.Ticks
 
-// RunWithExec is Run with per-instance actual execution times.
+// RunWithExec is Run with per-instance actual execution times. Like Run
+// it panics on invalid input (including an out-of-range override); use
+// RunOpts for the error-returning form.
 func RunWithExec(sys *model.System, exec ExecTimes) *Result {
-	return run(sys, exec, nil)
+	return mustRun(sys, Options{Exec: exec})
 }
 
 // RunWithTieBreak is Run with a randomized FCFS tie-break: instances
@@ -211,13 +259,11 @@ func RunWithExec(sys *model.System, exec ExecTimes) *Result {
 // arrivals; the analysis bounds must dominate every choice, and the
 // property tests drive this entry point to check exactly that.
 func RunWithTieBreak(sys *model.System, tieKey func(job, hop, idx int) int64) *Result {
-	return run(sys, nil, tieKey)
+	return mustRun(sys, Options{TieBreak: tieKey})
 }
 
-func run(sys *model.System, exec ExecTimes, tieKey func(job, hop, idx int) int64) *Result {
-	if err := sys.Validate(); err != nil {
-		panic(fmt.Sprintf("sim: invalid system: %v", err))
-	}
+// run is the event loop proper; the system was validated by RunOpts.
+func run(ctx context.Context, sys *model.System, exec ExecTimes, tieKey func(job, hop, idx int) int64) (*Result, error) {
 	res := &Result{
 		Response:  make([][]model.Ticks, len(sys.Jobs)),
 		Arrival:   make([][][]model.Ticks, len(sys.Jobs)),
@@ -258,24 +304,28 @@ func run(sys *model.System, exec ExecTimes, tieKey func(job, hop, idx int) int64
 		}
 	}
 
-	actualExec := func(k, j, i int) model.Ticks {
+	actualExec := func(k, j, i int) (model.Ticks, error) {
 		e := sys.Jobs[k].Subjobs[j].Exec
 		if exec != nil {
-			if a := exec(k, j, i); a >= 1 && a <= e {
-				e = a
-			} else {
-				panic(fmt.Sprintf("sim: exec override for T_{%d,%d} #%d out of [1,%d]", k+1, j+1, i, e))
+			a := exec(k, j, i)
+			if a < 1 || a > e {
+				return 0, fmt.Errorf("sim: exec override for T_{%d,%d} #%d out of [1,%d]: got %d", k+1, j+1, i, e, a)
 			}
+			e = a
 		}
-		return e
+		return e, nil
 	}
 
 	var q eventQueue
 	for k := range sys.Jobs {
 		for i, t := range sys.Jobs[k].Releases {
+			rem, err := actualExec(k, 0, i)
+			if err != nil {
+				return nil, err
+			}
 			heap.Push(&q, &event{at: t, kind: evRelease, inst: &instance{
 				job: k, hop: 0, idx: i, arrived: t,
-				remaining: actualExec(k, 0, i),
+				remaining: rem,
 			}})
 		}
 	}
@@ -373,6 +423,12 @@ func run(sys *model.System, exec ExecTimes, tieKey func(job, hop, idx int) int64
 
 	dirty := map[int]bool{}
 	for q.Len() > 0 {
+		// Cancellation between timestamp batches: a batch is the atomic
+		// unit of the simulation, so stopping here leaves no half-applied
+		// state behind (the partial Result is simply discarded).
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("sim: %w", cerr)
+		}
 		now := q[0].at
 		// Drain the batch at this timestamp: completions first (they may
 		// cascade same-time releases, which sort after completions and
@@ -413,9 +469,13 @@ func run(sys *model.System, exec ExecTimes, tieKey func(job, hop, idx int) int64
 					if job.Sync == model.ReleaseGuard {
 						lastRelease[done.job][done.hop+1] = at
 					}
+					rem, err := actualExec(done.job, done.hop+1, done.idx)
+					if err != nil {
+						return nil, err
+					}
 					heap.Push(&q, &event{at: at, kind: evRelease, inst: &instance{
 						job: done.job, hop: done.hop + 1, idx: done.idx, arrived: at,
-						remaining: actualExec(done.job, done.hop+1, done.idx),
+						remaining: rem,
 					}})
 				} else {
 					res.Response[done.job][done.idx] = now - sys.Jobs[done.job].Releases[done.idx]
@@ -455,5 +515,5 @@ func run(sys *model.System, exec ExecTimes, tieKey func(job, hop, idx int) int64
 	for p := range procs {
 		res.BusyUntil[p] = procs[p].busyUntil
 	}
-	return res
+	return res, nil
 }

@@ -14,10 +14,12 @@
 package spp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"rta/internal/curve"
+	"rta/internal/fault"
 	"rta/internal/model"
 	"rta/internal/par"
 )
@@ -67,6 +69,18 @@ func Analyze(sys *model.System) (*Result, error) { return AnalyzeWorkers(sys, 1)
 // only service functions from completed levels, so the output is
 // field-identical for every worker count.
 func AnalyzeWorkers(sys *model.System, workers int) (*Result, error) {
+	return AnalyzeWith(context.Background(), sys, workers, nil)
+}
+
+// AnalyzeWith is AnalyzeWorkers under fault containment: ctx cancels the
+// sweep between subjob evaluations (the level in flight drains first,
+// then a wrapped ctx.Err() is returned), and lim meters the curve
+// breakpoints the run materializes (nil = unlimited). When the budget
+// trips, a partial Result accompanies an error wrapping
+// fault.ErrBudgetExceeded: jobs whose last hop was fully analyzed keep
+// their exact WCRT, the rest report curve.Inf.
+func AnalyzeWith(ctx context.Context, sys *model.System, workers int, lim *curve.Limiter) (_ *Result, err error) {
+	defer fault.Boundary("spp.Analyze", &err)
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("spp: %w", err)
 	}
@@ -106,12 +120,46 @@ func AnalyzeWorkers(sys *model.System, workers int) (*Result, error) {
 	if !acyclic {
 		return nil, ErrCyclic
 	}
+	var budgetErr error
 	for _, level := range levels {
-		par.Level(level, workers, func(id int) { analyzeSubjob(sys, topo, res, refs[id]) })
+		lvlErr := func() (lvlErr error) {
+			defer func() {
+				// A limiter trip panics a *curve.BudgetError out of a worker
+				// (possibly fault-tagged); recover it here at the barrier so
+				// the rows analyzed so far become a partial result. Any other
+				// panic keeps unwinding to the entry boundary.
+				if r := recover(); r != nil {
+					if be, ok := fault.Payload(r).(*curve.BudgetError); ok {
+						lvlErr = be
+						return
+					}
+					panic(r)
+				}
+			}()
+			return par.Level(ctx, level, workers, func(id int) {
+				r := refs[id]
+				fault.Tag(r.Job, r.Hop, sys.Subjob(r).Proc, func() {
+					analyzeSubjob(sys, topo, res, lim, r)
+				})
+			})
+		}()
+		if lvlErr != nil {
+			if errors.Is(lvlErr, fault.ErrBudgetExceeded) {
+				budgetErr = fmt.Errorf("spp: %w", lvlErr)
+				break
+			}
+			return nil, fmt.Errorf("spp: %w", lvlErr)
+		}
 	}
 
 	for k := range sys.Jobs {
 		last := len(sys.Jobs[k].Subjobs) - 1
+		// A hop never analyzed (budget-truncated run) has no departure
+		// rows; the job's exact response is unknown, reported unbounded.
+		if res.Departure[k][last] == nil {
+			res.WCRT[k] = curve.Inf
+			continue
+		}
 		var worst model.Ticks
 		for i, dep := range res.Departure[k][last] {
 			if curve.IsInf(dep) {
@@ -124,15 +172,20 @@ func AnalyzeWorkers(sys *model.System, workers int) (*Result, error) {
 		}
 		res.WCRT[k] = worst
 	}
+	if budgetErr != nil {
+		return res, budgetErr
+	}
 	return res, nil
 }
 
 // analyzeSubjob computes the exact service function and departure times of
-// one subjob whose dependencies are already analyzed.
-func analyzeSubjob(sys *model.System, topo *model.Topology, res *Result, r model.SubjobRef) {
+// one subjob whose dependencies are already analyzed, charging the curves
+// it materializes against lim (nil = unlimited).
+func analyzeSubjob(sys *model.System, topo *model.Topology, res *Result, lim *curve.Limiter, r model.SubjobRef) {
 	sj := sys.Subjob(r)
 	arr := res.Arrival[r.Job][r.Hop]
 	demand := curve.Staircase(arr, sj.Exec)
+	lim.Charge(demand)
 
 	// Equation (10): availability is what the higher-priority subjobs on
 	// this processor leave over.
@@ -145,6 +198,7 @@ func analyzeSubjob(sys *model.System, topo *model.Topology, res *Result, r model
 
 	// Equation (9): the exact service function.
 	svc := curve.ServiceTransform(avail, demand)
+	lim.Charge(avail, svc)
 	res.Service[r.Job][r.Hop] = svc
 
 	// Theorem 2: departures are the instants S first reaches m*tau.

@@ -56,6 +56,7 @@ import (
 	"rta/internal/curve"
 	"rta/internal/dot"
 	"rta/internal/envelope"
+	"rta/internal/fault"
 	"rta/internal/gantt"
 	"rta/internal/metrics"
 	"rta/internal/model"
@@ -110,8 +111,25 @@ const Inf = curve.Inf
 func IsInf(t Ticks) bool { return curve.IsInf(t) }
 
 // Options tune how an analysis executes without changing what it
-// computes; see analysis.Options. The zero value runs serially.
+// computes; see analysis.Options. The zero value runs serially,
+// uncancellable and unbudgeted.
 type Options = analysis.Options
+
+// Budget caps the resources of one analysis run (curve breakpoints,
+// fixed-point steps); see analysis.Budget. The zero value is unlimited.
+type Budget = analysis.Budget
+
+// InternalError is the typed error returned when an engine invariant
+// panics mid-analysis: the public entry points recover the panic and
+// report it with job/subjob/processor context instead of crashing the
+// process. One of these indicates a toolkit bug, never an input error.
+type InternalError = fault.InternalError
+
+// ErrBudgetExceeded identifies analyses stopped by an Options.Budget
+// ceiling: errors.Is(err, rta.ErrBudgetExceeded) holds, and the Result
+// returned next to the error is partial — jobs whose computation
+// completed keep their finite bounds, the rest report Inf.
+var ErrBudgetExceeded = fault.ErrBudgetExceeded
 
 // Analyze computes worst-case end-to-end response times, using the exact
 // analysis when every processor runs SPP and the approximate Theorem 4
@@ -148,8 +166,21 @@ func IterativeOpts(sys *System, maxRounds int, opts Options) (*Result, error) {
 }
 
 // Simulate runs the discrete-event simulator until every released
-// instance completes and returns the observed times.
+// instance completes and returns the observed times. It panics on an
+// invalid system (legacy convenience); request-serving callers should use
+// SimulateErr or SimulateOpts.
 func Simulate(sys *System) *SimResult { return sim.Run(sys) }
+
+// SimOptions tune one simulation run (cancellation context, per-instance
+// execution times, FCFS tie-breaking); see sim.Options.
+type SimOptions = sim.Options
+
+// SimulateErr is Simulate with errors instead of panics: invalid systems
+// and internal invariant violations surface as a non-nil error.
+func SimulateErr(sys *System) (*SimResult, error) { return sim.RunErr(sys) }
+
+// SimulateOpts is SimulateErr with options.
+func SimulateOpts(sys *System, opts SimOptions) (*SimResult, error) { return sim.RunOpts(sys, opts) }
 
 // Holistic exposes the Sun&Liu-style baseline for periodic task sets.
 type (
