@@ -58,7 +58,7 @@ func body() error {
 	dotPath := flag.String("dot", "", "write the system structure as Graphviz DOT")
 	reportPath := flag.String("report", "", "write a full markdown dossier (analysis + simulation)")
 	htmlPath := flag.String("html", "", "write a self-contained HTML dossier (tables + CDF chart + timeline)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the level-parallel analysis engines")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the parallel analysis engines")
 	timeout := flag.Duration("timeout", 0, "abort analysis and simulation after this long (0 = no limit)")
 	budgetBreaks := flag.Int64("budget-breakpoints", 0, "abort the analysis after materializing this many curve breakpoints (0 = no limit)")
 	budgetSteps := flag.Int64("budget-steps", 0, "abort the iterative analysis after this many fixed-point steps (0 = no limit)")

@@ -4,7 +4,17 @@
 //
 // Usage:
 //
-//	rta-bench [-out BENCH_PR2.json] [-benchtime 1s]
+//	rta-bench [-out BENCH_PR6.json] [-benchtime 1s]
+//	rta-bench -check BENCH_PR6.json [-tolerance 0.10]
+//	rta-bench -cpuprofile cpu.out -memprofile mem.out
+//
+// With -check, instead of writing a report the command reruns the
+// benchmarks named in the given baseline file and exits non-zero if any
+// regresses by more than -tolerance in ns/op or allocs/op. CI uses this
+// to gate merges against the committed baseline.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the measured
+// benchmark iterations; see DESIGN.md section 9 for how to read them.
 //
 // Each benchmark analyzes the deterministic 50x8 job shop of
 // internal/benchsys with one of the engines: the Theorem 4 pipeline per
@@ -19,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -54,8 +65,12 @@ type Report struct {
 func main() { cli.Main("rta-bench", body) }
 
 func body() error {
-	out := flag.String("out", "BENCH_PR2.json", "output file")
+	out := flag.String("out", "BENCH_PR6.json", "output file")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
+	check := flag.String("check", "", "baseline report to gate against instead of writing a report")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression in -check mode")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the benchmark runs to this file")
 	flag.Parse()
 
 	run := func(sched model.Scheduler, f func(*model.System) error) func(*testing.B) {
@@ -102,6 +117,28 @@ func body() error {
 		{"LargeIterative", run(model.SPNP, iterative)},
 	}
 
+	// In -check mode, only the benchmarks named in the baseline are rerun.
+	var baseline map[string]Measurement
+	if *check != "" {
+		var err error
+		if baseline, err = loadBaseline(*check); err != nil {
+			return err
+		}
+	}
+
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		cpuFile = f
+	}
+
 	var rep Report
 	rep.GOOS = runtime.GOOS
 	rep.GOARCH = runtime.GOARCH
@@ -112,13 +149,32 @@ func body() error {
 	rep.Workload.Instances = benchsys.Instances
 
 	for _, bm := range benches {
+		if baseline != nil {
+			if _, ok := baseline[bm.name]; !ok {
+				continue
+			}
+		}
 		// testing.Benchmark grows N until the run takes -test.benchtime
 		// (1s unless overridden); repeat whole runs until the requested
-		// minimum measuring time is accumulated and keep the longest run.
+		// minimum measuring time is accumulated and keep the fastest
+		// ns/op seen. Scheduling noise is one-sided — a run can only be
+		// slower than the code's true cost — so min-of-runs is the
+		// stable statistic to commit and to gate on. In -check mode at
+		// least three runs are taken so a single noisy run cannot fail
+		// the gate.
 		res := testing.Benchmark(bm.fn)
-		for total := res.T; total < *benchtime; {
+		best := float64(res.T.Nanoseconds()) / float64(res.N)
+		minRuns := 1
+		if baseline != nil {
+			minRuns = 3
+		}
+		total := res.T
+		for runs := 1; total < *benchtime || runs < minRuns; runs++ {
 			again := testing.Benchmark(bm.fn)
 			total += again.T
+			if ns := float64(again.T.Nanoseconds()) / float64(again.N); ns < best {
+				best = ns
+			}
 			if again.N > res.N {
 				res = again
 			}
@@ -126,13 +182,36 @@ func body() error {
 		m := Measurement{
 			Name:        bm.name,
 			Iterations:  res.N,
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			NsPerOp:     best,
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
 		}
 		rep.Results = append(rep.Results, m)
 		fmt.Printf("%-32s %12.0f ns/op %10d B/op %8d allocs/op\n",
 			bm.name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		fmt.Println("wrote", *cpuprofile)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // flush recently freed objects so the profile shows live + cumulative allocs accurately
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		fmt.Println("wrote", *memprofile)
+	}
+
+	if baseline != nil {
+		return compare(baseline, rep.Results, *tolerance)
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -144,5 +223,57 @@ func body() error {
 		return err
 	}
 	fmt.Println("wrote", *out)
+	return nil
+}
+
+// loadBaseline reads a committed report and indexes it by benchmark name.
+func loadBaseline(path string) (map[string]Measurement, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results to gate against", path)
+	}
+	m := make(map[string]Measurement, len(rep.Results))
+	for _, r := range rep.Results {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+// compare fails if any measured benchmark regresses past the tolerance in
+// ns/op or allocs/op relative to the baseline. A baseline entry that was
+// not rerun (renamed or deleted benchmark) is also an error: a silent skip
+// would gate nothing.
+func compare(baseline map[string]Measurement, got []Measurement, tolerance float64) error {
+	measured := make(map[string]bool, len(got))
+	var bad []string
+	for _, m := range got {
+		measured[m.Name] = true
+		base := baseline[m.Name]
+		nsRatio := m.NsPerOp / base.NsPerOp
+		allocRatio := float64(m.AllocsPerOp) / float64(base.AllocsPerOp)
+		status := "ok"
+		if nsRatio > 1+tolerance || allocRatio > 1+tolerance {
+			status = "REGRESSION"
+			bad = append(bad, m.Name)
+		}
+		fmt.Printf("%-32s ns/op %6.2fx  allocs/op %6.2fx  %s\n",
+			m.Name, nsRatio, allocRatio, status)
+	}
+	for name := range baseline {
+		if !measured[name] {
+			bad = append(bad, name+" (in baseline but not measured)")
+		}
+	}
+	if len(bad) != 0 {
+		return fmt.Errorf("benchmark gate failed (tolerance %.0f%%): %v", tolerance*100, bad)
+	}
+	fmt.Printf("benchmark gate passed (tolerance %.0f%%)\n", tolerance*100)
 	return nil
 }

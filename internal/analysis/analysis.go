@@ -287,13 +287,32 @@ type state struct {
 	// the pair to rebuild a staircase only when its arrivals moved (the
 	// acyclic engines never mutate arrivals, so they ignore both).
 	arrVer, demandLoVer []uint64
+	// memo shares cross-subjob intermediates (prefix interference sums,
+	// FCFS totals) between the policy evaluations of one run. Sound here
+	// because the dependency order makes every input final before any
+	// reader runs; the iterative engine must keep ServiceContext.Memo nil.
+	memo *sched.Memo
 	// lim meters the curve breakpoints the run materializes; nil (no
 	// budget) never trips.
 	lim *curve.Limiter
+	// demandFn and serviceFn are the ServiceContext accessors, identical
+	// for every subjob and hoisted here so the hot loop does not allocate
+	// two fresh closures per evaluation.
+	demandFn  func(o model.SubjobRef) (*curve.Curve, *curve.Curve)
+	serviceFn func(o model.SubjobRef) (*curve.Curve, *curve.Curve)
 }
 
 func newState(sys *model.System, lim *curve.Limiter) *state {
 	st := &state{sys: sys, topo: sys.Topology(), lim: lim}
+	st.memo = sched.NewMemo(st.topo)
+	st.demandFn = func(o model.SubjobRef) (*curve.Curve, *curve.Curve) {
+		oid := st.topo.ID(o)
+		return st.demandLo[oid], st.demandHi[oid]
+	}
+	st.serviceFn = func(o model.SubjobRef) (*curve.Curve, *curve.Curve) {
+		oh := &st.hops[o.Job][o.Hop]
+		return oh.SvcLo, oh.SvcHi
+	}
 	st.hops = make([][]Hop, len(sys.Jobs))
 	n := len(st.topo.Subjobs())
 	st.demandLo = make([]*curve.Curve, n)
@@ -321,36 +340,35 @@ func (st *state) publishDemand(r model.SubjobRef) {
 	st.lim.Charge(st.demandLo[id], st.demandHi[id])
 }
 
-// run computes every subjob in dependency-level order: subjobs of one
-// level have all their prerequisites in strictly earlier levels (see
-// model.Topology.Levels), so a level is evaluated concurrently by a
-// bounded worker pool with a barrier between levels. Each evaluation
-// writes only its own per-subjob state (plus the next hop's arrival
-// bounds, which no one else touches before that strictly later level) and
-// reads only completed levels, so the computation is race-free and the
-// results are field-identical for every worker count, including the
-// serial sweep. Total cost stays O(subjobs + dependency edges) plus the
-// curve work itself.
+// run computes every subjob in dependency order through par.Run's
+// dependency-counter work queue: a subjob becomes ready the moment its
+// last prerequisite (Topology.Deps) finishes, with no barrier between
+// dependency levels — a slow evaluation stalls only its own downstream
+// cone, not the whole sweep. Each evaluation writes only its own
+// per-subjob state (plus the next hop's arrival bounds, which nothing
+// reads before the dependency edge fires) and reads only finished
+// prerequisites, so the computation is race-free and the results are
+// field-identical for every worker count, including the serial sweep
+// (the memoized intermediates regroup exact integer sums over unique
+// canonical curves; see sched.Memo). Total cost stays O(subjobs +
+// dependency edges) plus the curve work itself.
 //
 // Fault containment: every evaluation runs under a fault.Tag carrying the
 // subjob's coordinates, so a panic (invariant violation or budget trip)
 // surfaces with its analysis context; cancellation is observed by
-// par.Level between items and returns wrapping ctx.Err() after the level
-// drains.
+// par.Run between items and returns wrapping ctx.Err() after the
+// in-flight evaluations drain.
 func (st *state) run(ctx context.Context, workers int) error {
-	levels, acyclic := st.topo.Levels()
-	if !acyclic {
+	if _, acyclic := st.topo.Levels(); !acyclic {
 		return ErrCyclic
 	}
 	refs := st.topo.Subjobs()
-	for _, level := range levels {
-		err := par.Level(ctx, level, workers, func(id int) {
-			r := refs[id]
-			fault.Tag(r.Job, r.Hop, st.sys.Subjob(r).Proc, func() { st.computeSubjob(r) })
-		})
-		if err != nil {
-			return fmt.Errorf("analysis: %w", err)
-		}
+	err := par.Run(ctx, len(refs), st.topo.Deps, st.topo.Dependents, workers, func(id int) {
+		r := refs[id]
+		fault.Tag(r.Job, r.Hop, st.sys.Subjob(r).Proc, func() { st.computeSubjob(r) })
+	})
+	if err != nil {
+		return fmt.Errorf("analysis: %w", err)
 	}
 	return nil
 }
@@ -383,20 +401,23 @@ func (st *state) computeSubjob(r model.SubjobRef) {
 	sys, topo := st.sys, st.topo
 	sj := sys.Subjob(r)
 	hop := &st.hops[r.Job][r.Hop]
+	// Per-evaluation arena: every curve intermediate below is carved from
+	// sc and recycled wholesale; only the stored artifacts (service
+	// bounds, published demands) are heap-backed.
+	sc := curve.GetScratch()
+	defer curve.PutScratch(sc)
 	// Policy dispatch: the registered policy of the processor's scheduler
 	// derives the service bounds from the cached demand staircases and
 	// (for priority-driven disciplines) the already-final service bounds
-	// of the dependency subjobs — all strictly earlier levels.
+	// of the dependency subjobs — all finished prerequisites. The memo is
+	// safe to hand out here: the dependency order fixes every input a
+	// policy may fold into a shared sum before any reader starts.
 	ctx := &sched.ServiceContext{
 		Sys: sys, Topo: topo, Ref: r,
-		Demand: func(o model.SubjobRef) (*curve.Curve, *curve.Curve) {
-			oid := topo.ID(o)
-			return st.demandLo[oid], st.demandHi[oid]
-		},
-		Service: func(o model.SubjobRef) (*curve.Curve, *curve.Curve) {
-			oh := &st.hops[o.Job][o.Hop]
-			return oh.SvcLo, oh.SvcHi
-		},
+		Demand:  st.demandFn,
+		Service: st.serviceFn,
+		Memo:    st.memo,
+		Scratch: sc,
 	}
 	hop.SvcLo, hop.SvcHi = sched.For(sys.Procs[sj.Proc].Sched).ServiceBounds(ctx)
 	st.lim.Charge(hop.SvcLo, hop.SvcHi)
@@ -421,7 +442,7 @@ func (st *state) computeSubjob(r model.SubjobRef) {
 	// Backlog bound: earliest possible arrivals vs latest completions.
 	hop.Backlog = -1
 	if dl := finiteTimes(hop.DepLate); len(dl) == len(hop.ArrEarly) {
-		if b, ok := curve.MaxVerticalDeviation(curve.Staircase(hop.ArrEarly, 1), curve.Staircase(dl, 1)); ok {
+		if b, ok := curve.MaxVerticalDeviation(curve.StaircaseIn(sc, hop.ArrEarly, 1), curve.StaircaseIn(sc, dl, 1)); ok {
 			hop.Backlog = int(b)
 		}
 	}

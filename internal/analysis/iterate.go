@@ -327,6 +327,11 @@ func (st *state) iterateSubjob(r model.SubjobRef) (svcChanged, arrChanged, chang
 	demandHi := st.iterDemandHi(id, r)
 	oldLo, oldHi := hop.SvcLo, hop.SvcHi
 
+	// Per-evaluation arena for the transform intermediates. No Memo: the
+	// provisional inputs of a cyclic sweep must not be baked into shared
+	// sums (see sched.Memo).
+	sc := curve.GetScratch()
+	defer curve.PutScratch(sc)
 	// Policy dispatch against the current bound vector. Demand accessors
 	// hand out the version-checked caches (the subjob's own pair was
 	// resolved above); Service hands out whatever this Gauss-Seidel sweep
@@ -341,10 +346,8 @@ func (st *state) iterateSubjob(r model.SubjobRef) (svcChanged, arrChanged, chang
 			oid := topo.ID(o)
 			return st.iterDemandLo(oid, o), st.iterDemandHi(oid, o)
 		},
-		Service: func(o model.SubjobRef) (*curve.Curve, *curve.Curve) {
-			oh := &st.hops[o.Job][o.Hop]
-			return oh.SvcLo, oh.SvcHi
-		},
+		Service: st.serviceFn,
+		Scratch: sc,
 	}
 	hop.SvcLo, hop.SvcHi = sched.For(sys.Procs[sj.Proc].Sched).ServiceBounds(ctx)
 	st.lim.Charge(hop.SvcLo, hop.SvcHi)

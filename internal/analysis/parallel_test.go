@@ -7,6 +7,8 @@ import (
 	"rta/internal/curve"
 	"rta/internal/model"
 	"rta/internal/randsys"
+
+	_ "rta/internal/sched/tdma" // register TDMA for the all-policy mix
 )
 
 // sameTicks compares two bound vectors including Inf sentinels.
@@ -98,6 +100,32 @@ func TestParallelDeterminism(t *testing.T) {
 				continue
 			}
 			requireSameResult(t, "Analyze", serial, parallel)
+		}
+	}
+}
+
+// TestParallelDeterminismAllPolicies: the same serial-vs-parallel
+// field-identity check with every registered discipline in the mix —
+// including TDMA, whose service bounds come through the policy registry
+// rather than the built-in switch — so policy-specific memoization paths
+// are covered by the identity check too.
+func TestParallelDeterminismAllPolicies(t *testing.T) {
+	r := rand.New(rand.NewSource(64))
+	cfg := randsys.Default
+	cfg.Schedulers = randsys.MixedSchedulers()
+	cfg.Resources = 1
+	for trial := 0; trial < 40; trial++ {
+		sys := randsys.New(r, cfg)
+		serial, serr := AnalyzeOpts(sys, Options{Workers: 1})
+		for _, workers := range []int{2, 8} {
+			parallel, perr := AnalyzeOpts(sys, Options{Workers: workers})
+			if (serr == nil) != (perr == nil) {
+				t.Fatalf("trial %d workers %d: error mismatch %v vs %v", trial, workers, serr, perr)
+			}
+			if serr != nil {
+				continue
+			}
+			requireSameResult(t, "AnalyzeAllPolicies", serial, parallel)
 		}
 	}
 }

@@ -45,10 +45,18 @@ func Identity() *Curve { return &Curve{linearPL(0, 1)} }
 // release times; with height tau it is the workload function of
 // Equation (1).
 func Staircase(jumps []Time, height Value) *Curve {
+	return StaircaseIn(nil, jumps, height)
+}
+
+// StaircaseIn is Staircase with the breakpoints carved from sc (nil =
+// heap). An arena-backed staircase is an intermediate: it is only valid
+// until the Scratch resets and must be Cloned to persist (the engines use
+// it for per-evaluation demand curves that never outlive the evaluation).
+func StaircaseIn(sc *Scratch, jumps []Time, height Value) *Curve {
 	if height <= 0 {
 		panic("curve: staircase height must be positive")
 	}
-	pts := make([]Point, 0, 2*len(jumps)+1)
+	pts := sc.take(2*len(jumps) + 1)
 	pts = append(pts, Point{0, 0})
 	level := Value(0)
 	for i := 0; i < len(jumps); {
@@ -70,7 +78,18 @@ func Staircase(jumps []Time, height Value) *Curve {
 		pts = append(pts, Point{t, level})
 		i = j
 	}
-	return &Curve{canon(pts, 0)}
+	return &Curve{canonIn(sc, pts, 0)}
+}
+
+// Clone returns a heap-backed copy of the curve. It is the persistence
+// step for curves built in a Scratch arena: breakpoints are copied
+// verbatim (canonical representations are unique, so the copy is
+// bit-identical) and the clone stays valid after the arena resets.
+// Cloning a heap-backed curve is a plain defensive copy.
+func (c *Curve) Clone() *Curve {
+	pts := make([]Point, len(c.f.pts))
+	copy(pts, c.f.pts)
+	return &Curve{pl{pts: pts, tail: c.f.tail}}
 }
 
 // fromPL wraps an internal pl as a Curve after verifying the Curve
@@ -138,13 +157,43 @@ func (c *Curve) Add(others ...*Curve) *Curve {
 	return fromPL(acc, "Add")
 }
 
+// Residual is the residual availability A(t) = t - sum_i S_i(t) left
+// over by a set of service curves, kept outside the Curve slope
+// invariant: every subtracted unit-slope curve lowers the slope by up to
+// one, so a residual over k curves has segment slopes down to 1-k and is
+// not a valid Curve in general. It is the memoized form of the
+// interference terms consumed by the theorem transforms (see sched.Memo):
+// both the Theorem 5/6 bundle and the Equation (10) availability need
+// exactly t - sum, so the chain maintains that form directly — extending
+// by one curve is a single signed two-pointer merge, and the consumers
+// read the result with no further pass over it. The empty residual (a
+// fully available processor, A(t) = t) is the nil *Residual. Immutable
+// once built; safe to share.
+type Residual struct{ f pl }
+
+// SubResidual extends the residual r by subtracting one more service
+// curve: SubResidual(nil, c) is t - c(t). The result is heap-backed
+// (memoized residuals outlive any per-evaluation arena) and, by exact
+// integer arithmetic over unique canonical representations,
+// bit-identical for any subtraction order.
+func SubResidual(r *Residual, c *Curve) *Residual {
+	if r == nil {
+		return &Residual{sumIn(nil, 0, 1, nil, []pl{c.f})}
+	}
+	return &Residual{sumIn(nil, 0, 0, []pl{r.f}, []pl{c.f})}
+}
+
 // Sum returns the pointwise sum of the given curves in one k-way linear
 // merge over the union of their breakpoints: summing k workload
 // staircases costs O(total breakpoints) instead of the quadratic
 // breakpoint churn of k sequential Adds. The same slope restriction as
 // Add applies: at most one summand may carry unit-slope segments. With no
 // arguments it returns the zero curve (the empty sum).
-func Sum(curves ...*Curve) *Curve {
+func Sum(curves ...*Curve) *Curve { return SumIn(nil, curves...) }
+
+// SumIn is Sum with the result carved from sc (nil = heap); an
+// arena-backed result must be Cloned to outlive the Scratch checkout.
+func SumIn(sc *Scratch, curves ...*Curve) *Curve {
 	if len(curves) == 0 {
 		return Zero()
 	}
@@ -155,7 +204,7 @@ func Sum(curves ...*Curve) *Curve {
 	for i, c := range curves {
 		fs[i] = c.f
 	}
-	return fromPL(sumPL(fs), "Sum")
+	return fromPL(sumIn(sc, 0, 0, fs, nil), "Sum")
 }
 
 // Min returns the pointwise minimum of two curves. The minimum is exact

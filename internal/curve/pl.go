@@ -21,6 +21,12 @@ import (
 //   - tail is the slope after the last point.
 //
 // Evaluation is right-continuous; evalLeft gives left limits.
+//
+// Most constructors take an optional *Scratch (nil = heap): a non-nil
+// scratch marks the result as an intermediate whose breakpoints live in
+// the arena and die at the next Reset. Final results — everything wrapped
+// into an exported Curve — are built with a nil scratch, so exported
+// curves never alias arena memory.
 type pl struct {
 	pts  []Point
 	tail int64
@@ -33,6 +39,10 @@ func constPL(v Value) pl { return pl{pts: []Point{{0, v}}, tail: 0} }
 func linearPL(y0 Value, slope int64) pl {
 	return pl{pts: []Point{{0, y0}}, tail: slope}
 }
+
+// identityPL is the shared identity function t; immutable, so hot paths
+// can use it without allocating a fresh linearPL(0, 1).
+var identityPL = linearPL(0, 1)
 
 // check panics if the representation invariants are violated. It is cheap
 // (linear) and called by the exported Validate helpers and in tests.
@@ -105,19 +115,32 @@ func (f pl) evalLeft(t Time) Value {
 	return f.evalRight(t)
 }
 
-// canon normalises a list of points produced by an operation: it collapses
-// redundant points at equal X (keeping only first and last), drops interior
-// collinear points and returns a canonical pl. The tail slope is taken from
-// the argument.
-func canon(pts []Point, tail int64) pl {
+// canon normalises a list of points produced by an operation into a
+// canonical heap-backed pl; see canonIn.
+func canon(pts []Point, tail int64) pl { return canonIn(nil, pts, tail) }
+
+// canonIn normalises a list of points produced by an operation: it
+// collapses redundant points at equal X (keeping only first and last),
+// drops interior collinear points and returns a canonical pl. The tail
+// slope is taken from the argument. The result breakpoints are carved from
+// sc (nil = an exact-size heap slice); the input buffer is scribbled on
+// either way and left free for reuse by the caller.
+//
+// Canonical representations are unique: the emitted breakpoints are
+// exactly the jump positions and slope changes of the function, so any two
+// build paths of the same mathematical function canonicalize to identical
+// point lists. The engines rely on this to keep results bit-identical
+// across algebraically equivalent groupings (e.g. the memoized prefix
+// interference sums versus the per-subjob k-way sums).
+func canonIn(sc *Scratch, pts []Point, tail int64) pl {
 	if len(pts) == 0 {
 		panic("curve: canon of empty point list")
 	}
 	// Collapse runs of equal X to (first, last); drop zero jumps. Each run
 	// emits at most as many points as it contains, so the write index never
 	// passes the read index and the phase can reuse the input buffer; the
-	// result is copied into an exact-size slice below, leaving the caller's
-	// buffer free for reuse (sumPL pools its merge buffer this way).
+	// result is copied into a fresh slice below, leaving the caller's
+	// buffer free for reuse (sumIn pools its merge buffer this way).
 	out := pts[:0]
 	for i := 0; i < len(pts); {
 		j := i
@@ -133,8 +156,8 @@ func canon(pts []Point, tail int64) pl {
 	}
 	// Drop interior collinear points.
 	pts = out
-	out = make([]Point, 0, len(pts))
-	for i, p := range pts {
+	out = sc.take(len(pts))
+	for _, p := range pts {
 		for len(out) >= 2 {
 			a, b := out[len(out)-2], out[len(out)-1]
 			if a.X == b.X || b.X == p.X {
@@ -149,8 +172,6 @@ func canon(pts []Point, tail int64) pl {
 				break
 			}
 		}
-		// Drop a final breakpoint that merely restates the tail slope.
-		_ = i
 		out = append(out, p)
 	}
 	// Drop a trailing point collinear with the tail extension of the
@@ -166,15 +187,17 @@ func canon(pts []Point, tail int64) pl {
 	return pl{pts: out, tail: tail}
 }
 
-// mergedXs returns the sorted union of breakpoint X coordinates of a and b,
-// without duplicates.
-func mergedXs(a, b pl) []Time {
-	xs := make([]Time, 0, len(a.pts)+len(b.pts))
+// mergedXs returns the sorted union of breakpoint X coordinates of a and
+// b, without duplicates, carved from sc (nil = heap). The coordinates are
+// stored in the X fields of a Point buffer so they can live in the arena
+// without an unsafe cast; the Y fields are unused.
+func mergedXs(sc *Scratch, a, b pl) []Point {
+	buf := sc.take(len(a.pts) + len(b.pts))
 	i, j := 0, 0
 	var last Time = -1
 	push := func(x Time) {
-		if len(xs) == 0 || x != last {
-			xs = append(xs, x)
+		if len(buf) == 0 || x != last {
+			buf = append(buf, Point{X: x})
 			last = x
 		}
 	}
@@ -188,33 +211,39 @@ func mergedXs(a, b pl) []Time {
 			j++
 		}
 	}
-	return xs
+	return buf
 }
 
-// sumCursor walks one summand of sumPL left to right. i is the index of
+// sumCursor walks one summand of sumIn left to right. i is the index of
 // the last breakpoint at or before the sweep position and slope the
 // segment slope immediately to its right (past any jump at that position).
+// sign is +1 for added summands and -1 for subtracted ones: subtraction
+// rides the same merge instead of materializing a negated copy of every
+// subtrahend, which used to be the single largest allocation source of the
+// whole analysis (the interference sums negate one curve per
+// higher-priority neighbor).
 type sumCursor struct {
 	pts   []Point
 	tail  int64
 	i     int
 	slope int64
+	sign  int64
 }
 
-// slopeAfter returns the slope immediately right of the cursor position.
-// The cursor is always past every duplicate-X point, so the next point (if
-// any) is at a strictly larger X.
+// slopeAfter returns the signed slope immediately right of the cursor
+// position. The cursor is always past every duplicate-X point, so the next
+// point (if any) is at a strictly larger X.
 func (c *sumCursor) slopeAfter() int64 {
 	if c.i+1 < len(c.pts) {
 		p, q := c.pts[c.i], c.pts[c.i+1]
-		return (q.Y - p.Y) / (q.X - p.X)
+		return c.sign * (q.Y - p.Y) / (q.X - p.X)
 	}
-	return c.tail
+	return c.sign * c.tail
 }
 
-// sumScratch holds the reusable per-call buffers of sumPL: the cursor
-// array and the merged-breakpoint buffer. canon copies the result into an
-// exact-size slice, so neither buffer escapes a call and both can be
+// sumScratch holds the reusable per-call buffers of sumIn: the cursor
+// array and the merged-breakpoint buffer. canonIn copies the result out of
+// the merge buffer, so neither buffer escapes a call and both can be
 // recycled by the next (possibly concurrent) sum.
 type sumScratch struct {
 	cs  []sumCursor
@@ -223,38 +252,54 @@ type sumScratch struct {
 
 var sumPool = sync.Pool{New: func() any { return new(sumScratch) }}
 
-// sumPL returns the pointwise sum of the fs in a single k-way linear
-// merge: one left-to-right sweep over the union of all breakpoints,
-// maintaining the summed value and summed slope incrementally. This is the
-// engine behind both the binary add and the exported Sum, replacing the
-// former per-breakpoint binary-search evaluation. Scratch buffers are
-// pooled: the FCFS path sums one staircase per co-located subjob for
-// every subjob of the processor, and the fixed-point engine re-sums on
-// every dirty evaluation, so the merge buffers are the hottest allocation
-// in the entire analysis.
+// sumPL returns the pointwise sum of the fs; see sumIn.
 func sumPL(fs []pl) pl {
-	if len(fs) == 0 {
-		return constPL(0)
-	}
 	if len(fs) == 1 {
 		return fs[0] // pls are immutable; sharing is safe
 	}
-	sc := sumPool.Get().(*sumScratch)
-	cs := sc.cs[:0]
-	var tail, slopeSum int64
-	var valRight Value
-	for _, f := range fs {
-		c := sumCursor{pts: f.pts, tail: f.tail}
-		for c.i+1 < len(c.pts) && c.pts[c.i+1].X == 0 {
-			c.i++ // start from the post-jump value at x = 0
-		}
-		c.slope = c.slopeAfter()
-		valRight += c.pts[c.i].Y
-		slopeSum += c.slope
-		tail += f.tail
-		cs = append(cs, c)
+	return sumIn(nil, 0, 0, fs, nil)
+}
+
+// sumIn returns y0 + slope*t + sum(plus) - sum(minus) in a single k-way
+// signed linear merge: one left-to-right sweep over the union of all
+// breakpoints, maintaining the summed value and summed slope
+// incrementally. This is the engine behind the binary add and sub, the
+// exported Sum, and every availability/interference combination
+// (linearSubSum), replacing both the former per-breakpoint binary-search
+// evaluation and the former per-subtrahend negated copies. Scratch buffers
+// are pooled: the FCFS path sums one staircase per co-located subjob for
+// every subjob of the processor, and the fixed-point engine re-sums on
+// every dirty evaluation, so the merge buffers are the hottest allocation
+// in the entire analysis. The result breakpoints are carved from sc
+// (nil = heap).
+func sumIn(sc *Scratch, y0 Value, slope int64, plus, minus []pl) pl {
+	if len(plus)+len(minus) == 0 {
+		return linearPL(y0, slope)
 	}
-	pts := sc.pts[:0]
+	ss := sumPool.Get().(*sumScratch)
+	cs := ss.cs[:0]
+	tail, slopeSum := slope, slope
+	valRight := y0
+	npts := 0
+	for s, fs := range [2][]pl{plus, minus} {
+		sign := int64(1 - 2*s) // +1 for plus, -1 for minus
+		for _, f := range fs {
+			c := sumCursor{pts: f.pts, tail: f.tail, sign: sign}
+			for c.i+1 < len(c.pts) && c.pts[c.i+1].X == 0 {
+				c.i++ // start from the post-jump value at x = 0
+			}
+			c.slope = c.slopeAfter()
+			valRight += sign * c.pts[c.i].Y
+			slopeSum += c.slope
+			tail += sign * f.tail
+			npts += len(c.pts)
+			cs = append(cs, c)
+		}
+	}
+	pts := ss.pts[:0]
+	if cap(pts) < npts+1 {
+		pts = make([]Point, 0, npts+1)
+	}
 	pts = append(pts, Point{0, valRight})
 	prevX := Time(0)
 	for {
@@ -278,11 +323,13 @@ func sumPL(fs []pl) pl {
 		for n := range cs {
 			c := &cs[n]
 			if c.i+1 < len(c.pts) && c.pts[c.i+1].X == next {
-				leftF := c.pts[c.i].Y + c.slope*(next-c.pts[c.i].X)
+				// Signed left limit of this summand at next: c.slope is
+				// already sign-folded, the base value is not.
+				leftF := c.sign*c.pts[c.i].Y + c.slope*(next-c.pts[c.i].X)
 				for c.i+1 < len(c.pts) && c.pts[c.i+1].X == next {
 					c.i++
 				}
-				r += c.pts[c.i].Y - leftF
+				r += c.sign*c.pts[c.i].Y - leftF
 				slopeSum -= c.slope
 				c.slope = c.slopeAfter()
 				slopeSum += c.slope
@@ -294,38 +341,187 @@ func sumPL(fs []pl) pl {
 		pts = append(pts, Point{next, r})
 		prevX, valRight = next, r
 	}
-	out := canon(pts, tail)
+	out := canonIn(sc, pts, tail)
 	for i := range cs {
 		cs[i] = sumCursor{} // drop summand references so the pool pins nothing
 	}
-	sc.cs, sc.pts = cs[:0], pts[:0]
-	sumPool.Put(sc)
+	ss.cs, ss.pts = cs[:0], pts[:0]
+	sumPool.Put(ss)
 	return out
 }
 
+// sumRunningMin returns h(t) = min(seed, inf_{0<=s<=t} F(s)) for
+// F = y0 + slope*t + sum(plus) - sum(minus), fusing sumIn's signed k-way
+// merge with the runningMinSeeded transform: the summed curve is never
+// materialized, and the output carries only the breakpoints where the
+// minimum actually moves — typically a handful next to the interference
+// sums the service transforms feed in. Left limits at downward jumps are
+// accounted exactly as in runningMinSeeded; the same slope restrictions
+// apply (a dip below the minimum must happen at slope -1 so the crossing
+// stays on the integer grid). The result is carved from sc (nil = heap)
+// and bit-identical to materializing the sum and running
+// runningMinSeeded over it (both canonicalize the same function).
+func sumRunningMin(sc *Scratch, y0 Value, slope int64, plus, minus []pl, seed Value) pl {
+	ss := sumPool.Get().(*sumScratch)
+	cs := ss.cs[:0]
+	tail, slopeSum := slope, slope
+	valRight := y0
+	for s, fs := range [2][]pl{plus, minus} {
+		sign := int64(1 - 2*s) // +1 for plus, -1 for minus
+		for _, f := range fs {
+			c := sumCursor{pts: f.pts, tail: f.tail, sign: sign}
+			for c.i+1 < len(c.pts) && c.pts[c.i+1].X == 0 {
+				c.i++ // start from the post-jump value at x = 0
+			}
+			c.slope = c.slopeAfter()
+			valRight += sign * c.pts[c.i].Y
+			slopeSum += c.slope
+			tail += sign * f.tail
+			cs = append(cs, c)
+		}
+	}
+	pts := ss.pts[:0]
+	cur := seed
+	if valRight < cur {
+		cur = valRight
+	}
+	pts = append(pts, Point{0, cur})
+	prevX := Time(0)
+	for {
+		next := Inf
+		for n := range cs {
+			c := &cs[n]
+			if c.i+1 < len(c.pts) && c.pts[c.i+1].X < next {
+				next = c.pts[c.i+1].X
+			}
+		}
+		if next == Inf {
+			break
+		}
+		// The sum is linear on (prevX, next); its left limit at next is l.
+		l := valRight + slopeSum*(next-prevX)
+		if l < cur {
+			// The segment dips below the running minimum; find the crossing.
+			if slopeSum >= 0 {
+				panic("curve: runningMin: non-decreasing segment dips below minimum")
+			}
+			if slopeSum < -1 {
+				panic("curve: runningMin: slope below -1 unsupported")
+			}
+			pts = append(pts, Point{prevX + (cur-valRight)/slopeSum, cur}, Point{next, l})
+			cur = l
+		}
+		r := l
+		for n := range cs {
+			c := &cs[n]
+			if c.i+1 < len(c.pts) && c.pts[c.i+1].X == next {
+				// Signed left limit of this summand at next: c.slope is
+				// already sign-folded, the base value is not.
+				leftF := c.sign*c.pts[c.i].Y + c.slope*(next-c.pts[c.i].X)
+				for c.i+1 < len(c.pts) && c.pts[c.i+1].X == next {
+					c.i++
+				}
+				r += c.sign*c.pts[c.i].Y - leftF
+				slopeSum -= c.slope
+				c.slope = c.slopeAfter()
+				slopeSum += c.slope
+			}
+		}
+		if r < cur {
+			// Downward jump below the minimum at next.
+			pts = append(pts, Point{next, cur}, Point{next, r})
+			cur = r
+		}
+		prevX, valRight = next, r
+	}
+	var out pl
+	if tail < 0 {
+		if tail < -1 {
+			panic("curve: runningMin: tail slope below -1 unsupported")
+		}
+		if valRight > cur {
+			// Flat at cur until the tail crosses it, then follow the tail.
+			pts = append(pts, Point{prevX + (cur-valRight)/tail, cur})
+		} else {
+			pts = append(pts, Point{prevX, cur})
+		}
+		out = canonIn(sc, pts, tail)
+	} else {
+		pts = append(pts, Point{prevX, cur})
+		out = canonIn(sc, pts, 0)
+	}
+	for i := range cs {
+		cs[i] = sumCursor{} // drop summand references so the pool pins nothing
+	}
+	ss.cs, ss.pts = cs[:0], pts[:0]
+	sumPool.Put(ss)
+	return out
+}
+
+// shiftFlat returns F'(y) = F(max(y-b, 0)) for b >= 0: F delayed by b
+// with a flat prefix at F(0). It folds a constant blocking offset into
+// the small outer curve of a composition instead of shifting (and
+// copying) the large inner one: F(max(A(t)-b, 0)) == F'(max(A(t), 0))
+// pointwise, so callers can share one clamped availability across
+// subjobs with different blocking terms.
+func (f pl) shiftFlat(sc *Scratch, b Value) pl {
+	out := sc.take(len(f.pts) + 1)
+	out = append(out, Point{0, f.pts[0].Y})
+	for _, p := range f.pts {
+		out = append(out, Point{p.X + b, p.Y})
+	}
+	return canonIn(sc, out, f.tail)
+}
+
 // add returns f + g by a two-pointer linear merge.
-func (f pl) add(g pl) pl {
-	return sumPL([]pl{f, g})
+func (f pl) add(g pl) pl { return f.addIn(nil, g) }
+
+// addIn is add with the result carved from sc (nil = heap).
+func (f pl) addIn(sc *Scratch, g pl) pl {
+	return sumIn(sc, 0, 0, []pl{f, g}, nil)
 }
 
 // neg returns -f.
-func (f pl) neg() pl {
-	pts := make([]Point, len(f.pts))
-	for i, p := range f.pts {
-		pts[i] = Point{p.X, -p.Y}
+func (f pl) neg() pl { return f.negIn(nil) }
+
+// negIn is neg with the result carved from sc (nil = heap).
+func (f pl) negIn(sc *Scratch) pl {
+	pts := sc.take(len(f.pts))
+	for _, p := range f.pts {
+		pts = append(pts, Point{p.X, -p.Y})
 	}
 	return pl{pts: pts, tail: -f.tail}
 }
 
 // sub returns f - g.
-func (f pl) sub(g pl) pl { return f.add(g.neg()) }
+func (f pl) sub(g pl) pl { return f.subIn(nil, g) }
 
-// addConst returns f + v.
-func (f pl) addConst(v Value) pl {
-	pts := make([]Point, len(f.pts))
-	for i, p := range f.pts {
-		pts[i] = Point{p.X, p.Y + v}
+// subIn is sub with the result carved from sc (nil = heap). The
+// subtrahend is merged with a negative sign instead of materializing -g.
+func (f pl) subIn(sc *Scratch, g pl) pl {
+	return sumIn(sc, 0, 0, []pl{f}, []pl{g})
+}
+
+// addConst returns f + v with the result carved from sc (nil = heap).
+func (f pl) addConst(sc *Scratch, v Value) pl {
+	pts := sc.take(len(f.pts))
+	for _, p := range f.pts {
+		pts = append(pts, Point{p.X, p.Y + v})
 	}
+	return pl{pts: pts, tail: f.tail}
+}
+
+// heap returns f backed by an exact-size heap slice. It is the copy-out
+// step for final results built in an arena: canonical points are copied
+// verbatim, so the canonical representation (and bit-identity) is
+// preserved. With a nil sc the points are already heap-backed and f is
+// returned unchanged.
+func (f pl) heap(sc *Scratch) pl {
+	if sc == nil {
+		return f
+	}
+	pts := make([]Point, len(f.pts))
+	copy(pts, f.pts)
 	return pl{pts: pts, tail: f.tail}
 }
 
@@ -336,7 +532,7 @@ func (f pl) addConst(v Value) pl {
 // point on the integer grid, which the analysis relies on. The result has
 // slopes in {-1, 0}.
 func (f pl) runningMin() pl {
-	return f.runningMinSeeded(f.evalRight(0))
+	return f.runningMinSeeded(nil, f.evalRight(0))
 }
 
 // runningMinSeeded is runningMin with an additional candidate value seed
@@ -344,8 +540,11 @@ func (f pl) runningMin() pl {
 // transforms use seed = c(0-) - A(0-) = 0, the "empty prefix" candidate of
 // the paper's min terms: without it, instances released exactly at time 0
 // would be treated as if their full workload had been served instantly.
-func (f pl) runningMinSeeded(seed Value) pl {
-	out := make([]Point, 0, len(f.pts)+4)
+// The result is carved from sc (nil = heap).
+func (f pl) runningMinSeeded(sc *Scratch, seed Value) pl {
+	// Worst case each input breakpoint emits a crossing point plus the
+	// breakpoint itself, and the tail handling appends one more pair.
+	out := sc.take(2*len(f.pts) + 2)
 	// A pre-jump marker at x = 0 is not a function value (the domain
 	// starts at 0 and evaluation is right-continuous); start from the
 	// post-jump value.
@@ -413,10 +612,10 @@ func (f pl) runningMinSeeded(seed Value) pl {
 		} else {
 			emit(Point{last.X, cur})
 		}
-		return canon(out, f.tail)
+		return canonIn(sc, out, f.tail)
 	}
 	emit(Point{last.X, cur})
-	return canon(out, 0)
+	return canonIn(sc, out, 0)
 }
 
 // runningMax returns h with h(t) = sup_{0 <= s <= t} f(s), accounting for
@@ -424,20 +623,59 @@ func (f pl) runningMinSeeded(seed Value) pl {
 // The result has slopes in {0, 1} and is used to make sound lower service
 // bounds monotone (a running maximum of a lower bound on a non-decreasing
 // function is still a lower bound).
-func (f pl) runningMax() pl {
-	return f.neg().runningMin().neg()
+func (f pl) runningMax() pl { return f.runningMaxIn(nil) }
+
+// runningMaxIn is runningMax with intermediates and result carved from sc
+// (nil = heap). An already non-decreasing f is its own running maximum and
+// is returned as-is (shared, copy-on-write style): the interference terms
+// of lightly loaded processors are usually already monotone, and skipping
+// the rebuild skips the largest buffer of the transform.
+func (f pl) runningMaxIn(sc *Scratch) pl {
+	if f.isNonDecreasing() {
+		return f
+	}
+	return f.negIn(sc).runningMinSeedHereIn(sc).negIn(sc)
+}
+
+// runningMinSeedHereIn is runningMin (seed = f(0)) carved from sc.
+func (f pl) runningMinSeedHereIn(sc *Scratch) pl {
+	return f.runningMinSeeded(sc, f.evalRight(0))
 }
 
 // clampMin returns max(f, v) pointwise. Upward crossings must happen on
 // segments of slope +1 or at breakpoints/jumps for exactness; slopes must
 // lie in {-1, 0, 1}.
-func (f pl) clampMin(v Value) pl {
-	return f.neg().clampMax(-v).neg()
+func (f pl) clampMin(v Value) pl { return f.clampMinIn(nil, v) }
+
+// clampMinIn is clampMin with intermediates and result carved from sc.
+// A function already at or above v everywhere is returned as-is.
+func (f pl) clampMinIn(sc *Scratch, v Value) pl {
+	if f.tail >= 0 && f.min() >= v {
+		return f
+	}
+	return f.negIn(sc).clampMaxIn(sc, -v).negIn(sc)
+}
+
+// min returns the smallest breakpoint value (the function minimum when the
+// tail is non-negative, since segments are linear between breakpoints).
+func (f pl) min() Value {
+	m := f.pts[0].Y
+	for _, p := range f.pts[1:] {
+		if p.Y < m {
+			m = p.Y
+		}
+	}
+	return m
 }
 
 // clampMax returns min(f, v) pointwise.
-func (f pl) clampMax(v Value) pl {
-	out := make([]Point, 0, len(f.pts)+4)
+func (f pl) clampMax(v Value) pl { return f.clampMaxIn(nil, v) }
+
+// clampMaxIn is clampMax with the result carved from sc (nil = heap).
+func (f pl) clampMaxIn(sc *Scratch, v Value) pl {
+	// Worst case every segment contributes a crossing point on top of its
+	// endpoint, plus one tail crossing.
+	out := sc.take(2*len(f.pts) + 1)
 	clip := func(y Value) Value {
 		if y > v {
 			return v
@@ -479,7 +717,7 @@ func (f pl) clampMax(v Value) pl {
 		}
 		out = append(out, Point{last.X + (v-last.Y)/tail, v})
 	}
-	return canon(out, tail)
+	return canonIn(sc, out, tail)
 }
 
 // minLower returns a piecewise-linear integer function h with
@@ -488,22 +726,16 @@ func (f pl) clampMax(v Value) pl {
 // g, where h is the chord between the exact integer-grid values (the chord
 // of a concave piece lies below it, so the result stays a sound *lower*
 // bound). It is used to cap lower service bounds by the arrived workload.
-func (f pl) minLower(g pl) pl {
-	xs := mergedXs(f, g)
+func (f pl) minLower(g pl) pl { return f.minLowerIn(nil, g) }
+
+// minLowerIn is minLower with intermediates and result carved from sc
+// (nil = heap). Samples are streamed against the previous one instead of
+// materialized, so the only buffers are the merged-X list and the output.
+func (f pl) minLowerIn(sc *Scratch, g pl) pl {
+	xs := mergedXs(sc, f, g)
 	type sample struct {
 		x      Time
 		fy, gy Value
-	}
-	// Expand jumps: at a jump of either function emit a left-limit sample
-	// followed by a right-value sample.
-	samples := make([]sample, 0, 2*len(xs))
-	for _, x := range xs {
-		fl, fr := f.evalLeft(x), f.evalRight(x)
-		gl, gr := g.evalLeft(x), g.evalRight(x)
-		if x > 0 && (fl != fr || gl != gr) {
-			samples = append(samples, sample{x, fl, gl})
-		}
-		samples = append(samples, sample{x, fr, gr})
 	}
 	min2 := func(a, b Value) Value {
 		if a < b {
@@ -511,38 +743,53 @@ func (f pl) minLower(g pl) pl {
 		}
 		return b
 	}
-	out := make([]Point, 0, len(samples)+8)
-	for i, s := range samples {
-		if i > 0 {
-			p := samples[i-1]
-			if s.x > p.x {
-				// Insert crossing breakpoints where f-g changes sign
-				// strictly inside the segment.
-				d1, d2 := p.fy-p.gy, s.fy-s.gy
-				if (d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0) {
-					dx := s.x - p.x
-					sf := (s.fy - p.fy) / dx
-					sg := (s.gy - p.gy) / dx
-					num, den := p.gy-p.fy, sf-sg
-					// x* = p.x + num/den with den != 0 by sign change.
-					if num%den == 0 {
-						x := p.x + num/den
-						out = append(out, Point{x, p.fy + sf*(x-p.x)})
-					} else {
-						// Fractional crossing: bracket it with the exact
-						// values at the neighbouring integer grid points.
-						x := p.x + num/den // floor or toward-zero; num,den same sign
-						if x > p.x {
-							out = append(out, Point{x, min2(p.fy+sf*(x-p.x), p.gy+sg*(x-p.x))})
-						}
-						if x+1 < s.x {
-							out = append(out, Point{x + 1, min2(p.fy+sf*(x+1-p.x), p.gy+sg*(x+1-p.x))})
-						}
+	// Each X yields at most two samples (left limit + right value at a
+	// jump); each sample appends itself plus at most two crossing points,
+	// and the diverging-tail fixup after the loop at most two more.
+	out := sc.take(6*len(xs) + 2)
+	var prev sample
+	havePrev := false
+	process := func(s sample) {
+		if havePrev && s.x > prev.x {
+			// Insert crossing breakpoints where f-g changes sign strictly
+			// inside the segment.
+			p := prev
+			d1, d2 := p.fy-p.gy, s.fy-s.gy
+			if (d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0) {
+				dx := s.x - p.x
+				sf := (s.fy - p.fy) / dx
+				sg := (s.gy - p.gy) / dx
+				num, den := p.gy-p.fy, sf-sg
+				// x* = p.x + num/den with den != 0 by sign change.
+				if num%den == 0 {
+					x := p.x + num/den
+					out = append(out, Point{x, p.fy + sf*(x-p.x)})
+				} else {
+					// Fractional crossing: bracket it with the exact
+					// values at the neighbouring integer grid points.
+					x := p.x + num/den // floor or toward-zero; num,den same sign
+					if x > p.x {
+						out = append(out, Point{x, min2(p.fy+sf*(x-p.x), p.gy+sg*(x-p.x))})
+					}
+					if x+1 < s.x {
+						out = append(out, Point{x + 1, min2(p.fy+sf*(x+1-p.x), p.gy+sg*(x+1-p.x))})
 					}
 				}
 			}
 		}
 		out = append(out, Point{s.x, min2(s.fy, s.gy)})
+		prev, havePrev = s, true
+	}
+	// Expand jumps: at a jump of either function emit a left-limit sample
+	// followed by a right-value sample.
+	for _, xp := range xs {
+		x := xp.X
+		fl, fr := f.evalLeft(x), f.evalRight(x)
+		gl, gr := g.evalLeft(x), g.evalRight(x)
+		if x > 0 && (fl != fr || gl != gr) {
+			process(sample{x, fl, gl})
+		}
+		process(sample{x, fr, gr})
 	}
 	tail := f.tail
 	if g.tail < tail {
@@ -550,7 +797,7 @@ func (f pl) minLower(g pl) pl {
 	}
 	// If the tails diverge, the function with the smaller tail eventually
 	// wins; add breakpoints around the tail crossing so the min is decided.
-	last := samples[len(samples)-1]
+	last := prev
 	if f.tail != g.tail {
 		num := last.gy - last.fy
 		den := f.tail - g.tail
@@ -570,20 +817,22 @@ func (f pl) minLower(g pl) pl {
 			}
 		}
 	}
-	return canon(out, tail)
+	return canonIn(sc, out, tail)
 }
 
 // composeMonotone returns f(g(t)) for non-decreasing f and g with segment
 // slopes in {0,1} and g continuous. Breakpoints of the result are g's
 // breakpoints plus the preimages of f's breakpoints, all integers because
-// g crosses integer levels on unit-slope segments at integer times.
-func composeMonotone(f, g pl) pl {
+// g crosses integer levels on unit-slope segments at integer times. The
+// result is carved from sc (nil = heap).
+func composeMonotone(sc *Scratch, f, g pl) pl {
 	// Candidate times: g's breakpoints and min{t : g(t) >= y} for every
-	// breakpoint level y of f within g's range.
-	var ts []Time
-	for _, p := range g.pts {
-		ts = append(ts, p.X)
-	}
+	// breakpoint level y of f within g's range. Both streams are already
+	// sorted (g's breakpoints by the pl invariant, the preimages because f's
+	// levels increase and g's inverse is monotone), so they merge with two
+	// pointers instead of a sort. The candidate buffer aliases point slots
+	// of the arena (X coordinates only), like mergedXs.
+	tbuf := sc.take(len(f.pts))
 	gInv := func(y Value) (Time, bool) {
 		if g.pts[0].Y >= y {
 			return 0, true
@@ -605,22 +854,29 @@ func composeMonotone(f, g pl) pl {
 	for _, p := range f.pts {
 		// f changes slope at domain position p.X; include its preimage.
 		if t, ok := gInv(p.X); ok {
-			ts = append(ts, t)
+			tbuf = append(tbuf, Point{X: t})
 		}
 	}
-	sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
-	pts := make([]Point, 0, len(ts)+1)
+	pts := sc.take(len(g.pts) + len(tbuf) + 1)
 	var last Time = -1
-	for _, t := range ts {
+	i, j := 0, 0
+	for i < len(g.pts) || j < len(tbuf) {
+		var t Time
+		if j >= len(tbuf) || (i < len(g.pts) && g.pts[i].X <= tbuf[j].X) {
+			t = g.pts[i].X
+			i++
+		} else {
+			t = tbuf[j].X
+			j++
+		}
 		if t == last {
 			continue
 		}
 		last = t
 		pts = append(pts, Point{t, f.evalRight(g.evalRight(t))})
 	}
-	if pts[0].X != 0 {
-		pts = append([]Point{{0, f.evalRight(g.evalRight(0))}}, pts...)
-	}
+	// The merge always seeds t = 0: g's first breakpoint sits at x = 0 by
+	// the pl representation invariant.
 	// Tail: if g goes flat the composition does too; otherwise g grows at
 	// unit rate past every f breakpoint preimage (all were candidates), so
 	// f's tail slope applies.
@@ -628,7 +884,7 @@ func composeMonotone(f, g pl) pl {
 	if g.tail != 0 {
 		tail = f.tail
 	}
-	return canon(pts, tail)
+	return canonIn(sc, pts, tail)
 }
 
 // isNonDecreasing reports whether f never decreases.

@@ -160,7 +160,7 @@ func TestComposeMonotoneDense(t *testing.T) {
 		// composeMonotone requires f continuous as well: rebuild without
 		// jumps by using a continuous random curve.
 		f = randContinuous(r, 10, 200).f
-		h := composeMonotone(f, g)
+		h := composeMonotone(nil, f, g)
 		h.check()
 		for x := Time(0); x <= 140; x++ {
 			want := f.evalRight(g.evalRight(x))
@@ -175,9 +175,9 @@ func TestMergedXsSorted(t *testing.T) {
 	r := rand.New(rand.NewSource(69))
 	for trial := 0; trial < 200; trial++ {
 		a, b := randPL(r, 10), randPL(r, 10)
-		xs := mergedXs(a, b)
+		xs := mergedXs(nil, a, b)
 		for i := 1; i < len(xs); i++ {
-			if xs[i] <= xs[i-1] {
+			if xs[i].X <= xs[i-1].X {
 				t.Fatalf("trial %d: mergedXs not strictly sorted: %v", trial, xs)
 			}
 		}

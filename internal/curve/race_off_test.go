@@ -1,0 +1,5 @@
+//go:build !race
+
+package curve
+
+const raceEnabled = false

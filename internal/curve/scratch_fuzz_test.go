@@ -1,0 +1,131 @@
+package curve
+
+import "testing"
+
+// plEqual is structural equality of canonical pls (unique representation,
+// so pointwise equality of the functions).
+func plEqual(a, b pl) bool {
+	if a.tail != b.tail || len(a.pts) != len(b.pts) {
+		return false
+	}
+	for i := range a.pts {
+		if a.pts[i] != b.pts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzScratch checks the arena's two soundness contracts on the transform
+// kernels, driven by fuzz-generated demand/availability shapes:
+//
+//  1. Carving from a Scratch is unobservable: every kernel returns a pl
+//     structurally identical to its nil-Scratch (heap) run. A violation
+//     means overlapping take buffers or a kernel scribbling its inputs.
+//  2. heap() actually escapes the arena: a heap copy taken before the
+//     Scratch is recycled must be unchanged after the arena is reset and
+//     its slabs overwritten with garbage.
+//
+// Run with
+//
+//	go test -fuzz FuzzScratch ./internal/curve
+func FuzzScratch(f *testing.F) {
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 7, 1, 200, 3, 9, 60, 60, 12, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		next := func() byte {
+			if len(data) == 0 {
+				return 5
+			}
+			v := data[0]
+			data = data[1:]
+			return v
+		}
+		// demand: a nondecreasing staircase (slope 0, upward jumps, tail 0);
+		// avail: continuous nondecreasing with slopes in {0,1} and tail 1.
+		// These are the operand shapes the service transforms feed the
+		// kernels, so every precondition (slope windows, tail limits) holds.
+		dpts := []Point{{0, Value(next() % 8)}}
+		x, y := Time(0), dpts[0].Y
+		for i := int(next()%10) + 1; i > 0; i-- {
+			x += Time(next()%7) + 1
+			dpts = append(dpts, Point{x, y})
+			y += Value(next()%5) + 1
+			dpts = append(dpts, Point{x, y})
+		}
+		demand := canon(dpts, 0)
+		apts := []Point{{0, 0}}
+		x, y = 0, 0
+		for i := int(next()%10) + 1; i > 0; i-- {
+			dx := Time(next()%6) + 1
+			x += dx
+			if next()%2 == 0 {
+				y += Value(dx)
+			}
+			apts = append(apts, Point{x, y})
+		}
+		avail := canon(apts, 1)
+		b := Value(next() % 5)
+
+		sc := GetScratch()
+		defer PutScratch(sc)
+
+		// Each row runs one production kernel chain; with-arena and heap
+		// runs must canonicalize identically.
+		chains := []struct {
+			name string
+			run  func(s *Scratch) pl
+		}{
+			{"sumRunningMin", func(s *Scratch) pl {
+				return sumRunningMin(s, 0, 0, []pl{demand}, []pl{avail}, 0)
+			}},
+			{"serviceTransform", func(s *Scratch) pl {
+				m := sumRunningMin(s, 0, 0, []pl{demand}, []pl{avail}, 0)
+				return avail.addIn(s, m)
+			}},
+			{"negRunMinLower", func(s *Scratch) pl {
+				m := sumRunningMin(s, 0, 0, []pl{demand}, []pl{avail}, 0)
+				return sumRunningMin(s, 0, 0, nil, []pl{avail, m}, 0).negIn(s).minLowerIn(s, demand)
+			}},
+			{"runMaxClamp", func(s *Scratch) pl {
+				return avail.subIn(s, demand).runningMaxIn(s).clampMinIn(s, 0)
+			}},
+			{"composeShift", func(s *Scratch) pl {
+				F := demand.clampMaxIn(s, demand.evalRight(1000)).shiftFlat(s, b)
+				return composeMonotone(s, F, avail)
+			}},
+		}
+
+		type snap struct {
+			name string
+			got  pl // heap copy taken from the arena run
+			want pl // reference pls computed with sc == nil
+		}
+		var snaps []snap
+		for _, c := range chains {
+			got := c.run(sc)
+			want := c.run(nil)
+			if !plEqual(got, want) {
+				t.Fatalf("%s: arena result differs from heap result:\n%v\n%v", c.name, got, want)
+			}
+			snaps = append(snaps, snap{c.name, got.heap(sc), want})
+		}
+
+		// Recycle the arena and overwrite every slab with garbage; the heap
+		// copies must not notice.
+		sc.Reset()
+		garbage := sc.take(4 * scratchSlab)
+		for i := 0; i < cap(garbage); i++ {
+			garbage = append(garbage, Point{X: -12345, Y: -98765})
+		}
+		for _, s := range snaps {
+			if !plEqual(s.got, s.want) {
+				t.Fatalf("%s: heap copy changed after arena reuse: %v", s.name, s.got)
+			}
+		}
+	})
+}

@@ -2,7 +2,6 @@ package curve
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Availability computes the availability function of Theorem 3,
@@ -16,21 +15,44 @@ import (
 // rate, so A is a valid Curve (non-decreasing with slopes in {0,1}); a
 // violation indicates a bug and panics.
 func Availability(services []*Curve) *Curve {
-	return fromPL(linearSubSum(0, 1, services), "Availability")
+	return fromPL(linearSubSum(nil, 0, 1, services), "Availability")
 }
 
-// linearSubSum returns y0 + slope*t - sum_i fs[i](t), summing the
-// subtrahends in one k-way merge instead of k sequential subtractions.
-func linearSubSum(y0 Value, slope int64, fs []*Curve) pl {
+// AvailabilityIn is Availability with the result carved from sc: the
+// returned curve aliases the arena and is only valid until the Scratch is
+// reset, so it must stay an intermediate (Clone it to persist).
+func AvailabilityIn(sc *Scratch, services []*Curve) *Curve {
+	return fromPL(linearSubSum(sc, 0, 1, services), "Availability")
+}
+
+// AvailabilityFromResidual is Availability over a memoized residual
+// chain (nil = empty set of higher-priority subjobs). The engines keep
+// one chain per processor over the priority order (Higher(r) is always
+// an exact prefix of the processor's priority-sorted subjob list), and
+// the residual already IS t - sum, so this only validates the Curve
+// slope invariant that the exact-SPP theory guarantees; no pass over the
+// breakpoints is needed. The result shares the residual's heap-backed
+// canonical breakpoints and is bit-identical to subtracting the
+// individual curves.
+func AvailabilityFromResidual(r *Residual) *Curve {
+	if r == nil {
+		return fromPL(linearPL(0, 1), "Availability")
+	}
+	return fromPL(r.f, "Availability")
+}
+
+// linearSubSum returns y0 + slope*t - sum_i fs[i](t) in one signed k-way
+// merge: the subtrahends ride the merge with a negative sign instead of
+// being negated into throwaway copies first.
+func linearSubSum(sc *Scratch, y0 Value, slope int64, fs []*Curve) pl {
 	if len(fs) == 0 {
 		return linearPL(y0, slope)
 	}
-	sum := make([]pl, 0, len(fs)+1)
-	sum = append(sum, linearPL(y0, slope))
-	for _, f := range fs {
-		sum = append(sum, f.f.neg())
+	minus := make([]pl, len(fs))
+	for i, f := range fs {
+		minus[i] = f.f
 	}
-	return sumPL(sum)
+	return sumIn(sc, y0, slope, nil, minus)
 }
 
 // ServiceTransform computes the service function of Theorem 3,
@@ -44,10 +66,23 @@ func linearSubSum(y0 Value, slope int64, fs []*Curve) pl {
 // The infimum accounts for left limits at the workload jumps, matching the
 // minimum over the closed real interval in the paper.
 func ServiceTransform(avail, demand *Curve) *Curve {
+	return fromPL(serviceTransform(nil, avail.f, demand.f), "ServiceTransform")
+}
+
+// ServiceTransformIn is ServiceTransform with all buffers carved from sc
+// (nil = heap); when sc is non-nil the result aliases the arena and must
+// be Cloned before it outlives the checkout.
+func ServiceTransformIn(sc *Scratch, avail, demand *Curve) *Curve {
+	return fromPL(serviceTransform(sc, avail.f, demand.f), "ServiceTransform")
+}
+
+func serviceTransform(sc *Scratch, avail, demand pl) pl {
 	// The seed 0 is the empty-prefix candidate c(0-) - A(0-): without it,
 	// workload released exactly at t = 0 would count as served instantly.
-	m := demand.f.sub(avail.f).runningMinSeeded(0)
-	return fromPL(avail.f.add(m), "ServiceTransform")
+	// The fused kernel runs the minimum over c - A without materializing
+	// the difference curve.
+	m := sumRunningMin(sc, 0, 0, []pl{demand}, []pl{avail}, 0)
+	return avail.addIn(sc, m)
 }
 
 // Utilization computes the utilization function of Theorem 7,
@@ -59,6 +94,12 @@ func ServiceTransform(avail, demand *Curve) *Curve {
 // (Equation 21).
 func Utilization(total *Curve) *Curve {
 	return ServiceTransform(Identity(), total)
+}
+
+// UtilizationIn is Utilization carved from sc; see ServiceTransformIn for
+// the lifetime contract.
+func UtilizationIn(sc *Scratch, total *Curve) *Curve {
+	return fromPL(serviceTransform(sc, linearPL(0, 1), total.f), "ServiceTransform")
 }
 
 // LowerServiceNP computes a sound variant of Theorem 5's lower service
@@ -122,61 +163,155 @@ func Utilization(total *Curve) *Curve {
 // With b = 0 this is also the sound lower service bound for a *preemptive*
 // static-priority processor inside an approximate (Theorem 4) pipeline.
 func LowerServiceNP(b Value, upper, lower []*Curve, demand *Curve) *Curve {
+	return LowerServiceNPIn(nil, b, upper, lower, demand)
+}
+
+// LowerServiceNPIn is LowerServiceNP with intermediates carved from sc
+// (nil = heap). The result is always heap-backed.
+func LowerServiceNPIn(sc *Scratch, b Value, upper, lower []*Curve, demand *Curve) *Curve {
 	if b < 0 {
 		panic("curve: negative blocking time")
 	}
-	availT := linearSubSum(-b, 1, upper)
-	vhat := linearSubSum(0, 1, lower).runningMax()
+	ahat := linearSubSum(sc, 0, 1, upper).runningMaxIn(sc).clampMinIn(sc, 0)
+	vhat := linearSubSum(sc, 0, 1, lower).runningMaxIn(sc)
+	return lowerServiceNP(sc, ahat, vhat, b, demand)
+}
 
-	// Candidate sticks (v_i, k_i): u = 0 plus every arrival instant.
-	type stick struct{ v, k Value }
-	cands := []stick{{0, 0}}
+// NPInterference bundles the interference-derived curves of Theorems 5
+// and 6 for one fixed set of higher-priority subjobs, precomputed once
+// and shared by every subjob whose interference set it is: under a strict
+// priority order each set is a prefix of the processor's priority-sorted
+// subjob list, and sched.Memo keeps one bundle per prefix position. The
+// per-subjob transforms then run over these shared curves instead of
+// re-deriving a fresh availability, running maximum and candidate
+// transform from the summand lists for every subjob — the dominant cost
+// of the static-priority pipeline on contended processors. All fields
+// are heap-backed (they outlive any per-evaluation arena); exact integer
+// algebra and unique canonical representations make every bound computed
+// through a bundle bit-identical to the summand-list variants.
+type NPInterference struct {
+	availLo pl // Blo(t) = t - sum_h lower_h(t)       (Theorem 6's window term)
+	availHi pl // Bup(t) = t - sum_h upper_h(t)       (Theorem 6's end term)
+	ahat    pl // max(0, runmax(Bup)): Theorem 5's availability, before the -b offset
+	vhat    pl // runmax(Blo): Theorem 5's candidate transform
+}
+
+// NewNPInterference precomputes the Theorem 5/6 interference curves from
+// the residual availabilities over the higher-priority service bounds
+// (nil = empty set, i.e. a fully available processor). The residuals are
+// already Blo and Bup, so only the running maxima are derived here.
+func NewNPInterference(resLo, resHi *Residual) *NPInterference {
+	availLo, availHi := identityPL, identityPL
+	if resLo != nil {
+		availLo = resLo.f
+	}
+	if resHi != nil {
+		availHi = resHi.f
+	}
+	// The running maxima expand into several full-size intermediate
+	// curves; build them in a borrowed arena and heap-copy only the two
+	// results the bundle keeps — unless the transforms were identities,
+	// in which case the heap-backed availability is shared as-is.
+	sc := GetScratch()
+	defer PutScratch(sc)
+	ahat := availHi.runningMaxIn(sc).clampMinIn(sc, 0)
+	if !samePts(ahat, availHi) {
+		ahat = ahat.heap(sc)
+	}
+	vhat := availLo.runningMaxIn(sc)
+	if !samePts(vhat, availLo) {
+		vhat = vhat.heap(sc)
+	}
+	return &NPInterference{availLo: availLo, availHi: availHi, ahat: ahat, vhat: vhat}
+}
+
+// samePts reports whether two pls share the same backing breakpoints
+// (a transform's fast path returned its input unchanged).
+func samePts(a, b pl) bool {
+	return len(a.pts) == len(b.pts) && (len(a.pts) == 0 || &a.pts[0] == &b.pts[0])
+}
+
+// LowerServiceNP is the Theorem 5 lower service bound over the bundle's
+// interference set; see the function LowerServiceNP for the derivation.
+// Intermediates are carved from sc (nil = heap); the result is
+// heap-backed.
+func (ni *NPInterference) LowerServiceNP(sc *Scratch, b Value, demand *Curve) *Curve {
+	if b < 0 {
+		panic("curve: negative blocking time")
+	}
+	return lowerServiceNP(sc, ni.ahat, ni.vhat, b, demand)
+}
+
+// UpperServiceNP is the Theorem 6 upper service bound over the bundle's
+// interference set; see the function UpperServiceNP for the derivation.
+// Intermediates are carved from sc (nil = heap); the result is
+// heap-backed.
+func (ni *NPInterference) UpperServiceNP(sc *Scratch, demand *Curve) *Curve {
+	return upperServiceNP(sc, ni.availLo, ni.availHi, demand)
+}
+
+// lowerServiceNP is the shared core, taking ahat = max(0, runmax(Bup))
+// (before the blocking offset) and vhat = runmax(Blo). The blocking term
+// is folded into the small candidate envelope F instead of the large
+// availability: F(max(A(t)-b, 0)) == F'(max(A(t), 0)) pointwise for
+// F'(y) = F(max(y-b, 0)) and b >= 0, so callers share one clamped
+// running maximum across subjobs with different blocking terms and the
+// per-subjob adjustment costs O(|F|), not O(|ahat|). Intermediates live
+// in sc; the returned curve is heap-backed.
+func lowerServiceNP(sc *Scratch, ahat, vhat pl, b Value, demand *Curve) *Curve {
+	// Candidate sticks (v_i, k_i): u = 0 plus every arrival instant. A
+	// stick is stored in a Point (X = v, Y = k) so the candidate buffers
+	// can live in the arena.
 	dp := demand.f.pts
+	cands := sc.take(len(dp) + 1)
+	cands = append(cands, Point{0, 0})
 	for i := 1; i < len(dp); i++ {
 		p, q := dp[i-1], dp[i]
 		if q.X == p.X && q.Y > p.Y {
-			cands = append(cands, stick{vhat.evalRight(q.X), p.Y})
+			cands = append(cands, Point{vhat.evalRight(q.X), p.Y})
 		}
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].v != cands[b].v {
-			return cands[a].v < cands[b].v
-		}
-		return cands[a].k < cands[b].k
-	})
+	// cands is already sorted: arrival instants increase, vhat is
+	// non-decreasing and so are the staircase levels. The adaptive
+	// insertion sort is a linear allocation-free verification pass that
+	// also restores order for any non-staircase demand an external caller
+	// might feed in.
+	insertionSortPoints(cands)
 	// Lower envelope: keep v strictly increasing, k strictly increasing
 	// and k-v strictly decreasing.
 	env := cands[:0]
 	for _, c := range cands {
-		for len(env) > 0 && env[len(env)-1].k >= c.k {
+		for len(env) > 0 && env[len(env)-1].Y >= c.Y {
 			env = env[:len(env)-1]
 		}
 		if len(env) > 0 {
 			t := env[len(env)-1]
-			if c.k-c.v >= t.k-t.v {
+			if c.Y-c.X >= t.Y-t.X {
 				continue // its sloped part never beats the previous stick
 			}
 		}
 		env = append(env, c)
 	}
 	// Materialize F(y) = min_i (k_i + (y - v_i)^+) for y >= 0 as a pl.
-	fpts := []Point{{0, env[0].k + max64(0, 0-env[0].v)}}
+	fpts := sc.take(2*len(env) + 1)
+	fpts = append(fpts, Point{0, env[0].Y + max64(0, 0-env[0].X)})
 	for i, s := range env {
-		if s.v > 0 {
-			fpts = append(fpts, Point{s.v, s.k})
+		if s.X > 0 {
+			fpts = append(fpts, Point{s.X, s.Y})
 		}
 		if i+1 < len(env) {
 			n := env[i+1]
-			fpts = append(fpts, Point{s.v + (n.k - s.k), n.k})
+			fpts = append(fpts, Point{s.X + (n.Y - s.Y), n.Y})
 		}
 	}
-	F := canon(fpts, 1)
+	F := canonIn(sc, fpts, 1)
 	if total, ok := (&Curve{demand.f}).Sup(); ok {
-		F = F.clampMax(total)
+		F = F.clampMaxIn(sc, total)
 	}
-
-	ahat := availT.runningMax().clampMin(0)
-	return fromPL(composeMonotone(F, ahat), "LowerServiceNP")
+	if b != 0 {
+		F = F.shiftFlat(sc, b)
+	}
+	return fromPL(composeMonotone(sc, F, ahat).heap(sc), "LowerServiceNP")
 }
 
 func max64(a, b Value) Value {
@@ -184,6 +319,21 @@ func max64(a, b Value) Value {
 		return a
 	}
 	return b
+}
+
+// insertionSortPoints sorts pts by (X, Y) in place: allocation-free and
+// linear for already-sorted input, which is the only case the package's
+// own callers produce.
+func insertionSortPoints(pts []Point) {
+	for i := 1; i < len(pts); i++ {
+		p := pts[i]
+		j := i - 1
+		for j >= 0 && (pts[j].X > p.X || (pts[j].X == p.X && pts[j].Y > p.Y)) {
+			pts[j+1] = pts[j]
+			j--
+		}
+		pts[j+1] = p
+	}
 }
 
 // UpperServiceNP computes a sound variant of Theorem 6's upper service
@@ -207,11 +357,26 @@ func max64(a, b Value) Value {
 // service never exceeds it), and the running maximum restores
 // monotonicity, which loose interference bounds can break.
 func UpperServiceNP(lower, upper []*Curve, demand *Curve) *Curve {
-	availT := linearSubSum(0, 1, lower)
-	availS := linearSubSum(0, 1, upper)
-	m := demand.f.sub(availS).runningMinSeeded(0)
-	raw := availT.add(m).runningMax().clampMin(0)
-	return fromPL(raw.minLower(demand.f), "UpperServiceNP")
+	return UpperServiceNPIn(nil, lower, upper, demand)
+}
+
+// UpperServiceNPIn is UpperServiceNP with intermediates carved from sc
+// (nil = heap). The result is always heap-backed.
+func UpperServiceNPIn(sc *Scratch, lower, upper []*Curve, demand *Curve) *Curve {
+	return upperServiceNP(sc, linearSubSum(sc, 0, 1, lower), linearSubSum(sc, 0, 1, upper), demand)
+}
+
+// upperServiceNP is the shared core: availT = Blo, availS = Bup.
+// Intermediates live in sc; the returned curve is heap-backed.
+func upperServiceNP(sc *Scratch, availT, availS pl, demand *Curve) *Curve {
+	// Both stages run as fused running-minimum sweeps over signed sums, so
+	// neither c - Bup nor Blo + m is ever materialized. The second stage
+	// uses max(0, runmax(f)) = -min(0, runmin(-f)) to reuse the same
+	// kernel; negation preserves canonical form, so the result is
+	// bit-identical to the chained clampMin(runmax(addIn(...)), 0).
+	m := sumRunningMin(sc, 0, 0, []pl{demand.f}, []pl{availS}, 0)
+	raw := sumRunningMin(sc, 0, 0, nil, []pl{availT, m}, 0).negIn(sc)
+	return fromPL(raw.minLowerIn(sc, demand.f).heap(sc), "UpperServiceNP")
 }
 
 // ComposeFCFS evaluates the FCFS service bounds of Theorems 8 and 9:
@@ -240,9 +405,20 @@ func UpperServiceNP(lower, upper []*Curve, demand *Curve) *Curve {
 //     c(x_j-) is impossible before U(t) exceeds G(x_j-) (left value);
 //     jumping at U^-1(G(x_j-)) is at most one tick early, staying sound.
 func ComposeFCFS(demand, total, util *Curve, upper bool) *Curve {
-	pts := []Point{{0, 0}}
-	level := Value(0)
+	return ComposeFCFSIn(nil, demand, total, util, upper)
+}
+
+// ComposeFCFSIn is ComposeFCFS with the result carved from sc (nil =
+// heap); an arena-backed result must be Cloned to outlive the checkout.
+// The utilization inverse is evaluated with a forward cursor - the query
+// levels G(x_j) are non-decreasing in x_j - so the whole composition is a
+// single linear sweep instead of a binary search per jump.
+func ComposeFCFSIn(sc *Scratch, demand, total, util *Curve, upper bool) *Curve {
 	dp := demand.f.pts
+	pts := sc.take(2*len(dp) + 1)
+	pts = append(pts, Point{0, 0})
+	level := Value(0)
+	inv := inverseCursor{f: &util.f}
 	for i := 1; i < len(dp); i++ {
 		p, q := dp[i-1], dp[i]
 		if q.X != p.X || q.Y <= p.Y {
@@ -261,7 +437,7 @@ func ComposeFCFS(demand, total, util *Curve, upper bool) *Curve {
 		} else {
 			y = total.Eval(q.X)
 		}
-		theta := util.Inverse(y)
+		theta := inv.inverse(y)
 		if IsInf(theta) {
 			break
 		}
@@ -271,15 +447,18 @@ func ComposeFCFS(demand, total, util *Curve, upper bool) *Curve {
 		level = q.Y
 		pts = append(pts, Point{theta, level})
 	}
-	return fromPL(canon(pts, 0), "ComposeFCFS")
+	return fromPL(canonIn(sc, pts, 0), "ComposeFCFS")
 }
 
 // AddConst returns the curve shifted up by v >= 0 (Theorem 9's +tau).
-func (c *Curve) AddConst(v Value) *Curve {
+func (c *Curve) AddConst(v Value) *Curve { return c.AddConstIn(nil, v) }
+
+// AddConstIn is AddConst carved from sc (nil = heap).
+func (c *Curve) AddConstIn(sc *Scratch, v Value) *Curve {
 	if v < 0 {
 		panic("curve: AddConst with negative value")
 	}
-	return fromPL(c.f.addConst(v), "AddConst")
+	return fromPL(c.f.addConst(sc, v), "AddConst")
 }
 
 // MaxVerticalDeviation returns the largest vertical distance

@@ -223,7 +223,15 @@ func sweepPanels(specs []panelSpec, opts Options) ([]Panel, error) {
 	succ := make([]atomic.Int64, len(specs)*nu*nm)
 	trials := make([]atomic.Int64, len(specs)*nu)
 
-	type task struct{ pi, ui, set int }
+	// One task covers a chunk of consecutive sets of one (panel, point):
+	// a single draw is a few hundred microseconds of work, so per-draw
+	// tasks would spend a visible share of the sweep on channel handoffs
+	// and cache-cold task switches. Chunks keep workers on one
+	// configuration for several draws while still yielding far more tasks
+	// than workers for load balance. The per-draw RNG stays keyed on
+	// (utilization index, set), so chunking cannot change any verdict.
+	const setChunk = 8
+	type task struct{ pi, ui, set0, set1 int }
 	tasks := make(chan task)
 	var (
 		wg      sync.WaitGroup
@@ -242,33 +250,35 @@ func sweepPanels(specs []panelSpec, opts Options) ([]Panel, error) {
 		go func() {
 			defer wg.Done()
 			for t := range tasks {
-				if failed.Load() {
-					continue // drain the queue after the first error
-				}
-				if cerr := ctx.Err(); cerr != nil {
-					fail(fmt.Errorf("experiments: %w", cerr))
-					continue
-				}
-				c := specs[t.pi].cfg
-				c.Utilization = opts.Utilizations[t.ui]
-				r := stats.NewRand(opts.Seed, int64(t.ui)*1_000_003+int64(t.set))
-				d, err := workload.Generate(r, c)
-				if err != nil {
-					fail(fmt.Errorf("experiments: %s utilization %g set %d: %w",
-						specs[t.pi].name, c.Utilization, t.set, err))
-					continue
-				}
-				trials[t.pi*nu+t.ui].Add(1)
-				base := (t.pi*nu + t.ui) * nm
-				for mi, m := range opts.Methods {
-					admitted, aerr := safeAdmit(ctx, d, m, inner)
-					if aerr != nil {
-						fail(fmt.Errorf("experiments: %s utilization %g set %d: %w",
-							specs[t.pi].name, c.Utilization, t.set, aerr))
+				for set := t.set0; set < t.set1; set++ {
+					if failed.Load() {
+						break // drain the queue after the first error
+					}
+					if cerr := ctx.Err(); cerr != nil {
+						fail(fmt.Errorf("experiments: %w", cerr))
 						break
 					}
-					if admitted {
-						succ[base+mi].Add(1)
+					c := specs[t.pi].cfg
+					c.Utilization = opts.Utilizations[t.ui]
+					r := stats.NewRand(opts.Seed, int64(t.ui)*1_000_003+int64(set))
+					d, err := workload.Generate(r, c)
+					if err != nil {
+						fail(fmt.Errorf("experiments: %s utilization %g set %d: %w",
+							specs[t.pi].name, c.Utilization, set, err))
+						continue
+					}
+					trials[t.pi*nu+t.ui].Add(1)
+					base := (t.pi*nu + t.ui) * nm
+					for mi, m := range opts.Methods {
+						admitted, aerr := safeAdmit(ctx, d, m, inner)
+						if aerr != nil {
+							fail(fmt.Errorf("experiments: %s utilization %g set %d: %w",
+								specs[t.pi].name, c.Utilization, set, aerr))
+							break
+						}
+						if admitted {
+							succ[base+mi].Add(1)
+						}
 					}
 				}
 			}
@@ -276,8 +286,12 @@ func sweepPanels(specs []panelSpec, opts Options) ([]Panel, error) {
 	}
 	for pi := range specs {
 		for ui := 0; ui < nu; ui++ {
-			for set := 0; set < opts.Sets; set++ {
-				tasks <- task{pi, ui, set}
+			for set := 0; set < opts.Sets; set += setChunk {
+				hi := set + setChunk
+				if hi > opts.Sets {
+					hi = opts.Sets
+				}
+				tasks <- task{pi, ui, set, hi}
 			}
 		}
 	}

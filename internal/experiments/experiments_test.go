@@ -282,3 +282,42 @@ func TestCSVRoundTrip(t *testing.T) {
 		t.Fatalf("series = %d, want 2", len(pl.Series))
 	}
 }
+
+// TestFigureCSVWorkerIdentity asserts the rendered figure CSVs are
+// byte-identical between a serial and an 8-worker sweep. Per-draw RNG is
+// keyed on (utilization index, set) and verdict counting is commutative,
+// so neither worker scheduling nor task chunking may leak into the
+// artifacts. Sets = 10 deliberately straddles a chunk boundary (one full
+// chunk of 8 plus a remainder of 2).
+func TestFigureCSVWorkerIdentity(t *testing.T) {
+	base := workload.Default
+	base.Jobs = 4
+	render := func(workers int) (string, string) {
+		opts := Options{
+			Seed:         7,
+			Sets:         10,
+			Utilizations: []float64{0.4, 0.8},
+			Workers:      workers,
+		}
+		f3, err := Figure3(base, []int{1, 2}, []float64{2}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f4, err := Figure4(base, []float64{6}, []float64{1, 2}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b3, b4 bytes.Buffer
+		RenderCSV(&b3, f3)
+		RenderCSV(&b4, f4)
+		return b3.String(), b4.String()
+	}
+	s3, s4 := render(1)
+	p3, p4 := render(8)
+	if s3 != p3 {
+		t.Errorf("figure 3 CSV differs between 1 and 8 workers:\n-- serial --\n%s\n-- 8 workers --\n%s", s3, p3)
+	}
+	if s4 != p4 {
+		t.Errorf("figure 4 CSV differs between 1 and 8 workers:\n-- serial --\n%s\n-- 8 workers --\n%s", s4, p4)
+	}
+}

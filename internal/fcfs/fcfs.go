@@ -33,11 +33,23 @@ import (
 // (Equation 21, including the subjob itself); exec the subjob's execution
 // time tau.
 func Bounds(exec model.Ticks, demandLo, demandHi, totalLo, totalHi *curve.Curve) (lo, hi *curve.Curve) {
-	utilLo := curve.Utilization(totalLo)                     // Theorem 7 on the sparsest workload
-	utilHi := curve.Utilization(totalHi)                     // and on the densest
-	lo = curve.ComposeFCFS(demandLo, totalHi, utilLo, false) // Theorem 8
-	hi = curve.ComposeFCFS(demandHi, totalLo, utilHi, true). // Theorem 9
-									AddConst(exec).
+	utilLo := curve.Utilization(totalLo) // Theorem 7 on the sparsest workload
+	utilHi := curve.Utilization(totalHi) // and on the densest
+	return BoundsFromTotals(nil, exec, demandLo, demandHi, totalLo, totalHi, utilLo, utilHi)
+}
+
+// BoundsFromTotals is Bounds taking precomputed utilization functions
+// alongside the totals: they depend only on the processor-wide workload,
+// so the engines compute each once per processor (sched.Memo) instead of
+// once per subjob. Intermediates are carved from sc (nil = heap); the
+// returned bounds are always heap-backed.
+func BoundsFromTotals(sc *curve.Scratch, exec model.Ticks, demandLo, demandHi, totalLo, totalHi, utilLo, utilHi *curve.Curve) (lo, hi *curve.Curve) {
+	lo = curve.ComposeFCFSIn(sc, demandLo, totalHi, utilLo, false) // Theorem 8
+	hi = curve.ComposeFCFSIn(sc, demandHi, totalLo, utilHi, true). // Theorem 9
+									AddConstIn(sc, exec).
 									Min(demandHi)
+	if sc != nil {
+		lo = lo.Clone() // the composition is arena-backed; the bound is stored
+	}
 	return lo, hi
 }

@@ -23,6 +23,11 @@ type Topology struct {
 	refs    []SubjobRef // all subjobs in (job, hop) order
 	onProc  [][]SubjobRef
 	byPrio  [][]SubjobRef
+	// prioPos[id] is the position of subjob id in its processor's byPrio
+	// list. Because HigherPriority is a strict total order and byPrio is
+	// sorted by it, byPrio[p][:prioPos[id]] is exactly Higher(id) — the
+	// property behind the engines' prefix-sum interference memoization.
+	prioPos []int
 	// Per subjob id, in deterministic (job, hop) order:
 	higher      [][]SubjobRef // strictly higher-priority subjobs on the same processor
 	lower       [][]SubjobRef // strictly lower-priority subjobs on the same processor
@@ -145,6 +150,12 @@ func buildTopology(s *System, sig uint64) *Topology {
 				j--
 			}
 			refs[j+1] = r
+		}
+	}
+	t.prioPos = make([]int, n)
+	for p := range t.byPrio {
+		for i, r := range t.byPrio[p] {
+			t.prioPos[t.ID(r)] = i
 		}
 	}
 	// Resource ceilings (one pass; empty map when no resources declared).
@@ -323,6 +334,16 @@ func (t *Topology) OnProc(p int) []SubjobRef { return t.onProc[p] }
 // priority with the deterministic (job, hop) tie-break. Shared slice; do
 // not mutate.
 func (t *Topology) ByPriority(p int) []SubjobRef { return t.byPrio[p] }
+
+// PrioPos returns r's position in ByPriority of its processor. Because
+// HigherPriority is a strict total order with the (job, hop) tie-break and
+// ByPriority is sorted by it, ByPriority(p)[:PrioPos(r)] holds exactly the
+// strictly higher-priority subjobs of r (the set Higher returns, in
+// priority order).
+func (t *Topology) PrioPos(r SubjobRef) int { return t.prioPos[t.ID(r)] }
+
+// Procs returns the number of processors the index covers.
+func (t *Topology) Procs() int { return len(t.onProc) }
 
 // Higher returns the strictly higher-priority subjobs on r's processor in
 // (job, hop) order. Shared slice; do not mutate.

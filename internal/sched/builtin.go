@@ -37,6 +37,14 @@ func (p staticPriority) ServiceBounds(ctx *ServiceContext) (lo, hi *curve.Curve)
 	} else {
 		blocking = ctx.Topo.Blocking(r)
 	}
+	demandLo, demandHi := ctx.Demand(r)
+	if ctx.Memo != nil {
+		// Dependency-ordered run with final inputs: the interference terms
+		// are derived once per priority-prefix over the processor's order
+		// (Higher(r) is exactly the prefix before r's position) and shared.
+		ni := ctx.Memo.NPInterference(ctx.Sys.Subjob(r).Proc, ctx.Topo.PrioPos(r), ctx.Service)
+		return spnp.BoundsFromInterference(ctx.Scratch, blocking, ni, demandLo, demandHi)
+	}
 	higher := ctx.Topo.Higher(r)
 	interf := make([]spnp.Interference, 0, len(higher))
 	for _, o := range higher {
@@ -50,8 +58,7 @@ func (p staticPriority) ServiceBounds(ctx *ServiceContext) (lo, hi *curve.Curve)
 		}
 		interf = append(interf, spnp.Interference{Lo: slo, Hi: shi})
 	}
-	demandLo, demandHi := ctx.Demand(r)
-	return spnp.Bounds(blocking, interf, demandLo, demandHi)
+	return spnp.BoundsIn(ctx.Scratch, blocking, interf, demandLo, demandHi)
 }
 
 // Order dispatches by IPCP-effective priority; ties fall to the shared
@@ -91,6 +98,12 @@ func (fcfsPolicy) ServiceBounds(ctx *ServiceContext) (lo, hi *curve.Curve) {
 	r := ctx.Ref
 	sj := ctx.Sys.Subjob(r)
 	demandLo, demandHi := ctx.Demand(r)
+	if ctx.Memo != nil {
+		// Dependency-ordered run with final inputs: totals and utilization
+		// functions are per-processor quantities, computed once and shared.
+		totalLo, totalHi, utilLo, utilHi := ctx.Memo.FCFSTotals(sj.Proc, ctx.Demand)
+		return fcfs.BoundsFromTotals(ctx.Scratch, sj.Exec, demandLo, demandHi, totalLo, totalHi, utilLo, utilHi)
+	}
 	onp := ctx.Topo.OnProc(sj.Proc)
 	los := make([]*curve.Curve, 0, len(onp))
 	his := make([]*curve.Curve, 0, len(onp))
@@ -104,8 +117,10 @@ func (fcfsPolicy) ServiceBounds(ctx *ServiceContext) (lo, hi *curve.Curve) {
 		los = append(los, olo)
 		his = append(his, ohi)
 	}
-	totalLo, totalHi := curve.Sum(los...), curve.Sum(his...)
-	return fcfs.Bounds(sj.Exec, demandLo, demandHi, totalLo, totalHi)
+	sc := ctx.Scratch
+	totalLo, totalHi := curve.SumIn(sc, los...), curve.SumIn(sc, his...)
+	return fcfs.BoundsFromTotals(sc, sj.Exec, demandLo, demandHi, totalLo, totalHi,
+		curve.UtilizationIn(sc, totalLo), curve.UtilizationIn(sc, totalHi))
 }
 
 // Order dispatches by arrival instant; simultaneous arrivals fall to the

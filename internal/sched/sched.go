@@ -44,6 +44,17 @@ type ServiceContext struct {
 	// assume nothing: no guaranteed progress (lower bound zero) and full
 	// interference (upper bound = the subjob's demand upper bound).
 	Service func(o model.SubjobRef) (lo, hi *curve.Curve)
+	// Memo, when non-nil, caches cross-subjob intermediates (prefix
+	// interference sums, FCFS totals) shared by every evaluation of one
+	// analysis run. Engines set it only when every input a policy may read
+	// is final before the evaluation starts (dependency-ordered acyclic
+	// sweeps); the iterative engine's provisional sweeps leave it nil.
+	Memo *Memo
+	// Scratch, when non-nil, is a per-evaluation arena for curve
+	// intermediates. Policies may pass it to the curve/spnp/fcfs *In
+	// transforms; the bounds they RETURN must be heap-backed (never alias
+	// the arena), as the engines retain them after the arena is recycled.
+	Scratch *curve.Scratch
 }
 
 // Instance is the simulator-facing view of one ready or running subjob

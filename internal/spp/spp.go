@@ -22,6 +22,7 @@ import (
 	"rta/internal/fault"
 	"rta/internal/model"
 	"rta/internal/par"
+	"rta/internal/sched"
 )
 
 // Result is the full output of the exact analysis.
@@ -61,13 +62,13 @@ var ErrResources = errors.New("spp: exact analysis does not support shared resou
 // Analyze runs the exact analysis on a valid, all-SPP system.
 func Analyze(sys *model.System) (*Result, error) { return AnalyzeWorkers(sys, 1) }
 
-// AnalyzeWorkers is Analyze with a bounded worker pool: each dependency
-// level of the subjob graph (previous hop plus higher-priority neighbors;
-// see model.Topology.Levels) is evaluated by up to workers goroutines
-// with a barrier between levels. Every subjob writes only its own result
-// rows and its next hop's arrivals (a strictly later level), and reads
-// only service functions from completed levels, so the output is
-// field-identical for every worker count.
+// AnalyzeWorkers is Analyze with a bounded worker pool: the subjob graph
+// (previous hop plus higher-priority neighbors; see model.Topology.Deps)
+// is swept by par.Run's dependency-counter work queue, each subjob
+// becoming ready the moment its last prerequisite finishes. Every subjob
+// writes only its own result rows and its next hop's arrivals (read only
+// after the dependency edge fires), and reads only finished
+// prerequisites, so the output is field-identical for every worker count.
 func AnalyzeWorkers(sys *model.System, workers int) (*Result, error) {
 	return AnalyzeWith(context.Background(), sys, workers, nil)
 }
@@ -109,46 +110,45 @@ func AnalyzeWith(ctx context.Context, sys *model.System, workers int, lim *curve
 		res.Arrival[k][0] = append([]model.Ticks(nil), sys.Jobs[k].Releases...)
 	}
 
-	// Dependency levels over the subjob graph: each subjob depends on its
+	// Dependency sweep over the subjob graph: each subjob depends on its
 	// previous hop and on the higher-priority subjobs sharing its
 	// processor (for all-SPP systems the cached topology graph contains
-	// exactly these edges). Every subjob is analyzed exactly once, when
-	// its whole level is ready; missing coverage means a cycle.
+	// exactly these edges). Every subjob is analyzed exactly once, the
+	// moment its prerequisites are done; a cycle starves the queue.
 	topo := sys.Topology()
 	refs := topo.Subjobs()
-	levels, acyclic := topo.Levels()
-	if !acyclic {
+	if _, acyclic := topo.Levels(); !acyclic {
 		return nil, ErrCyclic
 	}
+	memo := sched.NewMemo(topo)
 	var budgetErr error
-	for _, level := range levels {
-		lvlErr := func() (lvlErr error) {
-			defer func() {
-				// A limiter trip panics a *curve.BudgetError out of a worker
-				// (possibly fault-tagged); recover it here at the barrier so
-				// the rows analyzed so far become a partial result. Any other
-				// panic keeps unwinding to the entry boundary.
-				if r := recover(); r != nil {
-					if be, ok := fault.Payload(r).(*curve.BudgetError); ok {
-						lvlErr = be
-						return
-					}
-					panic(r)
+	sweepErr := func() (swErr error) {
+		defer func() {
+			// A limiter trip panics a *curve.BudgetError out of a worker
+			// (possibly fault-tagged); par.Run drains the in-flight work and
+			// re-raises it, so recover it here and the rows analyzed so far
+			// become a partial result. Any other panic keeps unwinding to
+			// the entry boundary.
+			if r := recover(); r != nil {
+				if be, ok := fault.Payload(r).(*curve.BudgetError); ok {
+					swErr = be
+					return
 				}
-			}()
-			return par.Level(ctx, level, workers, func(id int) {
-				r := refs[id]
-				fault.Tag(r.Job, r.Hop, sys.Subjob(r).Proc, func() {
-					analyzeSubjob(sys, topo, res, lim, r)
-				})
-			})
-		}()
-		if lvlErr != nil {
-			if errors.Is(lvlErr, fault.ErrBudgetExceeded) {
-				budgetErr = fmt.Errorf("spp: %w", lvlErr)
-				break
+				panic(r)
 			}
-			return nil, fmt.Errorf("spp: %w", lvlErr)
+		}()
+		return par.Run(ctx, len(refs), topo.Deps, topo.Dependents, workers, func(id int) {
+			r := refs[id]
+			fault.Tag(r.Job, r.Hop, sys.Subjob(r).Proc, func() {
+				analyzeSubjob(sys, topo, memo, res, lim, r)
+			})
+		})
+	}()
+	if sweepErr != nil {
+		if errors.Is(sweepErr, fault.ErrBudgetExceeded) {
+			budgetErr = fmt.Errorf("spp: %w", sweepErr)
+		} else {
+			return nil, fmt.Errorf("spp: %w", sweepErr)
 		}
 	}
 
@@ -181,30 +181,34 @@ func AnalyzeWith(ctx context.Context, sys *model.System, workers int, lim *curve
 // analyzeSubjob computes the exact service function and departure times of
 // one subjob whose dependencies are already analyzed, charging the curves
 // it materializes against lim (nil = unlimited).
-func analyzeSubjob(sys *model.System, topo *model.Topology, res *Result, lim *curve.Limiter, r model.SubjobRef) {
+func analyzeSubjob(sys *model.System, topo *model.Topology, memo *sched.Memo, res *Result, lim *curve.Limiter, r model.SubjobRef) {
 	sj := sys.Subjob(r)
 	arr := res.Arrival[r.Job][r.Hop]
-	demand := curve.Staircase(arr, sj.Exec)
+	// Per-evaluation arena: the demand staircase, availability and raw
+	// service transform are intermediates; only the stored service
+	// function is copied to the heap.
+	sc := curve.GetScratch()
+	defer curve.PutScratch(sc)
+	demand := curve.StaircaseIn(sc, arr, sj.Exec)
 	lim.Charge(demand)
 
 	// Equation (10): availability is what the higher-priority subjobs on
-	// this processor leave over.
-	hi := topo.Higher(r)
-	higher := make([]*curve.Curve, 0, len(hi))
-	for _, o := range hi {
-		higher = append(higher, res.Service[o.Job][o.Hop])
-	}
-	avail := curve.Availability(higher)
+	// this processor leave over — memoized per priority-prefix, since
+	// Higher(r) is exactly the prefix before r's position and every
+	// co-located subjob at that position shares the same availability.
+	avail := memo.PrefixAvailability(sj.Proc, topo.PrioPos(r), func(o model.SubjobRef) *curve.Curve {
+		return res.Service[o.Job][o.Hop]
+	})
 
 	// Equation (9): the exact service function.
-	svc := curve.ServiceTransform(avail, demand)
+	svc := curve.ServiceTransformIn(sc, avail, demand)
 	lim.Charge(avail, svc)
-	res.Service[r.Job][r.Hop] = svc
+	res.Service[r.Job][r.Hop] = svc.Clone() // svc is arena-backed; the result is stored
 
 	// Theorem 2: departures are the instants S first reaches m*tau.
 	dep := svc.CompletionTimes(sj.Exec, len(arr))
 	res.Departure[r.Job][r.Hop] = dep
-	if b, ok := curve.MaxVerticalDeviation(curve.Staircase(arr, 1), curve.Staircase(dep, 1)); ok {
+	if b, ok := curve.MaxVerticalDeviation(curve.StaircaseIn(sc, arr, 1), curve.StaircaseIn(sc, dep, 1)); ok {
 		res.Backlog[r.Job][r.Hop] = int(b)
 	}
 	if r.Hop+1 < len(sys.Jobs[r.Job].Subjobs) {
