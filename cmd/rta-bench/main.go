@@ -4,23 +4,29 @@
 //
 // Usage:
 //
-//	rta-bench [-out BENCH_PR6.json] [-benchtime 1s]
-//	rta-bench -check BENCH_PR6.json [-tolerance 0.10]
+//	rta-bench [-out BENCH_PR7.json] [-benchtime 1s]
+//	rta-bench -check BENCH_PR7.json [-tolerance 0.10] [-churn-speedup 5]
 //	rta-bench -cpuprofile cpu.out -memprofile mem.out
 //
 // With -check, instead of writing a report the command reruns the
 // benchmarks named in the given baseline file and exits non-zero if any
-// regresses by more than -tolerance in ns/op or allocs/op. CI uses this
-// to gate merges against the committed baseline.
+// regresses by more than -tolerance in ns/op or allocs/op, or if the
+// warm admission-churn benchmark is less than -churn-speedup times
+// faster than its cold-recompute twin. CI uses this to gate merges
+// against the committed baseline.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the measured
 // benchmark iterations; see DESIGN.md section 9 for how to read them.
 //
-// Each benchmark analyzes the deterministic 50x8 job shop of
+// Each Large benchmark analyzes the deterministic 50x8 job shop of
 // internal/benchsys with one of the engines: the Theorem 4 pipeline per
 // scheduler (serial and with a 4- and 8-worker level pool), the exact
 // all-SPP analysis, and the iterative fixed point (incremental worklist
-// and full-sweep baseline).
+// and full-sweep baseline). The AdmissionChurn pair runs one
+// remove/re-admit/reject cycle against the full admitted job shop per
+// op: Warm through the session-backed admission controller, Cold
+// through a reference that re-analyzes the whole trial system per
+// decision the way the pre-session controller did.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"testing"
 	"time"
 
+	"rta/internal/admission"
 	"rta/internal/analysis"
 	"rta/internal/benchsys"
 	"rta/internal/cli"
@@ -65,10 +72,11 @@ type Report struct {
 func main() { cli.Main("rta-bench", body) }
 
 func body() error {
-	out := flag.String("out", "BENCH_PR6.json", "output file")
+	out := flag.String("out", "BENCH_PR7.json", "output file")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
 	check := flag.String("check", "", "baseline report to gate against instead of writing a report")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression in -check mode")
+	churnSpeedup := flag.Float64("churn-speedup", 5.0, "minimum AdmissionChurn cold/warm ns-per-op ratio in -check mode")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the benchmark runs to this file")
 	flag.Parse()
@@ -101,6 +109,75 @@ func body() error {
 		return err
 	}
 
+	// churnSetup names the workload's jobs (the admission controller keys
+	// on names) and derives the two churned requests: the last admitted
+	// job, cycled out and back in, and an unschedulable probe that must
+	// be rejected.
+	churnSetup := func() (*model.System, model.Job, model.Job) {
+		sys := benchsys.Large(benchsys.Jobs, benchsys.Hops, benchsys.Instances, model.SPNP)
+		for k := range sys.Jobs {
+			sys.Jobs[k].Name = fmt.Sprintf("J%02d", k)
+		}
+		last := sys.Jobs[len(sys.Jobs)-1]
+		probe := last
+		probe.Name = "probe"
+		probe.Deadline = 1
+		return sys, last, probe
+	}
+	churnWarm := func(b *testing.B) {
+		sys, last, probe := churnSetup()
+		ctl, err := admission.NewWithOptions(sys.Procs, admission.KeepPriorities, analysis.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, j := range sys.Jobs {
+			if ok, err := ctl.Request(j); err != nil || !ok {
+				b.Fatalf("seed admit %s: ok=%v err=%v", j.Name, ok, err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !ctl.Remove(last.Name) {
+				b.Fatal("Remove failed")
+			}
+			if ok, err := ctl.Request(last); err != nil || !ok {
+				b.Fatalf("re-admit: ok=%v err=%v", ok, err)
+			}
+			if ok, err := ctl.Request(probe); err != nil || ok {
+				b.Fatalf("probe: ok=%v err=%v (want rejection)", ok, err)
+			}
+		}
+	}
+	churnCold := func(b *testing.B) {
+		sys, last, probe := churnSetup()
+		request := func(jobs []model.Job, j model.Job) (bool, error) {
+			trial := &model.System{
+				Procs: sys.Procs,
+				Jobs:  append(append([]model.Job(nil), jobs...), j),
+			}
+			res, err := analysis.AnalyzeOpts(trial, analysis.Options{})
+			if err != nil {
+				return false, err
+			}
+			return res.Schedulable(trial), nil
+		}
+		cut := sys.Jobs[:len(sys.Jobs)-1]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Removal is a plain slice cut (no analysis) in the cold
+			// reference too; the per-decision cost is the two full
+			// re-analyses of the 50-job trial systems.
+			if ok, err := request(cut, last); err != nil || !ok {
+				b.Fatalf("re-admit: ok=%v err=%v", ok, err)
+			}
+			if ok, err := request(sys.Jobs, probe); err != nil || ok {
+				b.Fatalf("probe: ok=%v err=%v (want rejection)", ok, err)
+			}
+		}
+	}
+
 	benches := []struct {
 		name string
 		fn   func(*testing.B)
@@ -115,6 +192,8 @@ func body() error {
 		{"LargeExactSPP", run(model.SPP, exact(1))},
 		{"LargeExactSPP4Workers", run(model.SPP, exact(4))},
 		{"LargeIterative", run(model.SPNP, iterative)},
+		{"AdmissionChurnWarm", churnWarm},
+		{"AdmissionChurnCold", churnCold},
 	}
 
 	// In -check mode, only the benchmarks named in the baseline are rerun.
@@ -211,7 +290,7 @@ func body() error {
 	}
 
 	if baseline != nil {
-		return compare(baseline, rep.Results, *tolerance)
+		return compare(baseline, rep.Results, *tolerance, *churnSpeedup)
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -247,14 +326,22 @@ func loadBaseline(path string) (map[string]Measurement, error) {
 }
 
 // compare fails if any measured benchmark regresses past the tolerance in
-// ns/op or allocs/op relative to the baseline. A baseline entry that was
-// not rerun (renamed or deleted benchmark) is also an error: a silent skip
-// would gate nothing.
-func compare(baseline map[string]Measurement, got []Measurement, tolerance float64) error {
+// ns/op or allocs/op relative to the baseline, or if the warm admission
+// churn loses its required speedup over the cold-recompute reference. A
+// baseline entry that was not rerun (renamed or deleted benchmark) is
+// also an error: a silent skip would gate nothing.
+func compare(baseline map[string]Measurement, got []Measurement, tolerance, churnSpeedup float64) error {
 	measured := make(map[string]bool, len(got))
 	var bad []string
-	for _, m := range got {
+	var churnWarm, churnCold *Measurement
+	for i, m := range got {
 		measured[m.Name] = true
+		switch m.Name {
+		case "AdmissionChurnWarm":
+			churnWarm = &got[i]
+		case "AdmissionChurnCold":
+			churnCold = &got[i]
+		}
 		base := baseline[m.Name]
 		nsRatio := m.NsPerOp / base.NsPerOp
 		allocRatio := float64(m.AllocsPerOp) / float64(base.AllocsPerOp)
@@ -270,6 +357,17 @@ func compare(baseline map[string]Measurement, got []Measurement, tolerance float
 		if !measured[name] {
 			bad = append(bad, name+" (in baseline but not measured)")
 		}
+	}
+	// The warm-session headline is gated on the freshly measured pair so
+	// it cannot decay silently while both twins drift in lockstep.
+	if churnWarm != nil && churnCold != nil {
+		ratio := churnCold.NsPerOp / churnWarm.NsPerOp
+		status := "ok"
+		if ratio < churnSpeedup {
+			status = "TOO SLOW"
+			bad = append(bad, fmt.Sprintf("AdmissionChurnWarm speedup %.1fx < required %.1fx", ratio, churnSpeedup))
+		}
+		fmt.Printf("%-32s warm speedup %5.1fx (need %.1fx)  %s\n", "AdmissionChurn", ratio, churnSpeedup, status)
 	}
 	if len(bad) != 0 {
 		return fmt.Errorf("benchmark gate failed (tolerance %.0f%%): %v", tolerance*100, bad)

@@ -4,11 +4,18 @@
 // each request is granted exactly when the configured analysis certifies
 // every deadline - of the newcomer and of everything already admitted -
 // with the newcomer included.
+//
+// The controller runs on a warm analysis.Session: the converged fixed
+// point of the admitted set stays resident, each request re-converges
+// only the dependency cone of the change, and a rejected request rolls
+// back in O(1). Decisions are bit-identical to cold re-analysis of every
+// trial system (see analysis.Session).
 package admission
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"rta/internal/analysis"
 	"rta/internal/curve"
@@ -32,36 +39,62 @@ const (
 	Synthesized
 )
 
-// Controller is a stateful admission controller. Not safe for concurrent
-// use; callers serialize requests (admission decisions are inherently
-// ordered).
+// Controller is a stateful admission controller over a warm analysis
+// session. Admission decisions are serialized internally; Bounds may be
+// called concurrently with requests and serves the last committed
+// converged state.
 type Controller struct {
-	procs  []model.Processor
-	jobs   []model.Job
+	mu     sync.RWMutex
 	policy PriorityPolicy
+	sess   *analysis.Session
+	// index maps an admitted job name to its index in the committed
+	// system, replacing the per-request linear name scans.
+	index map[string]int
 }
 
 // New creates a controller over the given processors.
 func New(procs []model.Processor, policy PriorityPolicy) *Controller {
-	return &Controller{procs: append([]model.Processor(nil), procs...), policy: policy}
+	c, err := NewWithOptions(procs, policy, analysis.Options{})
+	if err != nil {
+		// Unreachable: converging an empty job set cannot fail.
+		panic(err)
+	}
+	return c
+}
+
+// NewWithOptions is New with analysis execution options (worker pool,
+// cancellation context, resource budgets) threaded through every
+// admission decision.
+func NewWithOptions(procs []model.Processor, policy PriorityPolicy, opts analysis.Options) (*Controller, error) {
+	sys := &model.System{Procs: append([]model.Processor(nil), procs...)}
+	sess, err := analysis.NewSession(sys, analysis.SessionConfig{Opts: opts})
+	if err != nil {
+		return nil, fmt.Errorf("admission: %w", err)
+	}
+	return &Controller{policy: policy, sess: sess, index: map[string]int{}}, nil
 }
 
 // System returns the currently admitted system (nil when no jobs are
 // admitted yet). The result is a snapshot; mutating it does not affect
 // the controller.
 func (c *Controller) System() *model.System {
-	if len(c.jobs) == 0 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sys := c.sess.System()
+	if len(sys.Jobs) == 0 {
 		return nil
 	}
-	sys := &model.System{Procs: c.procs, Jobs: c.jobs}
-	return sys.Clone()
+	return sys
 }
 
 // Admitted returns the names of the admitted jobs in admission order.
 func (c *Controller) Admitted() []string {
-	out := make([]string, len(c.jobs))
-	for i := range c.jobs {
-		out[i] = c.jobs[i].Name
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sys := c.sess.System()
+	out := make([]string, len(sys.Jobs))
+	for i := range sys.Jobs {
+		out[i] = sys.Jobs[i].Name
 	}
 	return out
 }
@@ -69,99 +102,175 @@ func (c *Controller) Admitted() []string {
 // ErrDuplicate rejects a request whose name is already admitted.
 var ErrDuplicate = errors.New("admission: job name already admitted")
 
+// assign stages the policy's priority maintenance on the working system.
+func (c *Controller) assign() error {
+	if c.policy != DeadlineMonotonic {
+		return nil
+	}
+	return c.sess.Mutate(func(sys *model.System) error {
+		priority.RelativeDeadlineMonotonic(sys)
+		return nil
+	})
+}
+
 // Request decides whether the job can be admitted. On success the job is
 // added to the admitted set; on failure the set is unchanged. The
 // decision uses the exact analysis on all-SPP resource-free systems and
-// the Theorem 4 bounds otherwise.
+// the Theorem 4 bounds otherwise, warm-started from the resident state.
 func (c *Controller) Request(job model.Job) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if job.Name == "" {
 		return false, errors.New("admission: job needs a name")
 	}
-	for i := range c.jobs {
-		if c.jobs[i].Name == job.Name {
-			return false, ErrDuplicate
-		}
+	if _, dup := c.index[job.Name]; dup {
+		return false, ErrDuplicate
 	}
-	trial := &model.System{Procs: c.procs, Jobs: append(append([]model.Job(nil), c.jobs...), job)}
-	trial = trial.Clone() // detach from caller-owned slices
-	if err := trial.Validate(); err != nil {
+	ok, err := c.decide(job)
+	if err != nil || !ok {
+		return ok, err
+	}
+	c.sess.Commit()
+	c.index[job.Name] = c.sess.Jobs() - 1
+	return true, nil
+}
+
+// decide stages the admission trial and leaves the session staged at the
+// admitted configuration on true, rolled back on false/error.
+func (c *Controller) decide(job model.Job) (bool, error) {
+	if c.policy == Synthesized {
+		return c.decideSynthesized(job)
+	}
+	c.sess.Admit(job)
+	if err := c.assign(); err != nil {
+		c.sess.Rollback()
 		return false, fmt.Errorf("admission: %w", err)
 	}
-
-	ok, err := c.decide(trial)
+	ok, err := c.sess.Schedulable()
 	if err != nil {
-		return false, err
+		c.sess.Rollback()
+		return false, fmt.Errorf("admission: %w", err)
 	}
 	if !ok {
+		c.sess.Rollback()
 		return false, nil
 	}
-	c.jobs = trial.Jobs
 	return true, nil
+}
+
+// decideSynthesized searches for a schedulable assignment with Audsley's
+// algorithm, keeping the submitted assignment as the fallback: Audsley is
+// optimal per processor but heuristic end-to-end, so it can miss
+// assignments - including the one the caller provided. Every trial
+// evaluation re-converges only the cone of the priorities that moved.
+func (c *Controller) decideSynthesized(job model.Job) (bool, error) {
+	cp := c.sess.Snapshot()
+	c.sess.Admit(job)
+	// One converge up front surfaces validation errors before the search
+	// and warms the resident state the trial deltas extend.
+	if _, err := c.sess.Converge(); err != nil {
+		c.sess.Restore(cp)
+		return false, fmt.Errorf("admission: %w", err)
+	}
+	trial := c.sess.WorkingSystem()
+	ok, err := priority.Audsley(trial, func(s *model.System, k int) (bool, error) {
+		// Audsley mutates the trial copy; resync the session (the delta
+		// seeding dirties exactly the subjobs whose priority moved) and
+		// re-converge warm.
+		if err := c.sess.Mutate(func(m *model.System) error {
+			for kk := range m.Jobs {
+				for j := range m.Jobs[kk].Subjobs {
+					m.Jobs[kk].Subjobs[j].Priority = s.Jobs[kk].Subjobs[j].Priority
+				}
+			}
+			return nil
+		}); err != nil {
+			return false, err
+		}
+		res, err := c.sess.Converge()
+		if err != nil {
+			return false, err
+		}
+		return !curve.IsInf(res.WCRTSum[k]) && res.WCRTSum[k] <= s.Jobs[k].Deadline, nil
+	})
+	if err != nil {
+		c.sess.Restore(cp)
+		return false, fmt.Errorf("admission: %w", err)
+	}
+	if ok {
+		// Audsley's final full verification converged the session at the
+		// found assignment; the staged state is the admitted one.
+		return true, nil
+	}
+	// Fallback: retry with the submitted priorities.
+	c.sess.Restore(cp)
+	c.sess.Admit(job)
+	ok, err = c.sess.Schedulable()
+	if err != nil {
+		c.sess.Rollback()
+		return false, fmt.Errorf("admission: %w", err)
+	}
+	if !ok {
+		c.sess.Rollback()
+	}
+	return ok, nil
 }
 
 // Remove drops a job by name and reports whether it was present.
 func (c *Controller) Remove(name string) bool {
-	for i := range c.jobs {
-		if c.jobs[i].Name == name {
-			c.jobs = append(c.jobs[:i:i], c.jobs[i+1:]...)
-			return true
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k, ok := c.index[name]
+	if !ok {
+		return false
+	}
+	if err := c.sess.Remove(k); err != nil {
+		return false
+	}
+	if err := c.assign(); err == nil {
+		// Keep the resident state warm across the shrink; an engine error
+		// here cannot veto a removal, the commit below just leaves the
+		// result stale for Bounds to repair.
+		_, _ = c.sess.Converge()
+	}
+	c.sess.Commit()
+	delete(c.index, name)
+	for n, i := range c.index {
+		if i > k {
+			c.index[n] = i - 1
 		}
 	}
-	return false
+	return true
 }
 
-// Bounds returns the current worst-case response bounds per admitted job.
+// Bounds returns the current worst-case response bounds per admitted job,
+// served from the session's converged resident state — no re-analysis
+// unless a prior engine error left the committed state stale.
 func (c *Controller) Bounds() ([]model.Ticks, error) {
-	sys := c.System()
-	if sys == nil {
+	c.mu.RLock()
+	res, err := c.sess.Result()
+	if err == nil || !errors.Is(err, analysis.ErrNotConverged) {
+		defer c.mu.RUnlock()
+		if err != nil {
+			return nil, fmt.Errorf("admission: %w", err)
+		}
+		if len(res.WCRTSum) == 0 {
+			return nil, nil
+		}
+		return append([]model.Ticks(nil), res.WCRTSum...), nil
+	}
+	c.mu.RUnlock()
+	// Stale committed state (an engine error during a removal): repair
+	// under the write lock.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, err = c.sess.Converge()
+	if err != nil {
+		return nil, fmt.Errorf("admission: %w", err)
+	}
+	c.sess.Commit()
+	if len(res.WCRTSum) == 0 {
 		return nil, nil
 	}
-	c.assign(sys)
-	res, err := analysis.Analyze(sys)
-	if err != nil {
-		return nil, err
-	}
-	return res.WCRTSum, nil
-}
-
-func (c *Controller) assign(sys *model.System) {
-	if c.policy == DeadlineMonotonic {
-		priority.RelativeDeadlineMonotonic(sys)
-	}
-}
-
-func (c *Controller) decide(trial *model.System) (bool, error) {
-	switch c.policy {
-	case Synthesized:
-		// Keep the submitted assignment as the fallback: Audsley is
-		// optimal per processor but heuristic end-to-end, so it can miss
-		// assignments - including the one the caller provided.
-		submitted := trial.Clone()
-		ok, err := priority.Audsley(trial, func(s *model.System, job int) (bool, error) {
-			res, err := analysis.Analyze(s)
-			if err != nil {
-				return false, err
-			}
-			return !curve.IsInf(res.WCRTSum[job]) && res.WCRTSum[job] <= s.Jobs[job].Deadline, nil
-		})
-		if err != nil || ok {
-			return ok, err
-		}
-		res, err := analysis.Analyze(submitted)
-		if err != nil {
-			return false, err
-		}
-		if res.Schedulable(submitted) {
-			trial.Jobs = submitted.Jobs
-			return true, nil
-		}
-		return false, nil
-	default:
-		c.assign(trial)
-		res, err := analysis.Analyze(trial)
-		if err != nil {
-			return false, err
-		}
-		return res.Schedulable(trial), nil
-	}
+	return append([]model.Ticks(nil), res.WCRTSum...), nil
 }

@@ -1,7 +1,9 @@
 package admission
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"rta/internal/model"
@@ -187,4 +189,50 @@ func TestBounds(t *testing.T) {
 	if len(b) != 1 || b[0] != 6 {
 		t.Fatalf("bounds = %v, want [6]", b)
 	}
+}
+
+// TestConcurrentBounds hammers Bounds from reader goroutines while the
+// admission set churns, validating the controller's read/write locking
+// over the warm session (run under -race in CI).
+func TestConcurrentBounds(t *testing.T) {
+	c := New(twoProcs(model.SPP), KeepPriorities)
+	if ok, err := c.Request(job("keep", 1000, 2, 0, 0, 50)); err != nil || !ok {
+		t.Fatalf("seed admit failed: %v %v", ok, err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b, err := c.Bounds()
+				if err != nil {
+					t.Errorf("Bounds: %v", err)
+					return
+				}
+				if len(b) == 0 {
+					t.Error("Bounds lost the persistent job")
+					return
+				}
+				_ = c.Admitted()
+				_ = c.System()
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("churn%d", i%4)
+		if ok, err := c.Request(job(name, 200, 3, 1+i%4, 0, 60)); err != nil && err != ErrDuplicate {
+			t.Fatalf("Request: %v", err)
+		} else if ok && i%2 == 1 {
+			c.Remove(name)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -305,14 +305,7 @@ type state struct {
 func newState(sys *model.System, lim *curve.Limiter) *state {
 	st := &state{sys: sys, topo: sys.Topology(), lim: lim}
 	st.memo = sched.NewMemo(st.topo)
-	st.demandFn = func(o model.SubjobRef) (*curve.Curve, *curve.Curve) {
-		oid := st.topo.ID(o)
-		return st.demandLo[oid], st.demandHi[oid]
-	}
-	st.serviceFn = func(o model.SubjobRef) (*curve.Curve, *curve.Curve) {
-		oh := &st.hops[o.Job][o.Hop]
-		return oh.SvcLo, oh.SvcHi
-	}
+	st.initFns()
 	st.hops = make([][]Hop, len(sys.Jobs))
 	n := len(st.topo.Subjobs())
 	st.demandLo = make([]*curve.Curve, n)
@@ -327,6 +320,21 @@ func newState(sys *model.System, lim *curve.Limiter) *state {
 		st.publishDemand(model.SubjobRef{Job: k, Hop: 0})
 	}
 	return st
+}
+
+// initFns binds the ServiceContext accessor closures to this state value.
+// Split out of newState because the warm-start session clones states
+// (copy-on-write) and the clone must not inherit closures capturing the
+// original.
+func (st *state) initFns() {
+	st.demandFn = func(o model.SubjobRef) (*curve.Curve, *curve.Curve) {
+		oid := st.topo.ID(o)
+		return st.demandLo[oid], st.demandHi[oid]
+	}
+	st.serviceFn = func(o model.SubjobRef) (*curve.Curve, *curve.Curve) {
+		oh := &st.hops[o.Job][o.Hop]
+		return oh.SvcLo, oh.SvcHi
+	}
 }
 
 // publishDemand builds and caches the demand staircases of a hop whose

@@ -75,63 +75,10 @@ func IterativeOpts(sys *model.System, maxRounds int, opts Options) (res *Result,
 		// was computed, no partial result to salvage.
 		return nil, fmt.Errorf("analysis: %w", be)
 	}
-	// Sound early bounds: release plus cumulative execution prefix.
-	// DepEarly of hop j is ArrEarly of hop j+1; both stay fixed.
-	for k := range sys.Jobs {
-		job := &sys.Jobs[k]
-		cum := model.Ticks(0)
-		for j := range job.Subjobs {
-			if j > 0 {
-				cum += job.Subjobs[j-1].Exec + job.Subjobs[j-1].PostDelay
-				early := make([]model.Ticks, len(job.Releases))
-				for i, t := range job.Releases {
-					early[i] = t + cum
-				}
-				st.hops[k][j].ArrEarly = early
-				st.hops[k][j].ArrLate = append([]model.Ticks(nil), early...)
-			}
-			dep := make([]model.Ticks, len(job.Releases))
-			for i, t := range job.Releases {
-				dep[i] = t + cum + job.Subjobs[j].Exec
-			}
-			st.hops[k][j].DepEarly = dep
-		}
-	}
-	// The demand caches published by newState assumed the Approximate
-	// arrival bounds; hops past the first were just re-pinned above, so
-	// drop every cache except the (release-trace, hence final) first hops
-	// and let iterDemand* rebuild them version-checked.
+	st.pinIterativeStart()
 	refs := st.topo.Subjobs()
-	for id, r := range refs {
-		if r.Hop > 0 {
-			st.demandLo[id], st.demandHi[id] = nil, nil
-		}
-	}
-
-	// Each round sweeps in topological order - the dependency levels
-	// first, then the subjobs entangled in cycles in ascending id - so on
-	// the acyclic part every subjob sees its predecessors' and
-	// higher-priority neighbors' final values within the same round
-	// instead of the "assume nothing" pessimism a naive id-order first
-	// round would bake into the monotone merges. Acyclic systems converge
-	// in one working round; cycles iterate as before. The sweep order
-	// only affects how much transient pessimism the merges keep (less is
-	// tighter and still sound - the dominance tests cover both shapes).
 	n := len(refs)
-	order := make([]int, 0, n)
-	levels, _ := st.topo.Levels()
-	inLevel := make([]bool, n)
-	for _, level := range levels {
-		for _, id := range level {
-			inLevel[id] = true
-			order = append(order, id)
-		}
-	}
-	for id := 0; id < n; id++ {
-		if !inLevel[id] {
-			order = append(order, id)
-		}
-	}
+	order := st.sweepOrder()
 
 	// The convergence criterion matches a full sweep's: stop after the
 	// first round in which no monotone merge moved (DepLate or a
@@ -232,6 +179,71 @@ sweep:
 	}
 	res.Method = "App/Iterative(diverged)"
 	return res, errors.New("analysis: iteration did not converge; affected jobs reported unschedulable")
+}
+
+// pinIterativeStart re-seeds a fresh state for the Kleene iteration:
+// sound early bounds (release plus cumulative execution prefix; DepEarly
+// of hop j is ArrEarly of hop j+1, both pinned for the whole iteration)
+// and late arrivals started equal to the early ones. The demand caches
+// published by newState assumed the Approximate arrival bounds; hops past
+// the first were just re-pinned, so every cache except the
+// (release-trace, hence final) first hops is dropped and iterDemand*
+// rebuilds them version-checked.
+func (st *state) pinIterativeStart() {
+	sys := st.sys
+	for k := range sys.Jobs {
+		job := &sys.Jobs[k]
+		cum := model.Ticks(0)
+		for j := range job.Subjobs {
+			if j > 0 {
+				cum += job.Subjobs[j-1].Exec + job.Subjobs[j-1].PostDelay
+				early := make([]model.Ticks, len(job.Releases))
+				for i, t := range job.Releases {
+					early[i] = t + cum
+				}
+				st.hops[k][j].ArrEarly = early
+				st.hops[k][j].ArrLate = append([]model.Ticks(nil), early...)
+			}
+			dep := make([]model.Ticks, len(job.Releases))
+			for i, t := range job.Releases {
+				dep[i] = t + cum + job.Subjobs[j].Exec
+			}
+			st.hops[k][j].DepEarly = dep
+		}
+	}
+	for id, r := range st.topo.Subjobs() {
+		if r.Hop > 0 {
+			st.demandLo[id], st.demandHi[id] = nil, nil
+		}
+	}
+}
+
+// sweepOrder returns the Gauss-Seidel round order: the dependency levels
+// first, then the subjobs entangled in cycles in ascending id. On the
+// acyclic part every subjob thus sees its predecessors' and
+// higher-priority neighbors' final values within the same round instead
+// of the "assume nothing" pessimism a naive id-order first round would
+// bake into the monotone merges: acyclic systems converge in one working
+// round, cycles iterate as before. The order only affects how much
+// transient pessimism the merges keep (less is tighter and still sound -
+// the dominance tests cover both shapes).
+func (st *state) sweepOrder() []int {
+	n := len(st.topo.Subjobs())
+	order := make([]int, 0, n)
+	levels, _ := st.topo.Levels()
+	inLevel := make([]bool, n)
+	for _, level := range levels {
+		for _, id := range level {
+			inLevel[id] = true
+			order = append(order, id)
+		}
+	}
+	for id := 0; id < n; id++ {
+		if !inLevel[id] {
+			order = append(order, id)
+		}
+	}
+	return order
 }
 
 // unconvergedJobs returns the jobs owning a subjob in the

@@ -1,0 +1,389 @@
+package analysis
+
+// The converge engines of a Session. convergeFull mirrors the cold entry
+// points (ExactOpts / ApproximateOpts / IterativeOpts) field for field;
+// convergeDelta re-runs only the dependents-closure of the staged
+// changes' seeds over the resident fixed point.
+//
+// Why the delta is bit-identical to cold analysis: the dirty set is
+// closed under Topology.Dependents, so every subjob OUTSIDE it has no
+// (transitive) input that changed — its resident rows already equal what
+// a cold run would compute. Every subjob INSIDE it is recomputed, in
+// dependency order over the induced subgraph (par.RunSubset), from inputs
+// that are either final resident rows or final recomputed rows — the same
+// inputs the cold sweep would see — by the same per-subjob routine. The
+// memoized cross-subjob intermediates regroup exact integer sums over
+// unique canonical curves (see sched.Memo), so sharing a still-valid
+// memo prefix across converges changes nothing either. Results are
+// field-identical at every worker count for the same reason the cold
+// engines are: the sweep schedule is unobservable.
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"rta/internal/curve"
+	"rta/internal/fault"
+	"rta/internal/model"
+	"rta/internal/par"
+	"rta/internal/sched"
+	"rta/internal/spp"
+)
+
+// fail drops the warm state after an engine error: the staged system is
+// kept (Rollback still restores the committed base), but the next
+// Converge runs cold.
+func (s *Session) fail() { s.cur.warm = false }
+
+// afterConverge re-anchors the delta bookkeeping on the state that just
+// converged: subsequent staged changes diff against it, not against the
+// last commit (mid-stage sequences like the Audsley trial loop converge
+// several times per commit).
+func (s *Session) afterConverge() {
+	s.prev = s.cur
+	s.prevMap = identityMap(len(s.cur.sys.Jobs))
+	s.clearDelta()
+}
+
+func (s *Session) convergeLocked() (res *Result, err error) {
+	defer func() {
+		if err != nil {
+			s.fail()
+		}
+	}()
+	defer fault.Boundary("analysis.Session", &err)
+	if !s.cur.needs {
+		return s.cur.res, nil
+	}
+	if len(s.cur.sys.Jobs) == 0 {
+		// The empty job set of a fresh admission controller: vacuously
+		// schedulable, nothing resident.
+		s.cur.mode = modeEmpty
+		s.cur.st, s.cur.ex, s.cur.exMemo = nil, nil, nil
+		s.cur.res = &Result{Method: "Empty"}
+		s.cur.topo = nil
+		s.cur.needs = false
+		s.cur.warm = false
+		s.afterConverge()
+		return s.cur.res, nil
+	}
+	if err := s.cur.sys.Validate(); err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	mode := modeApprox
+	switch {
+	case s.cfg.Engine == EngineIterative:
+		mode = modeIterative
+	case sched.ExactAll(s.cur.sys) && !s.cur.sys.HasResources():
+		mode = modeExact
+	}
+	if s.cur.warm && mode == s.cur.mode {
+		if _, acyclic := s.cur.topo.Levels(); acyclic {
+			return s.convergeDelta(mode)
+		}
+		// A staged change introduced a cycle; fall through to the cold
+		// path, which reports ErrCyclic exactly as AnalyzeOpts does.
+	}
+	return s.convergeFull(mode)
+}
+
+// convergeFull analyzes the working system from scratch, mirroring the
+// cold entry points, and makes the session warm (acyclic engines only).
+func (s *Session) convergeFull(mode sessionMode) (*Result, error) {
+	s.cur.warm = false
+	s.cur.st, s.cur.ex, s.cur.exMemo, s.cur.res = nil, nil, nil, nil
+	s.cur.mode = mode
+	s.cur.topo = s.cur.sys.Topology()
+	sys, topo := s.cur.sys, s.cur.topo
+	opts := s.cfg.Opts
+
+	switch mode {
+	case modeIterative:
+		// The iterative engine mutates its working bounds in place, which
+		// copy-on-write residency cannot tolerate; it always runs cold.
+		res, err := IterativeOpts(sys, s.cfg.MaxRounds, opts)
+		if err != nil {
+			s.cur.res = res // partial (budget/diverged) or nil
+			return res, err
+		}
+		s.cur.res = res
+		s.cur.needs = false
+		s.afterConverge()
+		return res, nil
+
+	case modeExact:
+		if _, acyclic := topo.Levels(); !acyclic {
+			return nil, ErrCyclic
+		}
+		memo := sched.NewMemo(topo)
+		ex := spp.NewResult(sys)
+		all := make([]int, len(topo.Subjobs()))
+		for i := range all {
+			all[i] = i
+		}
+		err := spp.Reanalyze(opts.ctx(), sys, memo, ex, all, opts.workers(), opts.limiter())
+		res := assembleExact(ex)
+		if err != nil {
+			if errors.Is(err, ErrBudgetExceeded) {
+				res.Method = "SPP/Exact(budget)"
+				s.cur.res = res
+				return res, err
+			}
+			return nil, err
+		}
+		s.cur.ex, s.cur.exMemo, s.cur.res = ex, memo, res
+		s.cur.needs = false
+		s.cur.warm = true
+		s.afterConverge()
+		return res, nil
+
+	default: // modeApprox
+		var (
+			st     *state
+			runErr error
+		)
+		be := catchBudget(func() {
+			st = newState(sys, opts.limiter())
+			runErr = st.run(opts.ctx(), opts.workers())
+		})
+		if be != nil {
+			res := st.result()
+			res.Method = "App(budget)"
+			s.cur.st, s.cur.res = st, res
+			return res, fmt.Errorf("analysis: %w", be)
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+		res := st.result()
+		s.cur.st, s.cur.res = st, res
+		s.cur.needs = false
+		s.cur.warm = true
+		s.afterConverge()
+		return res, nil
+	}
+}
+
+// assembleExact wraps an exact result the way ExactOpts does.
+func assembleExact(ex *spp.Result) *Result {
+	return &Result{
+		Method:  "SPP/Exact",
+		WCRT:    append([]model.Ticks(nil), ex.WCRT...),
+		WCRTSum: append([]model.Ticks(nil), ex.WCRT...),
+		Exact:   ex,
+	}
+}
+
+// convergeDelta re-converges the dependency cone of the staged changes
+// over the resident fixed point.
+func (s *Session) convergeDelta(mode sessionMode) (*Result, error) {
+	sys, topo := s.cur.sys, s.cur.topo
+	anchor := &s.prev
+
+	// rev maps a current job index back to its anchor index (-1 for jobs
+	// admitted since the anchor converged).
+	rev := make([]int, len(sys.Jobs))
+	for i := range rev {
+		rev[i] = -1
+	}
+	for pk, ck := range s.prevMap {
+		if ck >= 0 {
+			rev[ck] = pk
+		}
+	}
+
+	// Catch-all seeds the per-change rules cannot see locally: the cached
+	// blocking terms (largest lower-priority execution / priority-ceiling
+	// section on the processor) and, for position-dependent disciplines
+	// (TDMA), the OnProc position — all functions of the whole processor
+	// population, compared directly between the anchor index and the new
+	// one. Surviving jobs keep their hop counts (Mutate enforces rigid
+	// structure), so the per-hop comparison is total.
+	for ck := range sys.Jobs {
+		pk := rev[ck]
+		if pk < 0 {
+			continue // admitted this stage: every hop already seeded
+		}
+		for j := range sys.Jobs[ck].Subjobs {
+			cr := model.SubjobRef{Job: ck, Hop: j}
+			pr := model.SubjobRef{Job: pk, Hop: j}
+			if topo.Blocking(cr) != anchor.topo.Blocking(pr) ||
+				topo.PCPBlocking(cr) != anchor.topo.PCPBlocking(pr) {
+				s.seed(topo.ID(cr))
+				continue
+			}
+			info, _ := model.LookupScheduler(sys.Procs[sys.Subjob(cr).Proc].Sched)
+			if info.PositionDependent && topo.OnProcPos(cr) != anchor.topo.OnProcPos(pr) {
+				s.seed(topo.ID(cr))
+			}
+		}
+	}
+
+	// Dirty cone: the dependents-closure of the seeds.
+	n := len(topo.Subjobs())
+	inDirty := make([]bool, n)
+	queue := make([]int, 0, len(s.seeds))
+	for id := range s.seeds {
+		if !inDirty[id] {
+			inDirty[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		for _, d := range topo.Dependents(queue[qi]) {
+			if !inDirty[d] {
+				inDirty[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	ids := append([]int(nil), queue...)
+	slices.Sort(ids)
+
+	// Memo retention: a priority-prefix entry survives when every leading
+	// member before it is the same subjob at the same position as in the
+	// anchor and none of them is dirty (clean members have bit-identical
+	// service curves by the closure invariant); the FCFS totals survive
+	// when the whole processor population is unchanged and clean.
+	keepPrefix := make([]int, topo.Procs())
+	keepFCFS := make([]bool, topo.Procs())
+	same := func(cr model.SubjobRef, prevRef model.SubjobRef) bool {
+		pk := rev[cr.Job]
+		return pk >= 0 && prevRef == model.SubjobRef{Job: pk, Hop: cr.Hop} && !inDirty[topo.ID(cr)]
+	}
+	for p := 0; p < topo.Procs(); p++ {
+		curBP, prevBP := topo.ByPriority(p), anchor.topo.ByPriority(p)
+		m := 0
+		for m < len(curBP) && m < len(prevBP) && same(curBP[m], prevBP[m]) {
+			m++
+		}
+		keepPrefix[p] = m
+		curOP, prevOP := topo.OnProc(p), anchor.topo.OnProc(p)
+		ok := len(curOP) == len(prevOP)
+		for i := 0; ok && i < len(curOP); i++ {
+			ok = same(curOP[i], prevOP[i])
+		}
+		keepFCFS[p] = ok
+	}
+
+	resetArr := setToSorted(s.resetArr)
+	var err error
+	if mode == modeExact {
+		err = s.deltaExact(ids, resetArr, keepPrefix, keepFCFS)
+	} else {
+		err = s.deltaApprox(ids, resetArr, keepPrefix, keepFCFS)
+	}
+	if err != nil {
+		return s.cur.res, err // res: partial on budget, nil otherwise
+	}
+	s.cur.needs = false
+	s.afterConverge()
+	return s.cur.res, nil
+}
+
+func setToSorted(set map[int]struct{}) []int {
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// affectedJobs returns the set of jobs owning a dirty subjob.
+func affectedJobs(topo *model.Topology, ids []int) map[int]struct{} {
+	out := make(map[int]struct{})
+	for _, id := range ids {
+		out[topo.Subjobs()[id].Job] = struct{}{}
+	}
+	return out
+}
+
+// deltaApprox re-runs the Theorem 4 pipeline over the dirty cone.
+func (s *Session) deltaApprox(ids, resetArr []int, keepPrefix []int, keepFCFS []bool) error {
+	sys, topo := s.cur.sys, s.cur.topo
+	opts := s.cfg.Opts
+
+	// Copy-on-write: previously returned Results alias the resident
+	// arrays, so this converge re-clones the outer spines and the rows of
+	// every affected job before writing anything.
+	st := s.cur.st.sessionClone()
+	s.cur.st = st
+	st.sys, st.topo = sys, topo
+	st.lim = opts.limiter()
+	st.memo = s.prev.st.memo.Extend(topo, keepPrefix, keepFCFS)
+	for k := range affectedJobs(topo, ids) {
+		st.hops[k] = append([]Hop(nil), st.hops[k]...)
+	}
+
+	refs := topo.Subjobs()
+	republish := setToSorted(s.republish)
+	var runErr error
+	be := catchBudget(func() {
+		// Prologue: re-pin changed release traces (ArrEarly and ArrLate
+		// share one slice on first hops, exactly as newState publishes
+		// them) and rebuild the demand staircases whose inputs changed
+		// outside the sweep (first-hop arrivals, execution times).
+		for _, id := range resetArr {
+			r := refs[id]
+			rel := append([]model.Ticks(nil), sys.Jobs[r.Job].Releases...)
+			st.hops[r.Job][0].ArrEarly = rel
+			st.hops[r.Job][0].ArrLate = rel
+		}
+		for _, id := range republish {
+			st.publishDemand(refs[id])
+		}
+		runErr = par.RunSubset(opts.ctx(), ids, topo.Deps, topo.Dependents, opts.workers(), func(id int) {
+			r := refs[id]
+			fault.Tag(r.Job, r.Hop, sys.Subjob(r).Proc, func() { st.computeSubjob(r) })
+		})
+	})
+	if be != nil {
+		res := st.result()
+		res.Method = "App(budget)"
+		s.cur.res = res
+		return fmt.Errorf("analysis: %w", be)
+	}
+	if runErr != nil {
+		s.cur.res = nil
+		return fmt.Errorf("analysis: %w", runErr)
+	}
+	s.cur.res = st.result()
+	return nil
+}
+
+// deltaExact re-runs the exact per-subjob analysis over the dirty cone.
+func (s *Session) deltaExact(ids, resetArr []int, keepPrefix []int, keepFCFS []bool) error {
+	sys, topo := s.cur.sys, s.cur.topo
+	opts := s.cfg.Opts
+
+	ex := cloneExactOuter(s.cur.ex)
+	s.cur.ex = ex
+	for k := range affectedJobs(topo, ids) {
+		ex.Arrival[k] = append([][]model.Ticks(nil), ex.Arrival[k]...)
+		ex.Departure[k] = append([][]model.Ticks(nil), ex.Departure[k]...)
+		ex.Service[k] = append([]*curve.Curve(nil), ex.Service[k]...)
+		ex.Backlog[k] = append([]int(nil), ex.Backlog[k]...)
+	}
+	memo := s.prev.exMemo.Extend(topo, keepPrefix, keepFCFS)
+	s.cur.exMemo = memo
+	refs := topo.Subjobs()
+	for _, id := range resetArr {
+		r := refs[id]
+		ex.Arrival[r.Job][0] = append([]model.Ticks(nil), sys.Jobs[r.Job].Releases...)
+	}
+	err := spp.Reanalyze(opts.ctx(), sys, memo, ex, ids, opts.workers(), opts.limiter())
+	res := assembleExact(ex)
+	if err != nil {
+		if errors.Is(err, ErrBudgetExceeded) {
+			res.Method = "SPP/Exact(budget)"
+			s.cur.res = res
+			return err
+		}
+		s.cur.res = nil
+		return err
+	}
+	s.cur.res = res
+	return nil
+}

@@ -174,8 +174,8 @@ type System struct {
 	Procs []Processor
 	Jobs  []Job
 
-	// topo caches the lazily-built topology index; see topology.go.
-	topo atomic.Pointer[Topology]
+	// topo caches the most recently used topology indexes; see topology.go.
+	topo atomic.Pointer[topoRing]
 }
 
 // Validate checks structural well-formedness. Analyses require a valid
@@ -353,6 +353,10 @@ func (s *System) Clone() *System {
 		j.Phases = append([]Ticks(nil), j.Phases...)
 		out.Jobs[k] = j
 	}
+	// Topology indexes are immutable and fingerprint-checked, so the clone
+	// can carry the cache: its first Topology call hits instead of
+	// rebuilding an index identical to one the original already holds.
+	out.topo.Store(s.topo.Load())
 	return out
 }
 

@@ -39,6 +39,12 @@ type SchedulerInfo struct {
 	// parameters (e.g. TDMA slot/cycle) during System.Validate. It runs
 	// after the structural checks, so subjob processor indices are valid.
 	ValidateProc func(s *System, p int) error
+	// PositionDependent marks disciplines whose service bounds depend on a
+	// subjob's *position* in the processor's OnProc admission order rather
+	// than only on its declared parameters (TDMA's slot assignment). Delta
+	// re-analysis (analysis.Session) uses it to dirty subjobs whose OnProc
+	// position shifted even though none of their own fields changed.
+	PositionDependent bool
 }
 
 var (

@@ -28,6 +28,10 @@ type Topology struct {
 	// sorted by it, byPrio[p][:prioPos[id]] is exactly Higher(id) — the
 	// property behind the engines' prefix-sum interference memoization.
 	prioPos []int
+	// onProcPos[id] is the position of subjob id in its processor's onProc
+	// list ((job, hop) admission order). Slot-table disciplines (TDMA) key
+	// their slot assignment off this position.
+	onProcPos []int
 	// Per subjob id, in deterministic (job, hop) order:
 	higher      [][]SubjobRef // strictly higher-priority subjobs on the same processor
 	lower       [][]SubjobRef // strictly lower-priority subjobs on the same processor
@@ -92,19 +96,58 @@ func (s *System) topoSig() uint64 {
 	return h
 }
 
+// topoRing keeps the most recently used topology indexes, newest first.
+// A single cache slot thrashes under staged workloads — an admission
+// session cycles a system between a handful of configurations (with and
+// without the churned job), and every transition would evict the one
+// index the next transition needs. Rings are immutable; an update
+// publishes a fresh ring, so concurrent readers stay safe.
+type topoRing struct {
+	entries [4]*Topology
+}
+
+// with returns a ring with t at the front and r's other entries behind
+// it, dropping the oldest past capacity. Works on a nil receiver.
+func (r *topoRing) with(t *Topology) *topoRing {
+	out := &topoRing{}
+	out.entries[0] = t
+	i := 1
+	if r != nil {
+		for _, e := range r.entries {
+			if e == nil || e.sig == t.sig {
+				continue
+			}
+			if i == len(out.entries) {
+				break
+			}
+			out.entries[i] = e
+			i++
+		}
+	}
+	return out
+}
+
 // Topology returns the cached index, rebuilding it if the system's
 // topology changed since it was last built. The check costs one linear
 // fingerprint pass; the build costs one sort per processor plus the
 // neighbor-set expansion. Safe for concurrent use: concurrent callers may
-// race to build, but every returned index is valid for the fingerprinted
-// state.
+// race to build or reorder the ring, but every returned index is valid
+// for the fingerprinted state.
 func (s *System) Topology() *Topology {
 	sig := s.topoSig()
-	if t := s.topo.Load(); t != nil && t.sig == sig {
-		return t
+	ring := s.topo.Load()
+	if ring != nil {
+		for i, t := range ring.entries {
+			if t != nil && t.sig == sig {
+				if i > 0 {
+					s.topo.Store(ring.with(t))
+				}
+				return t
+			}
+		}
 	}
 	t := buildTopology(s, sig)
-	s.topo.Store(t)
+	s.topo.Store(ring.with(t))
 	return t
 }
 
@@ -156,6 +199,12 @@ func buildTopology(s *System, sig uint64) *Topology {
 	for p := range t.byPrio {
 		for i, r := range t.byPrio[p] {
 			t.prioPos[t.ID(r)] = i
+		}
+	}
+	t.onProcPos = make([]int, n)
+	for p := range t.onProc {
+		for i, r := range t.onProc[p] {
+			t.onProcPos[t.ID(r)] = i
 		}
 	}
 	// Resource ceilings (one pass; empty map when no resources declared).
@@ -341,6 +390,11 @@ func (t *Topology) ByPriority(p int) []SubjobRef { return t.byPrio[p] }
 // strictly higher-priority subjobs of r (the set Higher returns, in
 // priority order).
 func (t *Topology) PrioPos(r SubjobRef) int { return t.prioPos[t.ID(r)] }
+
+// OnProcPos returns r's position in OnProc of its processor — the (job,
+// hop) admission order that slot-table disciplines (TDMA) key their slot
+// assignment off. O(1); replaces the linear scan callers used to do.
+func (t *Topology) OnProcPos(r SubjobRef) int { return t.onProcPos[t.ID(r)] }
 
 // Procs returns the number of processors the index covers.
 func (t *Topology) Procs() int { return len(t.onProc) }

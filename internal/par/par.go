@@ -168,6 +168,45 @@ func Run(ctx context.Context, n int, deps, dependents func(id int) []int, worker
 	return ctx.Err()
 }
 
+// RunSubset is Run restricted to an induced subgraph: f runs once for
+// every id in ids (which must be sorted ascending and duplicate-free),
+// ordered by the edges of deps/dependents that have both endpoints in the
+// subset. Edges leaving the subset are dropped — the caller asserts those
+// inputs are already final (the warm-start engines re-run only a dirty
+// dependents-closure, whose external dependencies are resident converged
+// state). Because local rank order equals global id order, the serial
+// sweep visits the subset in the same relative order as a full Run, and
+// the fault-containment contract (cancellation, panic re-raise, cycle
+// starvation) carries over unchanged.
+func RunSubset(ctx context.Context, ids []int, deps, dependents func(id int) []int, workers int, f func(id int)) error {
+	n := len(ids)
+	if n == 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		return ctx.Err()
+	}
+	local := make(map[int]int, n)
+	for i, id := range ids {
+		local[id] = i
+	}
+	filter := func(edges func(id int) []int) func(i int) []int {
+		if edges == nil {
+			return nil
+		}
+		filtered := make([][]int, n)
+		for i, id := range ids {
+			for _, e := range edges(id) {
+				if j, ok := local[e]; ok {
+					filtered[i] = append(filtered[i], j)
+				}
+			}
+		}
+		return func(i int) []int { return filtered[i] }
+	}
+	return Run(ctx, n, filter(deps), filter(dependents), workers, func(i int) { f(ids[i]) })
+}
+
 // Level runs f(id) for every id of one dependency level on up to workers
 // goroutines. It is a thin adapter over Run with an empty edge set — the
 // ids of one level are mutually independent by construction — kept for

@@ -45,9 +45,14 @@ type Memo struct {
 	procs []procMemo
 }
 
+// procMemo's entries are pointers so a warm-start Extend can share the
+// still-valid prefix of one run's chain with the next run: a shared entry
+// is filled at most once (sync.Once) with a value that is bit-identical no
+// matter which run computes it, because both runs see the same member
+// curves for the retained prefix.
 type procMemo struct {
-	prefix []prefixSums
-	fcfs   fcfsTotals
+	prefix []*prefixSums
+	fcfs   *fcfsTotals
 }
 
 // prefixSums holds the residual availabilities over the service bounds
@@ -78,9 +83,52 @@ type fcfsTotals struct {
 func NewMemo(topo *model.Topology) *Memo {
 	m := &Memo{topo: topo, procs: make([]procMemo, topo.Procs())}
 	for p := range m.procs {
-		m.procs[p].prefix = make([]prefixSums, len(topo.ByPriority(p))+1)
+		entries := make([]*prefixSums, len(topo.ByPriority(p))+1)
+		for i := range entries {
+			entries[i] = &prefixSums{}
+		}
+		m.procs[p].prefix = entries
+		m.procs[p].fcfs = &fcfsTotals{}
 	}
 	return m
+}
+
+// Extend derives a memo for a perturbed topology from m, retaining the
+// entries the perturbation cannot have changed — the invalidation hook of
+// warm-start delta re-analysis (analysis.Session).
+//
+// keepPrefix[p] is the number of leading positions of topo.ByPriority(p)
+// whose members are the same subjobs, in the same order, with unchanged
+// service bounds as in m's topology; entries 0..keepPrefix[p] are shared
+// (entry i depends only on members < i), positions beyond get fresh
+// entries. keepFCFS[p] retains the Equation (21) totals when the
+// processor's membership and every member's demand are unchanged.
+//
+// Sharing is sound even for entries that are still lazily unfilled: a
+// shared entry's members have bit-identical curves in both runs, and
+// canonical curve representations are unique, so whichever run fills it
+// produces the same value. The new topology must have the same processor
+// count as m's.
+func (m *Memo) Extend(topo *model.Topology, keepPrefix []int, keepFCFS []bool) *Memo {
+	out := &Memo{topo: topo, procs: make([]procMemo, topo.Procs())}
+	for p := range out.procs {
+		entries := make([]*prefixSums, len(topo.ByPriority(p))+1)
+		old := m.procs[p].prefix
+		for i := range entries {
+			if i <= keepPrefix[p] && i < len(old) {
+				entries[i] = old[i]
+			} else {
+				entries[i] = &prefixSums{}
+			}
+		}
+		out.procs[p].prefix = entries
+		if keepFCFS[p] {
+			out.procs[p].fcfs = m.procs[p].fcfs
+		} else {
+			out.procs[p].fcfs = &fcfsTotals{}
+		}
+	}
+	return out
 }
 
 // PrefixResiduals returns the residual availabilities t - sum over the
@@ -91,7 +139,7 @@ func NewMemo(topo *model.Topology) *Memo {
 // they are computed. All returned residuals are shared and heap-backed;
 // do not mutate.
 func (m *Memo) PrefixResiduals(p, pos int, service func(o model.SubjobRef) (lo, hi *curve.Curve)) (resLo, resHi *curve.Residual) {
-	e := &m.procs[p].prefix[pos]
+	e := m.procs[p].prefix[pos]
 	e.once.Do(func() {
 		if pos == 0 {
 			return
@@ -108,7 +156,7 @@ func (m *Memo) PrefixResiduals(p, pos int, service func(o model.SubjobRef) (lo, 
 // residuals and shared by every subjob at that prefix position; see
 // PrefixResiduals for the finality contract on service.
 func (m *Memo) NPInterference(p, pos int, service func(o model.SubjobRef) (lo, hi *curve.Curve)) *curve.NPInterference {
-	e := &m.procs[p].prefix[pos]
+	e := m.procs[p].prefix[pos]
 	e.niOnce.Do(func() {
 		resLo, resHi := m.PrefixResiduals(p, pos, service)
 		e.ni = curve.NewNPInterference(resLo, resHi)
@@ -120,7 +168,7 @@ func (m *Memo) NPInterference(p, pos int, service func(o model.SubjobRef) (lo, h
 // each subjob has a single exact service function (Theorem 3) and the
 // residual is Equation (10)'s availability. nil for pos == 0.
 func (m *Memo) PrefixResidual(p, pos int, service func(o model.SubjobRef) *curve.Curve) *curve.Residual {
-	e := &m.procs[p].prefix[pos]
+	e := m.procs[p].prefix[pos]
 	e.once.Do(func() {
 		if pos == 0 {
 			return
@@ -138,7 +186,7 @@ func (m *Memo) PrefixResidual(p, pos int, service func(o model.SubjobRef) *curve
 // wraps it under the Curve invariant (which the exact-SPP theory
 // guarantees the availability satisfies).
 func (m *Memo) PrefixAvailability(p, pos int, service func(o model.SubjobRef) *curve.Curve) *curve.Curve {
-	e := &m.procs[p].prefix[pos]
+	e := m.procs[p].prefix[pos]
 	e.availOnce.Do(func() {
 		e.avail = curve.AvailabilityFromResidual(m.PrefixResidual(p, pos, service))
 	})
@@ -152,7 +200,7 @@ func (m *Memo) PrefixAvailability(p, pos int, service func(o model.SubjobRef) *c
 // FCFS subjob on the processor, so final whenever one of them can ask.
 // All returned curves are shared and heap-backed; do not mutate.
 func (m *Memo) FCFSTotals(p int, demand func(o model.SubjobRef) (lo, hi *curve.Curve)) (totalLo, totalHi, utilLo, utilHi *curve.Curve) {
-	e := &m.procs[p].fcfs
+	e := m.procs[p].fcfs
 	e.once.Do(func() {
 		onp := m.topo.OnProc(p)
 		los := make([]*curve.Curve, 0, len(onp))

@@ -40,13 +40,8 @@ func (policy) Preemptive() bool           { return false }
 
 // slotIndex returns the subjob's position in the processor's slot table:
 // its index in the deterministic (job, hop) order of Topology.OnProc.
-func slotIndex(topo *model.Topology, proc int, r model.SubjobRef) int {
-	for i, o := range topo.OnProc(proc) {
-		if o == r {
-			return i
-		}
-	}
-	panic(fmt.Sprintf("tdma: subjob %v not on processor %d", r, proc))
+func slotIndex(topo *model.Topology, r model.SubjobRef) int {
+	return topo.OnProcPos(r)
 }
 
 // availability returns the cumulative slot time A(t) the processor grants
@@ -90,7 +85,7 @@ func (policy) ServiceBounds(ctx *sched.ServiceContext) (lo, hi *curve.Curve) {
 	r := ctx.Ref
 	proc := ctx.Sys.Subjob(r).Proc
 	p := &ctx.Sys.Procs[proc]
-	base := p.Offset + model.Ticks(slotIndex(ctx.Topo, proc, r))*p.Slot
+	base := p.Offset + model.Ticks(slotIndex(ctx.Topo, r))*p.Slot
 	demandLo, demandHi := ctx.Demand(r)
 	lo = curve.ServiceTransform(availability(p.Slot, p.Cycle, base, demandLo), demandLo)
 	hi = curve.ServiceTransform(availability(p.Slot, p.Cycle, base, demandHi), demandHi)
@@ -107,7 +102,7 @@ func (policy) Order(ctx *sched.SimContext, a, b sched.Instance) bool { return fa
 func (policy) Gate(sys *model.System, r model.SubjobRef, now model.Ticks) (bool, model.Ticks) {
 	proc := sys.Subjob(r).Proc
 	p := &sys.Procs[proc]
-	base := p.Offset + model.Ticks(slotIndex(sys.Topology(), proc, r))*p.Slot
+	base := p.Offset + model.Ticks(slotIndex(sys.Topology(), r))*p.Slot
 	if now < base {
 		return false, base
 	}
@@ -180,7 +175,10 @@ func init() {
 		ValidateProc: validateProc,
 		// No ServiceDeps/DemandDeps: the slot schedule is independent of
 		// the co-located workload, so a TDMA subjob's only analysis input
-		// is its own previous hop.
+		// is its own previous hop. The slot *assignment* does depend on the
+		// OnProc position, which PositionDependent exposes to delta
+		// re-analysis.
+		PositionDependent: true,
 	})
 	sched.Register(policy{})
 }

@@ -2,8 +2,10 @@ package sensitivity
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
+	"rta/internal/analysis"
 	"rta/internal/model"
 	"rta/internal/randsys"
 )
@@ -136,6 +138,101 @@ func TestDistributedAnomalyExists(t *testing.T) {
 	}
 	if !found {
 		t.Error("no scheduling anomaly found; if the generator changed, update this test rather than assuming monotonicity")
+	}
+}
+
+// TestSessionVerdictMatchesCold: the warm session-backed verdict is
+// bit-identical to the cold verdicts across a frontier scan, for both
+// the exact (all-SPP) and the Theorem 4 (SPNP) dispatch.
+func TestSessionVerdictMatchesCold(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		sched model.Scheduler
+		cold  Verdict
+	}{
+		{"ExactSPP", model.SPP, ExactVerdict},
+		{"Theorem4SPNP", model.SPNP, Theorem4Verdict},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := smallSystem()
+			sys.Procs[0].Sched = tc.sched
+			warm, err := SessionVerdict(sys, analysis.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for num := int64(64); num <= 256; num += 16 {
+				scaled := ScaleExec(sys, num, 64)
+				w, err := warm(scaled)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := tc.cold(scaled)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !slices.Equal(w, c) {
+					t.Fatalf("scale %d/64: warm %v != cold %v", num, w, c)
+				}
+			}
+			wScale, err := Breakdown(sys, warm, 4, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cScale, err := Breakdown(sys, tc.cold, 4, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wScale != cScale {
+				t.Fatalf("breakdown frontier: warm %.4f != cold %.4f", wScale, cScale)
+			}
+		})
+	}
+}
+
+// TestSessionVerdictRandomized drives the session verdict through random
+// distributed systems and random rational scalings, checking against a
+// cold analysis every time.
+func TestSessionVerdictRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		cfg := randsys.Default
+		cfg.Schedulers = []model.Scheduler{model.SPP, model.SPNP}
+		sys := randsys.New(r, cfg)
+		warm, err := SessionVerdict(sys, analysis.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 6; step++ {
+			scaled := ScaleExec(sys, int64(1+r.Intn(8)), int64(1+r.Intn(4)))
+			w, err := warm(scaled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := analysis.AnalyzeOpts(scaled, analysis.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(w, res.WCRTSum) {
+				t.Fatalf("trial %d step %d: warm %v != cold %v", trial, step, w, res.WCRTSum)
+			}
+		}
+	}
+}
+
+func TestSessionVerdictStructureGuard(t *testing.T) {
+	sys := smallSystem()
+	warm, err := SessionVerdict(sys, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := sys.Clone()
+	grown.Jobs = append(grown.Jobs, grown.Jobs[0])
+	if _, err := warm(grown); err == nil {
+		t.Fatal("verdict accepted a system with a different job count")
+	}
+	// The session must survive the rejected query.
+	if _, err := warm(sys); err != nil {
+		t.Fatalf("verdict broken after rejected query: %v", err)
 	}
 }
 

@@ -94,6 +94,34 @@ func AnalyzeWith(ctx context.Context, sys *model.System, workers int, lim *curve
 		return nil, ErrResources
 	}
 
+	// Dependency sweep over the subjob graph: each subjob depends on its
+	// previous hop and on the higher-priority subjobs sharing its
+	// processor (for all-SPP systems the cached topology graph contains
+	// exactly these edges). Every subjob is analyzed exactly once, the
+	// moment its prerequisites are done; a cycle starves the queue.
+	topo := sys.Topology()
+	if _, acyclic := topo.Levels(); !acyclic {
+		return nil, ErrCyclic
+	}
+	res := NewResult(sys)
+	all := make([]int, len(topo.Subjobs()))
+	for i := range all {
+		all[i] = i
+	}
+	if err := Reanalyze(ctx, sys, sched.NewMemo(topo), res, all, workers, lim); err != nil {
+		if errors.Is(err, fault.ErrBudgetExceeded) {
+			return res, err
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// NewResult allocates an unanalyzed Result shell for sys: rows sized per
+// job, hop-0 arrivals copied from the release traces, everything else
+// zero. Reanalyze over every subjob id fills it; warm-start callers keep
+// the shell resident and refill only dirty rows.
+func NewResult(sys *model.System) *Result {
 	res := &Result{
 		WCRT:      make([]model.Ticks, len(sys.Jobs)),
 		Arrival:   make([][][]model.Ticks, len(sys.Jobs)),
@@ -109,18 +137,22 @@ func AnalyzeWith(ctx context.Context, sys *model.System, workers int, lim *curve
 		res.Backlog[k] = make([]int, hops)
 		res.Arrival[k][0] = append([]model.Ticks(nil), sys.Jobs[k].Releases...)
 	}
+	return res
+}
 
-	// Dependency sweep over the subjob graph: each subjob depends on its
-	// previous hop and on the higher-priority subjobs sharing its
-	// processor (for all-SPP systems the cached topology graph contains
-	// exactly these edges). Every subjob is analyzed exactly once, the
-	// moment its prerequisites are done; a cycle starves the queue.
+// Reanalyze re-runs the exact per-subjob analysis over the given subjob
+// ids (sorted ascending, in sys.Topology() numbering) and recomputes every
+// WCRT from the refreshed rows. The caller guarantees sys is a valid,
+// acyclic, resource-free all-SPP system, memo belongs to the current
+// topology with any stale prefix entries invalidated (sched.Memo.Extend),
+// and every row a dirty subjob reads that is NOT in ids already holds its
+// converged value — then the refreshed rows are bit-identical to a cold
+// AnalyzeWith at any worker count. On a tripped breakpoint budget the rows
+// analyzed so far stay published and an error wrapping
+// fault.ErrBudgetExceeded is returned, mirroring AnalyzeWith.
+func Reanalyze(ctx context.Context, sys *model.System, memo *sched.Memo, res *Result, ids []int, workers int, lim *curve.Limiter) error {
 	topo := sys.Topology()
 	refs := topo.Subjobs()
-	if _, acyclic := topo.Levels(); !acyclic {
-		return nil, ErrCyclic
-	}
-	memo := sched.NewMemo(topo)
 	var budgetErr error
 	sweepErr := func() (swErr error) {
 		defer func() {
@@ -137,7 +169,7 @@ func AnalyzeWith(ctx context.Context, sys *model.System, workers int, lim *curve
 				panic(r)
 			}
 		}()
-		return par.Run(ctx, len(refs), topo.Deps, topo.Dependents, workers, func(id int) {
+		return par.RunSubset(ctx, ids, topo.Deps, topo.Dependents, workers, func(id int) {
 			r := refs[id]
 			fault.Tag(r.Job, r.Hop, sys.Subjob(r).Proc, func() {
 				analyzeSubjob(sys, topo, memo, res, lim, r)
@@ -148,14 +180,19 @@ func AnalyzeWith(ctx context.Context, sys *model.System, workers int, lim *curve
 		if errors.Is(sweepErr, fault.ErrBudgetExceeded) {
 			budgetErr = fmt.Errorf("spp: %w", sweepErr)
 		} else {
-			return nil, fmt.Errorf("spp: %w", sweepErr)
+			return fmt.Errorf("spp: %w", sweepErr)
 		}
 	}
+	ComputeWCRT(sys, res)
+	return budgetErr
+}
 
+// ComputeWCRT recomputes every job's Theorem 1 end-to-end response time
+// from the Departure rows. Jobs whose last hop has no departure rows
+// (budget-truncated run) report curve.Inf.
+func ComputeWCRT(sys *model.System, res *Result) {
 	for k := range sys.Jobs {
 		last := len(sys.Jobs[k].Subjobs) - 1
-		// A hop never analyzed (budget-truncated run) has no departure
-		// rows; the job's exact response is unknown, reported unbounded.
 		if res.Departure[k][last] == nil {
 			res.WCRT[k] = curve.Inf
 			continue
@@ -172,10 +209,6 @@ func AnalyzeWith(ctx context.Context, sys *model.System, workers int, lim *curve
 		}
 		res.WCRT[k] = worst
 	}
-	if budgetErr != nil {
-		return res, budgetErr
-	}
-	return res, nil
 }
 
 // analyzeSubjob computes the exact service function and departure times of
