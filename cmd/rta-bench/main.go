@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	rta-bench [-out BENCH_PR7.json] [-benchtime 1s]
-//	rta-bench -check BENCH_PR7.json [-tolerance 0.10] [-churn-speedup 5]
+//	rta-bench [-out BENCH_PR8.json] [-benchtime 1s]
+//	rta-bench -check BENCH_PR8.json [-tolerance 0.10] [-churn-speedup 5]
 //	rta-bench -cpuprofile cpu.out -memprofile mem.out
 //
 // With -check, instead of writing a report the command reruns the
@@ -26,13 +26,29 @@
 // remove/re-admit/reject cycle against the full admitted job shop per
 // op: Warm through the session-backed admission controller, Cold
 // through a reference that re-analyzes the whole trial system per
-// decision the way the pre-session controller did.
+// decision the way the pre-session controller did. ServeDecisionChurn
+// runs the same warm churn cycle through the rta-serve HTTP handler
+// in-process, so the serving layer's overhead on top of the controller
+// is a tracked number.
+//
+// The report also carries a "serve" section: the self-contained
+// rta-serve load test (internal/serve.RunLocalLoad) run for both
+// overload policies under seeded bursty traffic, recording decision
+// p50/p99, throughput, and shed rate. In -check mode the section is
+// re-run and gated on shape — non-zero admissions and zero errored
+// requests per policy — while the latency columns stay informational:
+// wall-clock quantiles under a traffic generator are too machine-bound
+// to diff across hosts.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -44,6 +60,7 @@ import (
 	"rta/internal/benchsys"
 	"rta/internal/cli"
 	"rta/internal/model"
+	"rta/internal/serve"
 )
 
 // Measurement is one benchmark result in the output file.
@@ -67,12 +84,21 @@ type Report struct {
 		Hops      int `json:"hops"`
 		Instances int `json:"instances"`
 	} `json:"workload"`
+	// Serve is the rta-serve load-test section: one result per overload
+	// policy under identical seeded traffic.
+	Serve *ServeSection `json:"serve,omitempty"`
+}
+
+// ServeSection mirrors the rta-serve -loadtest report.
+type ServeSection struct {
+	Config  serve.LoadConfig    `json:"config"`
+	Results []*serve.LoadResult `json:"results"`
 }
 
 func main() { cli.Main("rta-bench", body) }
 
 func body() error {
-	out := flag.String("out", "BENCH_PR7.json", "output file")
+	out := flag.String("out", "BENCH_PR8.json", "output file")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
 	check := flag.String("check", "", "baseline report to gate against instead of writing a report")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression in -check mode")
@@ -178,6 +204,57 @@ func body() error {
 		}
 	}
 
+	// serveChurn is churnWarm through the rta-serve HTTP handler,
+	// in-process (httptest recorders, no sockets): per op one removal, one
+	// re-admission, and one rejected probe, each a full JSON round trip
+	// through the mux, the shard map, and the decision histogram.
+	serveChurn := func(b *testing.B) {
+		sys, last, probe := churnSetup()
+		h := serve.New(serve.Config{Policy: admission.KeepPriorities}).Handler()
+		call := func(method, path string, body []byte) *httptest.ResponseRecorder {
+			req := httptest.NewRequest(method, path, bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			return w
+		}
+		spec, err := json.Marshal(&model.System{Procs: sys.Procs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w := call(http.MethodPut, "/v1/tenants/bench", spec); w.Code != http.StatusCreated {
+			b.Fatalf("create tenant: status %d: %s", w.Code, w.Body)
+		}
+		admit := func(j model.Job, want bool) {
+			raw, err := json.Marshal(j)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := call(http.MethodPost, "/v1/tenants/bench/admit", raw)
+			var resp struct {
+				Admitted bool `json:"admitted"`
+			}
+			if w.Code != http.StatusOK || json.Unmarshal(w.Body.Bytes(), &resp) != nil {
+				b.Fatalf("admit %s: status %d: %s", j.Name, w.Code, w.Body)
+			}
+			if resp.Admitted != want {
+				b.Fatalf("admit %s: admitted=%v, want %v", j.Name, resp.Admitted, want)
+			}
+		}
+		for _, j := range sys.Jobs {
+			admit(j, true)
+		}
+		rm := []byte(fmt.Sprintf(`{"name":%q}`, last.Name))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if w := call(http.MethodPost, "/v1/tenants/bench/remove", rm); w.Code != http.StatusOK {
+				b.Fatalf("remove: status %d: %s", w.Code, w.Body)
+			}
+			admit(last, true)
+			admit(probe, false)
+		}
+	}
+
 	benches := []struct {
 		name string
 		fn   func(*testing.B)
@@ -194,13 +271,15 @@ func body() error {
 		{"LargeIterative", run(model.SPNP, iterative)},
 		{"AdmissionChurnWarm", churnWarm},
 		{"AdmissionChurnCold", churnCold},
+		{"ServeDecisionChurn", serveChurn},
 	}
 
 	// In -check mode, only the benchmarks named in the baseline are rerun.
 	var baseline map[string]Measurement
+	baseServe := false
 	if *check != "" {
 		var err error
-		if baseline, err = loadBaseline(*check); err != nil {
+		if baseline, baseServe, err = loadBaseline(*check); err != nil {
 			return err
 		}
 	}
@@ -289,8 +368,25 @@ func body() error {
 		fmt.Println("wrote", *memprofile)
 	}
 
+	// The serve load-test section: run for the committed report, and
+	// re-run in -check mode when the baseline carries one.
+	if *check == "" || baseServe {
+		sec, err := runServeSection()
+		if err != nil {
+			return err
+		}
+		rep.Serve = sec
+	}
+
 	if baseline != nil {
-		return compare(baseline, rep.Results, *tolerance, *churnSpeedup)
+		err := compare(baseline, rep.Results, *tolerance, *churnSpeedup)
+		if serr := gateServe(rep.Serve); serr != nil {
+			if err != nil {
+				return fmt.Errorf("%v; %v", err, serr)
+			}
+			return serr
+		}
+		return err
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -305,24 +401,73 @@ func body() error {
 	return nil
 }
 
-// loadBaseline reads a committed report and indexes it by benchmark name.
-func loadBaseline(path string) (map[string]Measurement, error) {
+// loadBaseline reads a committed report, indexes it by benchmark name,
+// and reports whether it carries a serve load-test section.
+func loadBaseline(path string) (map[string]Measurement, bool, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	var rep Report
 	if err := json.Unmarshal(data, &rep); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, false, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(rep.Results) == 0 {
-		return nil, fmt.Errorf("%s: no results to gate against", path)
+		return nil, false, fmt.Errorf("%s: no results to gate against", path)
 	}
 	m := make(map[string]Measurement, len(rep.Results))
 	for _, r := range rep.Results {
 		m[r.Name] = r
 	}
-	return m, nil
+	return m, rep.Serve != nil, nil
+}
+
+// runServeSection runs the self-contained rta-serve load test for both
+// overload policies under the committed DefaultLoad traffic.
+func runServeSection() (*ServeSection, error) {
+	lcfg := serve.DefaultLoad
+	sec := &ServeSection{Config: lcfg}
+	for _, ov := range []serve.Overload{
+		serve.AlwaysAdmit{},
+		serve.NewTokenBucket(64, 200),
+	} {
+		res, err := serve.RunLocalLoad(context.Background(), serve.Config{
+			Policy:   admission.DeadlineMonotonic,
+			Overload: ov,
+		}, lcfg)
+		if err != nil {
+			return nil, err
+		}
+		sec.Results = append(sec.Results, res)
+		fmt.Printf("%-32s p50 %7.3f ms  p99 %7.3f ms  %7.0f req/s  shed %4.1f%%\n",
+			"Serve/"+res.Policy, res.DecisionP50Ms, res.DecisionP99Ms, res.Throughput, res.ShedRate*100)
+	}
+	return sec, nil
+}
+
+// gateServe checks the shape of a freshly run serve section: every
+// policy must have granted admissions and served without errors. The
+// latency and throughput columns are informational — wall-clock numbers
+// under a traffic generator do not diff across hosts the way the
+// minimum-of-runs micro-benchmarks do.
+func gateServe(sec *ServeSection) error {
+	if sec == nil {
+		return nil
+	}
+	var bad []string
+	for _, r := range sec.Results {
+		if r.Admits == 0 {
+			bad = append(bad, fmt.Sprintf("serve %s: no admissions granted", r.Policy))
+		}
+		if r.Errors > 0 {
+			bad = append(bad, fmt.Sprintf("serve %s: %d errored requests (samples %v)", r.Policy, r.Errors, r.ErrorSamples))
+		}
+	}
+	if len(bad) != 0 {
+		return fmt.Errorf("serve gate failed: %v", bad)
+	}
+	fmt.Println("serve gate passed")
+	return nil
 }
 
 // compare fails if any measured benchmark regresses past the tolerance in

@@ -1,0 +1,227 @@
+// Command rta-serve is the online admission-control service: the paper's
+// admission test for dynamic job sets, long-lived, over HTTP/JSON.
+// Tenants are created from processor-only system specs and then admit,
+// remove, and query jobs one decision at a time; every tenant is an
+// independent shard with its own warm analysis session (see
+// internal/serve).
+//
+// Usage:
+//
+//	rta-serve [-addr host:port] [flags]            serve until SIGTERM/SIGINT
+//	rta-serve -loadtest [flags]                    self-contained load test
+//	rta-serve -loadtest -target http://host:port   drive an external server
+//
+// The serving mode drains gracefully: a first SIGTERM/SIGINT stops
+// accepting and waits for in-flight decisions (bounded by -grace); a
+// second signal aborts immediately.
+//
+// The self-contained load test starts two in-process servers — one per
+// overload policy (always-admit and the token bucket calibrated by
+// -bucket-capacity/-bucket-refill) — drives both with the same seeded
+// bursty traffic (Gamma interarrivals, -cv 4 by default), and prints a
+// JSON report with decision p50/p99, throughput, and shed rate per
+// policy. Shed rate is part of the result on purpose: a token bucket can
+// "win" every latency column by shedding the workload, so the two
+// numbers only mean anything side by side. -min-admits and -max-errors
+// turn the report into a gate (non-zero exit on violation) for CI smoke
+// tests.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rta/internal/admission"
+	"rta/internal/analysis"
+	"rta/internal/cli"
+	"rta/internal/serve"
+)
+
+func main() { cli.Main("rta-serve", body) }
+
+func body() error {
+	addr := flag.String("addr", "127.0.0.1:8417", "listen address (host:port; port 0 picks a free port)")
+	policy := flag.String("policy", "dm", "priority policy per tenant: keep, dm or synth")
+	overload := flag.String("overload", "always", "overload policy: always (admit) or bucket (token bucket)")
+	bucketCap := flag.Float64("bucket-capacity", 64, "token bucket: burst tolerance in decisions")
+	bucketRefill := flag.Float64("bucket-refill", 200, "token bucket: sustained decisions per second")
+	workers := flag.Int("workers", 0, "analysis worker pool per decision (0 = serial, <0 = GOMAXPROCS)")
+	budgetBreaks := flag.Int64("budget-breakpoints", 0, "per-decision budget: curve breakpoints (0 = no limit)")
+	budgetSteps := flag.Int64("budget-steps", 0, "per-decision budget: fixed-point steps (0 = no limit)")
+	maxTenants := flag.Int("max-tenants", 64, "maximum concurrent tenants")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown drain deadline")
+
+	loadtest := flag.Bool("loadtest", false, "run the load-test harness instead of serving")
+	target := flag.String("target", "", "load test: drive this base URL instead of in-process servers")
+	duration := flag.Duration("duration", serve.DefaultLoad.Duration, "load test: driving time per policy")
+	tenants := flag.Int("tenants", serve.DefaultLoad.Tenants, "load test: concurrent tenants")
+	rate := flag.Float64("rate", serve.DefaultLoad.RatePerTenant, "load test: mean requests/s per tenant")
+	cv := flag.Float64("cv", serve.DefaultLoad.CV, "load test: interarrival coefficient of variation")
+	seed := flag.Int64("seed", serve.DefaultLoad.Seed, "load test: random seed")
+	pool := flag.Int("pool", serve.DefaultLoad.PoolJobs, "load test: job pool size per tenant")
+	burst := flag.Int("burst", serve.DefaultLoad.BurstSize, "load test: workload release burst size")
+	out := flag.String("out", "", "load test: write the JSON report here instead of stdout")
+	minAdmits := flag.Int("min-admits", 0, "load test: fail unless at least this many admissions were granted")
+	maxErrors := flag.Int("max-errors", -1, "load test: fail if more than this many requests errored (-1 = no gate)")
+	flag.Parse()
+
+	pp, err := parsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		Policy:     pp,
+		MaxTenants: *maxTenants,
+		Opts: analysis.Options{
+			Workers: *workers,
+			Budget:  analysis.Budget{Breakpoints: *budgetBreaks, FixedPointSteps: *budgetSteps},
+		},
+	}
+	switch *overload {
+	case "always":
+		cfg.Overload = serve.AlwaysAdmit{}
+	case "bucket":
+		cfg.Overload = serve.NewTokenBucket(*bucketCap, *bucketRefill)
+	default:
+		return cli.Usagef("unknown overload policy %q (want always or bucket)", *overload)
+	}
+
+	if *loadtest {
+		lcfg := serve.LoadConfig{
+			Seed: *seed, Tenants: *tenants, Duration: *duration,
+			RatePerTenant: *rate, CV: *cv, PoolJobs: *pool, BurstSize: *burst,
+		}
+		return runLoadtest(cfg, lcfg, *target, *out, *minAdmits, *maxErrors)
+	}
+	return runServer(cfg, *addr, *grace)
+}
+
+func parsePolicy(name string) (admission.PriorityPolicy, error) {
+	switch name {
+	case "keep":
+		return admission.KeepPriorities, nil
+	case "dm":
+		return admission.DeadlineMonotonic, nil
+	case "synth":
+		return admission.Synthesized, nil
+	default:
+		return 0, cli.Usagef("unknown priority policy %q (want keep, dm or synth)", name)
+	}
+}
+
+// runServer serves until the first SIGTERM/SIGINT, then drains in-flight
+// decisions; a second signal aborts the drain.
+func runServer(cfg serve.Config, addr string, grace time.Duration) error {
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	fmt.Printf("rta-serve: listening on http://%s (overload %s)\n", ln.Addr(), cfg.Overload.Name())
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "rta-serve: %s, draining (grace %s)\n", sig, grace)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	go func() {
+		<-sigc
+		cancel()
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "rta-serve: drained")
+	return nil
+}
+
+// LoadReport is the load-test output document: one result per policy,
+// identical traffic.
+type LoadReport struct {
+	Config  serve.LoadConfig    `json:"config"`
+	Results []*serve.LoadResult `json:"results"`
+}
+
+func runLoadtest(cfg serve.Config, lcfg serve.LoadConfig, target, out string, minAdmits, maxErrors int) error {
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer cancel()
+
+	report := &LoadReport{Config: lcfg}
+	if target != "" {
+		// External mode: the driver cannot see the server's policy, so the
+		// result is labeled with what this process was configured for.
+		res, err := serve.RunLoad(ctx, lcfg, target, cfg.Overload.Name(), nil)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, res)
+	} else {
+		// Self-contained mode: one in-process server per overload policy,
+		// same seeded traffic against both.
+		policies := []serve.Overload{
+			serve.AlwaysAdmit{},
+			cfg.Overload,
+		}
+		if cfg.Overload.Name() == (serve.AlwaysAdmit{}).Name() {
+			policies[1] = serve.NewTokenBucket(64, 200)
+		}
+		for _, ov := range policies {
+			pcfg := cfg
+			pcfg.Overload = ov
+			res, err := serve.RunLocalLoad(ctx, pcfg, lcfg)
+			if err != nil {
+				return err
+			}
+			report.Results = append(report.Results, res)
+		}
+	}
+
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if out == "" {
+		os.Stdout.Write(raw)
+	} else if err := os.WriteFile(out, raw, 0o644); err != nil {
+		return err
+	}
+	return gate(report, minAdmits, maxErrors)
+}
+
+// gate enforces the CI smoke thresholds on every result.
+func gate(report *LoadReport, minAdmits, maxErrors int) error {
+	var failed bool
+	for _, r := range report.Results {
+		if r.Admits < minAdmits {
+			fmt.Fprintf(os.Stderr, "rta-serve: GATE %s: %d admissions granted, want >= %d\n", r.Policy, r.Admits, minAdmits)
+			failed = true
+		}
+		if maxErrors >= 0 && r.Errors > maxErrors {
+			fmt.Fprintf(os.Stderr, "rta-serve: GATE %s: %d errored requests, want <= %d (samples %v)\n",
+				r.Policy, r.Errors, maxErrors, r.ErrorSamples)
+			failed = true
+		}
+	}
+	if failed {
+		return cli.Exit(1)
+	}
+	return nil
+}

@@ -47,10 +47,19 @@ type Controller struct {
 	mu     sync.RWMutex
 	policy PriorityPolicy
 	sess   *analysis.Session
+	// opts are the construction-time execution options; the per-request
+	// variants (RequestOpts, RemoveOpts) swap them in for one decision and
+	// restore them afterwards.
+	opts analysis.Options
 	// index maps an admitted job name to its index in the committed
 	// system, replacing the per-request linear name scans.
 	index map[string]int
 }
+
+// testHookAssign, when non-nil, is injected at the top of every staged
+// priority reassignment. The error-injection tests use it to force
+// Mutate failures on paths (like removal) that cannot fail naturally.
+var testHookAssign func() error
 
 // New creates a controller over the given processors.
 func New(procs []model.Processor, policy PriorityPolicy) *Controller {
@@ -71,7 +80,7 @@ func NewWithOptions(procs []model.Processor, policy PriorityPolicy, opts analysi
 	if err != nil {
 		return nil, fmt.Errorf("admission: %w", err)
 	}
-	return &Controller{policy: policy, sess: sess, index: map[string]int{}}, nil
+	return &Controller{policy: policy, sess: sess, opts: opts, index: map[string]int{}}, nil
 }
 
 // System returns the currently admitted system (nil when no jobs are
@@ -108,6 +117,11 @@ func (c *Controller) assign() error {
 		return nil
 	}
 	return c.sess.Mutate(func(sys *model.System) error {
+		if testHookAssign != nil {
+			if err := testHookAssign(); err != nil {
+				return err
+			}
+		}
 		priority.RelativeDeadlineMonotonic(sys)
 		return nil
 	})
@@ -120,11 +134,30 @@ func (c *Controller) assign() error {
 func (c *Controller) Request(job model.Job) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.requestLocked(job)
+}
+
+// RequestOpts is Request with one-shot execution options (a per-request
+// context, budget, or worker count) applied to this decision only; the
+// construction-time options are restored afterwards. The serve layer uses
+// this to bind each HTTP request's context and budget to its decision.
+func (c *Controller) RequestOpts(job model.Job, opts analysis.Options) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sess.SetOptions(opts)
+	defer c.sess.SetOptions(c.opts)
+	return c.requestLocked(job)
+}
+
+func (c *Controller) requestLocked(job model.Job) (bool, error) {
 	if job.Name == "" {
 		return false, errors.New("admission: job needs a name")
 	}
 	if _, dup := c.index[job.Name]; dup {
 		return false, ErrDuplicate
+	}
+	if err := c.sess.ValidateJob(&job); err != nil {
+		return false, fmt.Errorf("admission: %w", err)
 	}
 	ok, err := c.decide(job)
 	if err != nil || !ok {
@@ -216,23 +249,61 @@ func (c *Controller) decideSynthesized(job model.Job) (bool, error) {
 	return ok, nil
 }
 
-// Remove drops a job by name and reports whether it was present.
+// Remove drops a job by name and reports whether it was present and
+// removed. It is a compatibility wrapper over RemoveErr that conflates
+// "not present" with "removal failed"; callers that must distinguish (a
+// resident service returning 404 vs 500) use RemoveErr.
 func (c *Controller) Remove(name string) bool {
+	ok, err := c.RemoveErr(name)
+	return ok && err == nil
+}
+
+// RemoveErr drops a job by name. The bool reports whether the job was
+// present; a non-nil error means the removal could not be applied and the
+// admitted set is unchanged — every failure path (a session removal
+// error, a failed priority reassignment) rolls the staged state back, so
+// a partially-mutated configuration is never committed. An engine error
+// during the post-removal re-convergence does not veto the removal (the
+// shrink itself is always sound): the removal commits with a stale
+// committed result, which the next Bounds repairs.
+func (c *Controller) RemoveErr(name string) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.removeLocked(name)
+}
+
+// RemoveOpts is RemoveErr with one-shot execution options for this
+// decision, mirroring RequestOpts.
+func (c *Controller) RemoveOpts(name string, opts analysis.Options) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sess.SetOptions(opts)
+	defer c.sess.SetOptions(c.opts)
+	return c.removeLocked(name)
+}
+
+func (c *Controller) removeLocked(name string) (bool, error) {
 	k, ok := c.index[name]
 	if !ok {
-		return false
+		return false, nil
 	}
 	if err := c.sess.Remove(k); err != nil {
-		return false
+		// The failed stage left delta bookkeeping behind; discard it so it
+		// cannot leak into the next decision.
+		c.sess.Rollback()
+		return true, fmt.Errorf("admission: %w", err)
 	}
-	if err := c.assign(); err == nil {
-		// Keep the resident state warm across the shrink; an engine error
-		// here cannot veto a removal, the commit below just leaves the
-		// result stale for Bounds to repair.
-		_, _ = c.sess.Converge()
+	if err := c.assign(); err != nil {
+		// A failed reassignment must not commit the removal with stale or
+		// partially-mutated priorities: unwind to the committed state and
+		// keep the job admitted.
+		c.sess.Rollback()
+		return true, fmt.Errorf("admission: %w", err)
 	}
+	// Keep the resident state warm across the shrink; an engine error here
+	// cannot veto the removal, the commit below just leaves the committed
+	// result stale for Bounds to repair.
+	_, _ = c.sess.Converge()
 	c.sess.Commit()
 	delete(c.index, name)
 	for n, i := range c.index {
@@ -240,37 +311,66 @@ func (c *Controller) Remove(name string) bool {
 			c.index[n] = i - 1
 		}
 	}
-	return true
+	return true, nil
 }
 
 // Bounds returns the current worst-case response bounds per admitted job,
 // served from the session's converged resident state — no re-analysis
 // unless a prior engine error left the committed state stale.
 func (c *Controller) Bounds() ([]model.Ticks, error) {
+	_, bounds, err := c.NamedBounds()
+	return bounds, err
+}
+
+// NamedBounds is Bounds plus the admitted job names, in the committed
+// system's job order, taken in one consistent snapshot (interleaving
+// Admitted and Bounds calls could see different admitted sets).
+func (c *Controller) NamedBounds() ([]string, []model.Ticks, error) {
 	c.mu.RLock()
 	res, err := c.sess.Result()
 	if err == nil || !errors.Is(err, analysis.ErrNotConverged) {
 		defer c.mu.RUnlock()
 		if err != nil {
-			return nil, fmt.Errorf("admission: %w", err)
+			return nil, nil, fmt.Errorf("admission: %w", err)
 		}
-		if len(res.WCRTSum) == 0 {
-			return nil, nil
-		}
-		return append([]model.Ticks(nil), res.WCRTSum...), nil
+		names, bounds := c.namedLocked(res)
+		return names, bounds, nil
 	}
 	c.mu.RUnlock()
 	// Stale committed state (an engine error during a removal): repair
-	// under the write lock.
+	// under the write lock. Between the read unlock and the write lock a
+	// concurrent Request/Remove may have committed a fresh state, so
+	// re-check staleness before repairing — a blind re-converge would
+	// re-commit over their result.
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	res, err = c.sess.Result()
+	if err == nil {
+		names, bounds := c.namedLocked(res)
+		return names, bounds, nil
+	}
+	if !errors.Is(err, analysis.ErrNotConverged) {
+		return nil, nil, fmt.Errorf("admission: %w", err)
+	}
 	res, err = c.sess.Converge()
 	if err != nil {
-		return nil, fmt.Errorf("admission: %w", err)
+		return nil, nil, fmt.Errorf("admission: %w", err)
 	}
 	c.sess.Commit()
+	names, bounds := c.namedLocked(res)
+	return names, bounds, nil
+}
+
+// namedLocked assembles the (names, bounds) pair from a converged result;
+// the caller holds c.mu (read or write). Names come from the index map —
+// no system clone on this per-query path.
+func (c *Controller) namedLocked(res *analysis.Result) ([]string, []model.Ticks) {
 	if len(res.WCRTSum) == 0 {
 		return nil, nil
 	}
-	return append([]model.Ticks(nil), res.WCRTSum...), nil
+	names := make([]string, len(c.index))
+	for n, i := range c.index {
+		names[i] = n
+	}
+	return names, append([]model.Ticks(nil), res.WCRTSum...)
 }

@@ -1,11 +1,15 @@
 package admission
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"slices"
+	"strings"
 	"sync"
 	"testing"
 
+	"rta/internal/analysis"
 	"rta/internal/model"
 	"rta/internal/sim"
 )
@@ -235,4 +239,189 @@ func TestConcurrentBounds(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestRemoveErrRollsBackFailedReassignment forces assign()'s Mutate to
+// fail during a removal and checks that nothing is committed: under the
+// old code the removal was committed anyway, with the pre-reassignment
+// priorities — exactly the corrupted state a resident service would then
+// serve from.
+func TestRemoveErrRollsBackFailedReassignment(t *testing.T) {
+	c := New(twoProcs(model.SPP), DeadlineMonotonic)
+	var names []string
+	for i := 0; i < 3; i++ {
+		n := name(i)
+		if ok, err := c.Request(job(n, model.Ticks(100+10*i), 2, 0, 0, 200)); err != nil || !ok {
+			t.Fatalf("seed admit %s: ok=%v err=%v", n, ok, err)
+		}
+		names = append(names, n)
+	}
+	before, err := c.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	injected := fmt.Errorf("injected reassignment failure")
+	testHookAssign = func() error { return injected }
+	present, err := c.RemoveErr(names[1])
+	testHookAssign = nil
+	if !present {
+		t.Fatal("RemoveErr reported the job absent")
+	}
+	if err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("RemoveErr error = %v, want the injected cause", err)
+	}
+
+	// The admitted set, the bounds, and the index must all be untouched.
+	if got := c.Admitted(); !slices.Equal(got, names) {
+		t.Fatalf("admitted after failed removal = %v, want %v", got, names)
+	}
+	after, err := c.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(before, after) {
+		t.Fatalf("bounds changed across a failed removal: %v -> %v", before, after)
+	}
+	// The index must still address every job correctly: remove each by
+	// name and watch the set shrink in order.
+	for i, n := range names {
+		if ok, err := c.RemoveErr(n); err != nil || !ok {
+			t.Fatalf("follow-up remove %s: ok=%v err=%v", n, ok, err)
+		}
+		if got := c.Admitted(); !slices.Equal(got, names[i+1:]) {
+			t.Fatalf("after removing %s: admitted = %v, want %v", n, got, names[i+1:])
+		}
+	}
+}
+
+// TestRemoveErrRollsBackFailedSessionRemove forces sess.Remove to fail
+// (via a corrupted index entry, white-box) and checks the staged state is
+// rolled back instead of leaking into the next decision.
+func TestRemoveErrRollsBackFailedSessionRemove(t *testing.T) {
+	c := New(twoProcs(model.SPP), KeepPriorities)
+	if ok, err := c.Request(job("a", 100, 2, 0, 0, 200)); err != nil || !ok {
+		t.Fatalf("seed admit: ok=%v err=%v", ok, err)
+	}
+	// White-box corruption: an index entry pointing past the job set makes
+	// sess.Remove fail after it has already begun staging.
+	c.index["ghost"] = 42
+	present, err := c.RemoveErr("ghost")
+	delete(c.index, "ghost")
+	if !present || err == nil {
+		t.Fatalf("RemoveErr(ghost) = %v, %v; want present with an error", present, err)
+	}
+	// The failed stage must not leak: the next request decides on clean
+	// state and the committed set is intact.
+	if got := c.Admitted(); !slices.Equal(got, []string{"a"}) {
+		t.Fatalf("admitted = %v, want [a]", got)
+	}
+	if ok, err := c.Request(job("b", 100, 2, 1, 0, 200)); err != nil || !ok {
+		t.Fatalf("post-failure admit: ok=%v err=%v", ok, err)
+	}
+	if b, err := c.Bounds(); err != nil || len(b) != 2 {
+		t.Fatalf("bounds = %v, %v; want 2 finite bounds", b, err)
+	}
+}
+
+// TestRemoveCompatWrapper pins the wrapper semantics: true only when the
+// job was present and the removal applied.
+func TestRemoveCompatWrapper(t *testing.T) {
+	c := New(twoProcs(model.SPP), DeadlineMonotonic)
+	if ok, err := c.Request(job("a", 100, 2, 0, 0, 200)); err != nil || !ok {
+		t.Fatalf("seed admit: ok=%v err=%v", ok, err)
+	}
+	if c.Remove("nope") {
+		t.Fatal("Remove of an absent job reported true")
+	}
+	testHookAssign = func() error { return fmt.Errorf("boom") }
+	removed := c.Remove("a")
+	testHookAssign = nil
+	if removed {
+		t.Fatal("Remove reported true for a failed removal")
+	}
+	if !c.Remove("a") {
+		t.Fatal("Remove failed after the injection was cleared")
+	}
+}
+
+// TestPerRequestOptions checks RequestOpts/RemoveOpts bind their options
+// to one decision only: a canceled context fails that decision without
+// mutating state, and the construction-time options are restored for the
+// next plain call.
+func TestPerRequestOptions(t *testing.T) {
+	c := New(twoProcs(model.SPP), KeepPriorities)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if ok, err := c.RequestOpts(job("a", 100, 2, 0, 0, 200), analysis.Options{Context: ctx}); err == nil || ok {
+		t.Fatalf("canceled RequestOpts = %v, %v; want error", ok, err)
+	}
+	if got := c.Admitted(); len(got) != 0 {
+		t.Fatalf("failed request mutated state: %v", got)
+	}
+	// The canceled context must not stick to the session.
+	if ok, err := c.Request(job("a", 100, 2, 0, 0, 200)); err != nil || !ok {
+		t.Fatalf("follow-up admit: ok=%v err=%v", ok, err)
+	}
+	if ok, err := c.RemoveOpts("a", analysis.Options{Workers: 2}); err != nil || !ok {
+		t.Fatalf("RemoveOpts: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestConcurrentChurnRace hammers Request/RemoveErr/Bounds concurrently
+// against one controller (run under -race in CI): the Bounds repair path
+// upgrades from the read to the write lock, and the staleness re-check in
+// that window is what keeps a concurrent commit from being clobbered.
+func TestConcurrentChurnRace(t *testing.T) {
+	c := New(twoProcs(model.SPP), KeepPriorities)
+	if ok, err := c.Request(job("keep", 1000, 2, 0, 0, 50)); err != nil || !ok {
+		t.Fatalf("seed admit failed: %v %v", ok, err)
+	}
+	stop := make(chan struct{})
+	var readers, writers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				names, bounds, err := c.NamedBounds()
+				if err != nil {
+					t.Errorf("NamedBounds: %v", err)
+					return
+				}
+				if len(names) != len(bounds) {
+					t.Errorf("NamedBounds skew: %d names, %d bounds", len(names), len(bounds))
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 30; i++ {
+				name := fmt.Sprintf("churn%d-%d", w, i%3)
+				ok, err := c.Request(job(name, 200, 3, 1+i%4, 0, 60))
+				if err != nil && err != ErrDuplicate {
+					t.Errorf("Request: %v", err)
+					return
+				}
+				if ok && i%2 == 1 {
+					if _, err := c.RemoveErr(name); err != nil {
+						t.Errorf("RemoveErr: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
 }

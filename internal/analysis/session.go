@@ -267,6 +267,16 @@ func (s *Session) seedHop0Reset(id0 int) {
 	s.republish[id0] = struct{}{}
 }
 
+// ValidateJob checks a candidate job against the working system without
+// staging anything. Callers admitting untrusted jobs must check this
+// before Admit: Admit itself assumes a structurally valid job (an
+// out-of-range processor index would corrupt the staged topology).
+func (s *Session) ValidateJob(job *model.Job) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cur.sys.ValidateJob(job)
+}
+
 // Admit stages the addition of a deep copy of job.
 func (s *Session) Admit(job model.Job) {
 	s.mu.Lock()
@@ -578,6 +588,18 @@ func (s *Session) Restore(cp Checkpoint) {
 	s.prevMap = identityMap(len(cp.base.sys.Jobs))
 	s.staged = false
 	s.clearDelta()
+}
+
+// SetOptions replaces the execution options of every subsequent converge
+// (workers, context, budget). Changing options never invalidates the
+// resident warm state: results are identical for every worker count, and
+// contexts/budgets only bound how a converge runs, not what it computes.
+// Long-lived callers (the admission controller, the serve layer) use this
+// to thread per-request contexts through a resident session.
+func (s *Session) SetOptions(opts Options) {
+	s.mu.Lock()
+	s.cfg.Opts = opts
+	s.mu.Unlock()
 }
 
 // Converge (re-)analyzes the working system, warm when possible, and

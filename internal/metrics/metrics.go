@@ -10,6 +10,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"rta/internal/model"
@@ -120,19 +121,34 @@ func Summarize(sys *model.System, res *sim.Result) *Report {
 	return rep
 }
 
-// quantile returns the nearest-rank q-quantile of sorted values.
-func quantile(sorted []model.Ticks, q float64) model.Ticks {
+// quantileEps absorbs float rounding in q*n: products like 0.95*20 land a
+// hair above the exact integer 19 in float64, which would push Ceil one
+// rank too high.
+const quantileEps = 1e-9
+
+// Quantile returns the nearest-rank q-quantile of the sorted values: the
+// element at rank ceil(q*n), 1-indexed, clamped to [1, n]. This is the
+// standard nearest-rank definition (the smallest value with at least a
+// fraction q of the sample at or below it); the whole toolkit shares this
+// one implementation — the serve load-test harness and the simulator
+// reports must not grow a second convention.
+func Quantile(sorted []model.Ticks, q float64) model.Ticks {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(q*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
+	rank := int(math.Ceil(q*float64(len(sorted)) - quantileEps))
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
-	return sorted[idx]
+	return sorted[rank-1]
+}
+
+// quantile is the package-internal alias Summarize uses.
+func quantile(sorted []model.Ticks, q float64) model.Ticks {
+	return Quantile(sorted, q)
 }
 
 // Render writes the report as aligned text tables.

@@ -137,3 +137,44 @@ func TestMaxBacklogAgainstExact(t *testing.T) {
 		t.Fatalf("burst backlog = %d, want 3", b)
 	}
 }
+
+// TestQuantileNearestRank pins the nearest-rank convention — rank
+// ceil(q*n), 1-indexed — on hand-checked samples. The n=7/q=0.9 and
+// n=10/q=0.99 rows fail under the old int(q*n+0.5)-1 rounding, which sat
+// between nearest-rank and rounding-half-up without being either.
+func TestQuantileNearestRank(t *testing.T) {
+	seq := func(n int) []model.Ticks {
+		xs := make([]model.Ticks, n)
+		for i := range xs {
+			xs[i] = model.Ticks(i + 1) // sorted 1..n
+		}
+		return xs
+	}
+	cases := []struct {
+		name   string
+		sorted []model.Ticks
+		q      float64
+		want   model.Ticks
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single", seq(1), 0.99, 1},
+		{"p50-even", seq(10), 0.50, 5},    // ceil(5.0) = 5
+		{"p50-odd", seq(5), 0.50, 3},      // ceil(2.5) = 3
+		{"p50-two", seq(2), 0.50, 1},      // ceil(1.0) = 1
+		{"p90-n7", seq(7), 0.90, 7},       // ceil(6.3) = 7; old code gave 6
+		{"p90-n10", seq(10), 0.90, 9},     // ceil(9.0) = 9
+		{"p95-n20", seq(20), 0.95, 19},    // ceil(19.0) = 19 despite 0.95*20 > 19 in float64
+		{"p99-n10", seq(10), 0.99, 10},    // ceil(9.9) = 10
+		{"p99-n100", seq(100), 0.99, 99},  // ceil(99.0) = 99 despite float rounding of 0.99*100
+		{"p99-n101", seq(101), 0.99, 100}, // ceil(99.99) = 100
+		{"p25-n8", seq(8), 0.25, 2},       // ceil(2.0) = 2
+		{"p10-n7", seq(7), 0.10, 1},       // ceil(0.7) = 1
+		{"q0", seq(9), 0, 1},              // clamped to the minimum
+		{"q1", seq(9), 1, 9},
+	}
+	for _, c := range cases {
+		if got := Quantile(c.sorted, c.q); got != c.want {
+			t.Errorf("%s: Quantile(n=%d, q=%v) = %d, want %d", c.name, len(c.sorted), c.q, got, c.want)
+		}
+	}
+}

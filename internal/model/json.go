@@ -90,17 +90,28 @@ func (s *System) MarshalJSON() ([]byte, error) {
 		})
 	}
 	for _, j := range s.Jobs {
-		jj := jsonJob{Name: j.Name, Deadline: j.Deadline, Releases: j.Releases}
-		for _, sj := range j.Subjobs {
-			js := jsonSubjob{Proc: sj.Proc, Exec: sj.Exec, Priority: sj.Priority, PostDelay: sj.PostDelay}
-			for _, cs := range sj.CS {
-				js.CS = append(js.CS, jsonCS{Resource: cs.Resource, Start: cs.Start, Duration: cs.Duration})
-			}
-			jj.Subjobs = append(jj.Subjobs, js)
-		}
-		doc.Jobs = append(doc.Jobs, jj)
+		doc.Jobs = append(doc.Jobs, j.marshalDoc())
 	}
 	return json.Marshal(doc)
+}
+
+func (j *Job) marshalDoc() jsonJob {
+	jj := jsonJob{Name: j.Name, Deadline: j.Deadline, Releases: j.Releases}
+	for _, sj := range j.Subjobs {
+		js := jsonSubjob{Proc: sj.Proc, Exec: sj.Exec, Priority: sj.Priority, PostDelay: sj.PostDelay}
+		for _, cs := range sj.CS {
+			js.CS = append(js.CS, jsonCS{Resource: cs.Resource, Start: cs.Start, Duration: cs.Duration})
+		}
+		jj.Subjobs = append(jj.Subjobs, js)
+	}
+	return jj
+}
+
+// MarshalJSON encodes the job in the documented format — the shape
+// LoadJobLimited decodes, so a Job round-trips through the admission
+// API without losing critical sections to Go's default field naming.
+func (j Job) MarshalJSON() ([]byte, error) {
+	return json.Marshal(j.marshalDoc())
 }
 
 // Limits bounds how large an untrusted JSON document may be before the
@@ -149,18 +160,9 @@ func (l Limits) check(doc *jsonSystem) error {
 	if l.MaxJobs > 0 && len(doc.Jobs) > l.MaxJobs {
 		return over(len(doc.Jobs), l.MaxJobs, "jobs")
 	}
-	for k, j := range doc.Jobs {
-		if l.MaxSubjobs > 0 && len(j.Subjobs) > l.MaxSubjobs {
-			return over(len(j.Subjobs), l.MaxSubjobs, fmt.Sprintf("jobs[%d].subjobs", k))
-		}
-		if l.MaxReleases > 0 && len(j.Releases) > l.MaxReleases {
-			return over(len(j.Releases), l.MaxReleases, fmt.Sprintf("jobs[%d].releases", k))
-		}
-		for i, sj := range j.Subjobs {
-			if l.MaxCriticalSections > 0 && len(sj.CS) > l.MaxCriticalSections {
-				return over(len(sj.CS), l.MaxCriticalSections,
-					fmt.Sprintf("jobs[%d].subjobs[%d].criticalSections", k, i))
-			}
+	for k := range doc.Jobs {
+		if err := l.checkJob(&doc.Jobs[k], fmt.Sprintf("jobs[%d]", k)); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -176,15 +178,7 @@ func (doc *jsonSystem) build() (*System, error) {
 		})
 	}
 	for _, j := range doc.Jobs {
-		job := Job{Name: j.Name, Deadline: j.Deadline, Releases: j.Releases}
-		for _, sj := range j.Subjobs {
-			ms := Subjob{Proc: sj.Proc, Exec: sj.Exec, Priority: sj.Priority, PostDelay: sj.PostDelay}
-			for _, cs := range sj.CS {
-				ms.CS = append(ms.CS, CriticalSection{Resource: cs.Resource, Start: cs.Start, Duration: cs.Duration})
-			}
-			job.Subjobs = append(job.Subjobs, ms)
-		}
-		out.Jobs = append(out.Jobs, job)
+		out.Jobs = append(out.Jobs, j.build())
 	}
 	if err := out.Validate(); err != nil {
 		return nil, err
@@ -223,6 +217,20 @@ func Load(r io.Reader) (*System, error) {
 // itself never panics on any input; semantic errors come from
 // System.Validate with job/hop coordinates.
 func LoadLimited(r io.Reader, lim Limits) (*System, error) {
+	doc, err := decodeLimited(r, lim)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := doc.build()
+	if err != nil {
+		return nil, fmt.Errorf("model: decoding system: %w", err)
+	}
+	return sys, nil
+}
+
+// decodeLimited reads, size-caps, decodes, and limit-checks a system
+// document without building or validating it.
+func decodeLimited(r io.Reader, lim Limits) (*jsonSystem, error) {
 	if lim.MaxBytes > 0 {
 		r = io.LimitReader(r, lim.MaxBytes+1)
 	}
@@ -240,11 +248,91 @@ func LoadLimited(r io.Reader, lim Limits) (*System, error) {
 	if err := lim.check(&doc); err != nil {
 		return nil, err
 	}
-	sys, err := doc.build()
+	return &doc, nil
+}
+
+// LoadSpecLimited is LoadLimited without the whole-system semantic
+// validation: the document is decoded and limit-checked, then returned
+// as built. It exists for services that assemble systems incrementally —
+// a processors-only tenant spec is legal input there, and every job
+// added later is validated by the analysis at decision time.
+func LoadSpecLimited(r io.Reader, lim Limits) (*System, error) {
+	doc, err := decodeLimited(r, lim)
 	if err != nil {
-		return nil, fmt.Errorf("model: decoding system: %w", err)
+		return nil, err
 	}
-	return sys, nil
+	out := &System{}
+	for _, p := range doc.Procs {
+		out.Procs = append(out.Procs, Processor{
+			Name: p.Name, Sched: p.Sched,
+			Slot: p.Slot, Cycle: p.Cycle, Offset: p.Offset,
+		})
+	}
+	for _, j := range doc.Jobs {
+		out.Jobs = append(out.Jobs, j.build())
+	}
+	return out, nil
+}
+
+// checkJob verifies one job document's collection counts; path prefixes
+// the error location ("job" for a standalone document).
+func (l Limits) checkJob(j *jsonJob, path string) error {
+	over := func(n, max int, where string) error {
+		return fmt.Errorf("model: %s: %d entries exceed the limit of %d", where, n, max)
+	}
+	if l.MaxSubjobs > 0 && len(j.Subjobs) > l.MaxSubjobs {
+		return over(len(j.Subjobs), l.MaxSubjobs, path+".subjobs")
+	}
+	if l.MaxReleases > 0 && len(j.Releases) > l.MaxReleases {
+		return over(len(j.Releases), l.MaxReleases, path+".releases")
+	}
+	for i, sj := range j.Subjobs {
+		if l.MaxCriticalSections > 0 && len(sj.CS) > l.MaxCriticalSections {
+			return over(len(sj.CS), l.MaxCriticalSections,
+				fmt.Sprintf("%s.subjobs[%d].criticalSections", path, i))
+		}
+	}
+	return nil
+}
+
+// buildJob converts one decoded job document.
+func (j *jsonJob) build() Job {
+	job := Job{Name: j.Name, Deadline: j.Deadline, Releases: j.Releases}
+	for _, sj := range j.Subjobs {
+		ms := Subjob{Proc: sj.Proc, Exec: sj.Exec, Priority: sj.Priority, PostDelay: sj.PostDelay}
+		for _, cs := range sj.CS {
+			ms.CS = append(ms.CS, CriticalSection{Resource: cs.Resource, Start: cs.Start, Duration: cs.Duration})
+		}
+		job.Subjobs = append(job.Subjobs, ms)
+	}
+	return job
+}
+
+// LoadJobLimited reads one job in the documented jobs[] element format —
+// the admission request body of the serve layer — under the same input
+// caps as LoadLimited. The job is syntactically checked here; semantic
+// validation (processor indices, release ordering) happens against the
+// owning system when the job enters an analysis session, exactly as a
+// cold Analyze would report it.
+func LoadJobLimited(r io.Reader, lim Limits) (Job, error) {
+	if lim.MaxBytes > 0 {
+		r = io.LimitReader(r, lim.MaxBytes+1)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Job{}, fmt.Errorf("model: reading job: %w", err)
+	}
+	if lim.MaxBytes > 0 && int64(len(data)) > lim.MaxBytes {
+		return Job{}, fmt.Errorf("model: input exceeds the %d-byte limit", lim.MaxBytes)
+	}
+	var doc jsonJob
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Job{}, fmt.Errorf("model: decoding job: %w", err)
+	}
+	if err := lim.checkJob(&doc, "job"); err != nil {
+		return Job{}, err
+	}
+	return doc.build(), nil
 }
 
 // Dump writes the system as indented JSON.

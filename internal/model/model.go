@@ -178,9 +178,32 @@ type System struct {
 	topo atomic.Pointer[topoRing]
 }
 
+// ValidationError marks a structural well-formedness failure from
+// Validate. It is transparent (Error and Unwrap pass through), existing
+// messages are unchanged; callers that must distinguish "the input is
+// malformed" from engine failures — the serve layer mapping decisions to
+// HTTP statuses — detect it with errors.As through any wrapping.
+type ValidationError struct{ Err error }
+
+func (e *ValidationError) Error() string { return e.Err.Error() }
+
+func (e *ValidationError) Unwrap() error { return e.Err }
+
 // Validate checks structural well-formedness. Analyses require a valid
-// system and may panic on invalid ones.
+// system and may panic on invalid ones. All failures are returned as a
+// *ValidationError.
 func (s *System) Validate() error {
+	if err := s.validate(); err != nil {
+		var verr *ValidationError
+		if errors.As(err, &verr) {
+			return err
+		}
+		return &ValidationError{Err: err}
+	}
+	return nil
+}
+
+func (s *System) validate() error {
 	if len(s.Procs) == 0 {
 		return errors.New("model: system has no processors")
 	}
@@ -193,56 +216,8 @@ func (s *System) Validate() error {
 		}
 	}
 	for k := range s.Jobs {
-		job := &s.Jobs[k]
-		if len(job.Subjobs) == 0 {
-			return fmt.Errorf("model: job %d has no subjobs", k)
-		}
-		if job.Deadline <= 0 {
-			return fmt.Errorf("model: job %d has non-positive deadline %d", k, job.Deadline)
-		}
-		for j, sj := range job.Subjobs {
-			if sj.Proc < 0 || sj.Proc >= len(s.Procs) {
-				return fmt.Errorf("model: job %d hop %d references processor %d of %d", k, j, sj.Proc, len(s.Procs))
-			}
-			if sj.Exec <= 0 {
-				return fmt.Errorf("model: job %d hop %d has non-positive execution time %d", k, j, sj.Exec)
-			}
-			if sj.PostDelay < 0 {
-				return fmt.Errorf("model: job %d hop %d has negative post delay %d", k, j, sj.PostDelay)
-			}
-		}
-		if len(job.Releases) == 0 {
-			return fmt.Errorf("model: job %d has no release instances", k)
-		}
-		for i, t := range job.Releases {
-			if t < 0 {
-				return fmt.Errorf("model: job %d release %d is negative", k, i)
-			}
-			if i > 0 && t < job.Releases[i-1] {
-				return fmt.Errorf("model: job %d releases not sorted at %d", k, i)
-			}
-		}
-		switch job.Sync {
-		case DirectSync:
-		case PhaseModification:
-			if len(job.Phases) != len(job.Subjobs) {
-				return fmt.Errorf("model: job %d needs one phase per hop, got %d for %d hops",
-					k, len(job.Phases), len(job.Subjobs))
-			}
-			if job.Phases[0] != 0 {
-				return fmt.Errorf("model: job %d first phase must be 0", k)
-			}
-			for j := 1; j < len(job.Phases); j++ {
-				if job.Phases[j] < job.Phases[j-1] {
-					return fmt.Errorf("model: job %d phases must be non-decreasing", k)
-				}
-			}
-		case ReleaseGuard:
-			if job.Period <= 0 {
-				return fmt.Errorf("model: job %d needs a positive period for release guard", k)
-			}
-		default:
-			return fmt.Errorf("model: job %d has unknown sync policy %d", k, job.Sync)
+		if err := validateJobShape(fmt.Sprintf("job %d", k), &s.Jobs[k], len(s.Procs)); err != nil {
+			return err
 		}
 	}
 	if err := s.ValidateResources(); err != nil {
@@ -257,6 +232,108 @@ func (s *System) Validate() error {
 			if err := info.ValidateProc(s, p); err != nil {
 				return err
 			}
+		}
+	}
+	return nil
+}
+
+// validateJobShape holds the per-job structural invariants of validate;
+// label prefixes every error location ("job 3", or a quoted name when
+// checking a standalone candidate).
+func validateJobShape(label string, job *Job, nprocs int) error {
+	if len(job.Subjobs) == 0 {
+		return fmt.Errorf("model: %s has no subjobs", label)
+	}
+	if job.Deadline <= 0 {
+		return fmt.Errorf("model: %s has non-positive deadline %d", label, job.Deadline)
+	}
+	for j, sj := range job.Subjobs {
+		if sj.Proc < 0 || sj.Proc >= nprocs {
+			return fmt.Errorf("model: %s hop %d references processor %d of %d", label, j, sj.Proc, nprocs)
+		}
+		if sj.Exec <= 0 {
+			return fmt.Errorf("model: %s hop %d has non-positive execution time %d", label, j, sj.Exec)
+		}
+		if sj.PostDelay < 0 {
+			return fmt.Errorf("model: %s hop %d has negative post delay %d", label, j, sj.PostDelay)
+		}
+	}
+	if len(job.Releases) == 0 {
+		return fmt.Errorf("model: %s has no release instances", label)
+	}
+	for i, t := range job.Releases {
+		if t < 0 {
+			return fmt.Errorf("model: %s release %d is negative", label, i)
+		}
+		if i > 0 && t < job.Releases[i-1] {
+			return fmt.Errorf("model: %s releases not sorted at %d", label, i)
+		}
+	}
+	switch job.Sync {
+	case DirectSync:
+	case PhaseModification:
+		if len(job.Phases) != len(job.Subjobs) {
+			return fmt.Errorf("model: %s needs one phase per hop, got %d for %d hops",
+				label, len(job.Phases), len(job.Subjobs))
+		}
+		if job.Phases[0] != 0 {
+			return fmt.Errorf("model: %s first phase must be 0", label)
+		}
+		for j := 1; j < len(job.Phases); j++ {
+			if job.Phases[j] < job.Phases[j-1] {
+				return fmt.Errorf("model: %s phases must be non-decreasing", label)
+			}
+		}
+	case ReleaseGuard:
+		if job.Period <= 0 {
+			return fmt.Errorf("model: %s needs a positive period for release guard", label)
+		}
+	default:
+		return fmt.Errorf("model: %s has unknown sync policy %d", label, job.Sync)
+	}
+	return nil
+}
+
+// ValidateJob checks one candidate job against the system's processors —
+// the per-job subset of Validate plus the critical-section structure and
+// the local-resource restriction against the resident jobs. It exists
+// for services that admit jobs one at a time: a malformed candidate is a
+// *ValidationError (the submitter's fault), caught before any analysis
+// structure is sized from it.
+func (s *System) ValidateJob(job *Job) error {
+	label := fmt.Sprintf("job %q", job.Name)
+	if err := s.validateJobIn(label, job); err != nil {
+		return &ValidationError{Err: err}
+	}
+	return nil
+}
+
+func (s *System) validateJobIn(label string, job *Job) error {
+	if len(s.Procs) == 0 {
+		return errors.New("model: system has no processors")
+	}
+	if err := validateJobShape(label, job, len(s.Procs)); err != nil {
+		return err
+	}
+	procOf := map[int]int{} // resource -> processor, from the resident jobs
+	for k := range s.Jobs {
+		for _, sj := range s.Jobs[k].Subjobs {
+			for _, cs := range sj.CS {
+				procOf[cs.Resource] = sj.Proc
+			}
+		}
+	}
+	for j := range job.Subjobs {
+		sj := &job.Subjobs[j]
+		if err := validateSubjobCS(fmt.Sprintf("%s hop %d", label, j), sj); err != nil {
+			return err
+		}
+		for _, cs := range sj.CS {
+			if p, ok := procOf[cs.Resource]; ok && p != sj.Proc {
+				return fmt.Errorf("model: resource %d used on processors %d and %d; resources must be local",
+					cs.Resource, p, sj.Proc)
+			}
+			procOf[cs.Resource] = sj.Proc
 		}
 	}
 	return nil

@@ -2,6 +2,9 @@ package model
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -166,5 +169,78 @@ func TestSummaryHelpers(t *testing.T) {
 		if !strings.Contains(str, want) {
 			t.Errorf("String() = %q missing %q", str, want)
 		}
+	}
+}
+
+func TestValidateJob(t *testing.T) {
+	sys := validSystem()
+	good := Job{Name: "T3", Deadline: 40, Subjobs: []Subjob{{Proc: 0, Exec: 2}}, Releases: []Ticks{0}}
+	if err := sys.ValidateJob(&good); err != nil {
+		t.Fatalf("valid candidate rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		job  Job
+		want string
+	}{
+		{"processor out of range",
+			Job{Name: "x", Deadline: 10, Subjobs: []Subjob{{Proc: 99, Exec: 1}}, Releases: []Ticks{0}},
+			"references processor 99"},
+		{"no releases",
+			Job{Name: "x", Deadline: 10, Subjobs: []Subjob{{Proc: 0, Exec: 1}}},
+			"no release instances"},
+		{"bad critical section",
+			Job{Name: "x", Deadline: 10, Subjobs: []Subjob{{Proc: 0, Exec: 1,
+				CS: []CriticalSection{{Resource: -1, Start: 0, Duration: 1}}}}, Releases: []Ticks{0}},
+			"negative resource"},
+	}
+	for _, tc := range cases {
+		err := sys.ValidateJob(&tc.job)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want %q", tc.name, err, tc.want)
+		}
+		var verr *ValidationError
+		if !errors.As(err, &verr) {
+			t.Errorf("%s: error %v is not a *ValidationError", tc.name, err)
+		}
+	}
+	// Cross-job locality: resource 7 lives on P1 of the resident system.
+	sys.Jobs[0].Subjobs[0].CS = []CriticalSection{{Resource: 7, Start: 0, Duration: 1}}
+	foreign := Job{Name: "x", Deadline: 10, Subjobs: []Subjob{{Proc: 1, Exec: 2,
+		CS: []CriticalSection{{Resource: 7, Start: 0, Duration: 1}}}}, Releases: []Ticks{0}}
+	if err := sys.ValidateJob(&foreign); err == nil || !strings.Contains(err.Error(), "must be local") {
+		t.Errorf("cross-processor resource use: error = %v, want locality violation", err)
+	}
+}
+
+func TestLoadSpecLimitedAllowsEmptyJobs(t *testing.T) {
+	spec := `{"processors":[{"name":"P0","scheduler":"SPP"},{"scheduler":"FCFS"}]}`
+	sys, err := LoadSpecLimited(strings.NewReader(spec), DefaultLimits)
+	if err != nil {
+		t.Fatalf("LoadSpecLimited: %v", err)
+	}
+	if len(sys.Procs) != 2 || len(sys.Jobs) != 0 {
+		t.Fatalf("spec = %d procs %d jobs, want 2 procs 0 jobs", len(sys.Procs), len(sys.Jobs))
+	}
+	if _, err := LoadLimited(strings.NewReader(spec), DefaultLimits); err == nil {
+		t.Fatal("LoadLimited accepted a jobs-free document; the spec loader must stay the only relaxed path")
+	}
+}
+
+func TestJobMarshalRoundTrip(t *testing.T) {
+	in := Job{Name: "T9", Deadline: 77, Subjobs: []Subjob{
+		{Proc: 1, Exec: 9, Priority: 3, PostDelay: 2,
+			CS: []CriticalSection{{Resource: 4, Start: 1, Duration: 2}}},
+	}, Releases: []Ticks{0, 5}}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadJobLimited(bytes.NewReader(raw), DefaultLimits)
+	if err != nil {
+		t.Fatalf("round trip decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed the job:\n in  %+v\n out %+v", in, out)
 	}
 }

@@ -31,22 +31,12 @@ type CriticalSection struct {
 func (s *System) ValidateResources() error {
 	procOf := map[int]int{} // resource -> processor
 	for k := range s.Jobs {
-		for j, sj := range s.Jobs[k].Subjobs {
-			var prev Ticks = -1
-			for c, cs := range sj.CS {
-				if cs.Resource < 0 {
-					return fmt.Errorf("model: job %d hop %d section %d: negative resource", k, j, c)
-				}
-				if cs.Duration <= 0 {
-					return fmt.Errorf("model: job %d hop %d section %d: non-positive duration", k, j, c)
-				}
-				if cs.Start < 0 || cs.Start+cs.Duration > sj.Exec {
-					return fmt.Errorf("model: job %d hop %d section %d: outside execution [0,%d]", k, j, c, sj.Exec)
-				}
-				if cs.Start < prev {
-					return fmt.Errorf("model: job %d hop %d section %d: sections overlap or are unsorted", k, j, c)
-				}
-				prev = cs.Start + cs.Duration
+		for j := range s.Jobs[k].Subjobs {
+			sj := &s.Jobs[k].Subjobs[j]
+			if err := validateSubjobCS(fmt.Sprintf("job %d hop %d", k, j), sj); err != nil {
+				return err
+			}
+			for _, cs := range sj.CS {
 				if p, ok := procOf[cs.Resource]; ok && p != sj.Proc {
 					return fmt.Errorf("model: resource %d used on processors %d and %d; resources must be local",
 						cs.Resource, p, sj.Proc)
@@ -54,6 +44,29 @@ func (s *System) ValidateResources() error {
 				procOf[cs.Resource] = sj.Proc
 			}
 		}
+	}
+	return nil
+}
+
+// validateSubjobCS checks one hop's critical-section structure (the
+// per-subjob half of ValidateResources; the cross-job local-resource
+// restriction needs the whole system and stays with the callers).
+func validateSubjobCS(label string, sj *Subjob) error {
+	var prev Ticks = -1
+	for c, cs := range sj.CS {
+		if cs.Resource < 0 {
+			return fmt.Errorf("model: %s section %d: negative resource", label, c)
+		}
+		if cs.Duration <= 0 {
+			return fmt.Errorf("model: %s section %d: non-positive duration", label, c)
+		}
+		if cs.Start < 0 || cs.Start+cs.Duration > sj.Exec {
+			return fmt.Errorf("model: %s section %d: outside execution [0,%d]", label, c, sj.Exec)
+		}
+		if cs.Start < prev {
+			return fmt.Errorf("model: %s section %d: sections overlap or are unsorted", label, c)
+		}
+		prev = cs.Start + cs.Duration
 	}
 	return nil
 }

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Overload decides, before any session work, whether a decision request
+// may proceed. A false verdict sheds the request with 429 — the point of
+// shedding before the shard lock is that an overloaded server keeps its
+// admission sessions responsive for the traffic it does accept, instead
+// of queueing everything into the lock and letting tail latency grow
+// without bound (the H5 token-bucket study's shed-vs-serve tradeoff).
+//
+// Implementations must be safe for concurrent use: every decision request
+// on every shard consults the same policy instance.
+type Overload interface {
+	// Admit reports whether this decision request may proceed.
+	Admit() bool
+	// Name identifies the policy in /stats and load-test reports.
+	Name() string
+}
+
+// AlwaysAdmit never sheds: every decision request reaches its shard. The
+// baseline policy of the load-test comparison.
+type AlwaysAdmit struct{}
+
+// Admit always reports true.
+func (AlwaysAdmit) Admit() bool { return true }
+
+// Name returns "always-admit".
+func (AlwaysAdmit) Name() string { return "always-admit" }
+
+// TokenBucket sheds decision requests beyond a sustained rate with
+// bounded burst tolerance: a bucket holding up to Capacity tokens refills
+// at Refill tokens per second, and each decision costs one token. The
+// cost model is deliberately one-token-per-decision — the H5 study's
+// lesson is that an uncalibrated per-item cost model turns the bucket
+// into a pure load shedder whose "win" is rejecting the workload, so the
+// serve layer keeps cost uniform and the calibration surface to two
+// documented knobs.
+type TokenBucket struct {
+	mu     sync.Mutex
+	cap    float64
+	refill float64 // tokens per second
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket creates a full bucket. capacity is the burst tolerance
+// in decisions; refillPerSec the sustained decision rate.
+func NewTokenBucket(capacity, refillPerSec float64) *TokenBucket {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if refillPerSec <= 0 {
+		refillPerSec = 1
+	}
+	b := &TokenBucket{cap: capacity, refill: refillPerSec, tokens: capacity, now: time.Now}
+	b.last = b.now()
+	return b
+}
+
+// Admit takes one token if available.
+func (b *TokenBucket) Admit() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.refill
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Name returns the policy name with its calibration.
+func (b *TokenBucket) Name() string {
+	return fmt.Sprintf("token-bucket(cap=%g,refill=%g/s)", b.cap, b.refill)
+}

@@ -1,0 +1,380 @@
+// Package serve is the online admission-control service over
+// admission.Controller: the paper frames its whole analysis as an
+// admission test for dynamic job sets, and this layer is what answers
+// that test over HTTP, long-lived, under bursty query traffic.
+//
+// Architecture:
+//
+//   - Per-tenant sharding. Each tenant id owns an independent
+//     admission.Controller (its own processors, job set, and warm
+//     analysis session). The controller's internal lock serializes the
+//     decisions of one shard; different shards decide in parallel — the
+//     shard map itself is only read-locked on the request path.
+//   - Shed before session. A pluggable Overload policy (always-admit or
+//     token bucket) is consulted before a decision request touches its
+//     shard; a shed costs a 429 and one atomic counter, never a session
+//     lock. Queries (/bounds) are served from the resident converged
+//     state and are not shed.
+//   - Per-request execution options. Each decision runs under the HTTP
+//     request's context plus the server's configured budget and worker
+//     count (analysis.Options), so a disconnected client cancels its own
+//     analysis and a poisoned request cannot run away.
+//   - Graceful drain. Shutdown goes through http.Server.Shutdown, which
+//     stops accepting and waits for in-flight decisions; sessions need no
+//     special teardown because every commit point is transactional
+//     (see the admission controller's rollback-on-error paths).
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"rta/internal/admission"
+	"rta/internal/analysis"
+	"rta/internal/fault"
+	"rta/internal/model"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Limits caps tenant-spec and job request bodies (model.LoadLimited /
+	// model.LoadJobLimited). Zero-value fields fall back to
+	// model.DefaultLimits.
+	Limits model.Limits
+	// Policy is the priority-maintenance policy of every tenant
+	// controller.
+	Policy admission.PriorityPolicy
+	// Opts are the per-decision execution options (workers, budget); the
+	// request context is layered on per call.
+	Opts analysis.Options
+	// Overload is the shed policy; nil means AlwaysAdmit.
+	Overload Overload
+	// MaxTenants caps the number of concurrent tenants; 0 means 64.
+	MaxTenants int
+}
+
+// Server is the admission-control service. Create with New, mount
+// Handler on an http.Server.
+type Server struct {
+	cfg      Config
+	overload Overload
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+
+	started  time.Time
+	counters counters
+	decHist  hist
+}
+
+type tenant struct {
+	ctl *admission.Controller
+}
+
+// New creates a server with no tenants.
+func New(cfg Config) *Server {
+	if cfg.Overload == nil {
+		cfg.Overload = AlwaysAdmit{}
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 64
+	}
+	if cfg.Limits == (model.Limits{}) {
+		cfg.Limits = model.DefaultLimits
+	}
+	return &Server{
+		cfg:      cfg,
+		overload: cfg.Overload,
+		tenants:  map[string]*tenant{},
+		started:  time.Now(),
+	}
+}
+
+// Handler returns the HTTP API:
+//
+//	PUT    /v1/tenants/{tenant}         create a tenant from a processor spec
+//	DELETE /v1/tenants/{tenant}         drop a tenant and its job set
+//	POST   /v1/tenants/{tenant}/admit   admission decision for one job
+//	POST   /v1/tenants/{tenant}/remove  remove an admitted job by name
+//	GET    /v1/tenants/{tenant}/bounds  per-job response bounds
+//	GET    /healthz                     liveness
+//	GET    /stats                       counters + decision-latency histogram
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/tenants/{tenant}", s.handleCreate)
+	mux.HandleFunc("DELETE /v1/tenants/{tenant}", s.handleDrop)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/admit", s.handleAdmit)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/remove", s.handleRemove)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/bounds", s.handleBounds)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// errorDoc is the JSON error body.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) reply(w http.ResponseWriter, status int, doc any) {
+	if status >= 500 {
+		s.counters.serverErrors.Add(1)
+	} else if status >= 400 && status != http.StatusTooManyRequests {
+		s.counters.clientErrors.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(doc)
+}
+
+func (s *Server) replyErr(w http.ResponseWriter, status int, format string, args ...any) {
+	s.reply(w, status, errorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+// shard returns the tenant's shard, or nil after writing a 404.
+func (s *Server) shard(w http.ResponseWriter, r *http.Request) *tenant {
+	id := r.PathValue("tenant")
+	s.mu.RLock()
+	t := s.tenants[id]
+	s.mu.RUnlock()
+	if t == nil {
+		s.replyErr(w, http.StatusNotFound, "unknown tenant %q", id)
+	}
+	return t
+}
+
+// shed consults the overload policy; on a shed it writes the 429 and
+// reports true. Decisions only — this runs before any shard state is
+// touched.
+func (s *Server) shed(w http.ResponseWriter) bool {
+	if s.overload.Admit() {
+		return false
+	}
+	s.counters.sheds.Add(1)
+	w.Header().Set("Retry-After", "1")
+	s.replyErr(w, http.StatusTooManyRequests, "shed by overload policy %s", s.overload.Name())
+	return true
+}
+
+// decisionOpts binds the request context to the configured execution
+// options for one decision.
+func (s *Server) decisionOpts(r *http.Request) analysis.Options {
+	opts := s.cfg.Opts
+	opts.Context = r.Context()
+	return opts
+}
+
+// handleCreate builds a tenant shard from a processor spec: a system
+// document whose jobs array must be empty (jobs are admitted one by one
+// through /admit, so every admitted job has passed the admission test).
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("tenant")
+	if id == "" {
+		s.replyErr(w, http.StatusBadRequest, "tenant id must be non-empty")
+		return
+	}
+	spec, err := model.LoadSpecLimited(r.Body, s.cfg.Limits)
+	if err != nil {
+		s.replyErr(w, http.StatusBadRequest, "tenant spec: %v", err)
+		return
+	}
+	if len(spec.Jobs) != 0 {
+		s.replyErr(w, http.StatusBadRequest, "tenant spec must not carry jobs; admit them through /admit")
+		return
+	}
+	if len(spec.Procs) == 0 {
+		s.replyErr(w, http.StatusBadRequest, "tenant spec needs at least one processor")
+		return
+	}
+	ctl, err := admission.NewWithOptions(spec.Procs, s.cfg.Policy, s.cfg.Opts)
+	if err != nil {
+		s.replyErr(w, http.StatusBadRequest, "tenant spec: %v", err)
+		return
+	}
+	s.mu.Lock()
+	if _, dup := s.tenants[id]; dup {
+		s.mu.Unlock()
+		s.replyErr(w, http.StatusConflict, "tenant %q already exists", id)
+		return
+	}
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		s.mu.Unlock()
+		s.replyErr(w, http.StatusTooManyRequests, "tenant limit %d reached", s.cfg.MaxTenants)
+		return
+	}
+	s.tenants[id] = &tenant{ctl: ctl}
+	s.mu.Unlock()
+	s.reply(w, http.StatusCreated, map[string]any{"tenant": id, "processors": len(spec.Procs)})
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("tenant")
+	s.mu.Lock()
+	_, ok := s.tenants[id]
+	delete(s.tenants, id)
+	s.mu.Unlock()
+	if !ok {
+		s.replyErr(w, http.StatusNotFound, "unknown tenant %q", id)
+		return
+	}
+	s.reply(w, http.StatusOK, map[string]any{"dropped": id})
+}
+
+// admitResponse is the admission-decision body.
+type admitResponse struct {
+	Admitted bool `json:"admitted"`
+	// Jobs is the admitted-set size after the decision.
+	Jobs int `json:"jobs"`
+}
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
+	t := s.shard(w, r)
+	if t == nil {
+		return
+	}
+	job, err := model.LoadJobLimited(r.Body, s.cfg.Limits)
+	if err != nil {
+		s.replyErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	ok, err := t.ctl.RequestOpts(job, s.decisionOpts(r))
+	s.decHist.observe(time.Since(start))
+	if err != nil {
+		s.decisionError(w, r, err)
+		return
+	}
+	if ok {
+		s.counters.admitsGranted.Add(1)
+	} else {
+		s.counters.admitsDenied.Add(1)
+	}
+	s.reply(w, http.StatusOK, admitResponse{Admitted: ok, Jobs: len(t.ctl.Admitted())})
+}
+
+// removeRequest / removeResponse are the removal bodies.
+type removeRequest struct {
+	Name string `json:"name"`
+}
+type removeResponse struct {
+	Removed bool `json:"removed"`
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
+	t := s.shard(w, r)
+	if t == nil {
+		return
+	}
+	var req removeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Name == "" {
+		s.replyErr(w, http.StatusBadRequest, "removal body must be {\"name\": \"...\"}")
+		return
+	}
+	start := time.Now()
+	present, err := t.ctl.RemoveOpts(req.Name, s.decisionOpts(r))
+	s.decHist.observe(time.Since(start))
+	if err != nil {
+		// The controller rolled back; the job is still admitted.
+		s.decisionError(w, r, err)
+		return
+	}
+	if present {
+		s.counters.removes.Add(1)
+	}
+	s.reply(w, http.StatusOK, removeResponse{Removed: present})
+}
+
+// boundsResponse lists the admitted jobs with their certified worst-case
+// end-to-end response bounds.
+type boundsResponse struct {
+	Jobs []jobBound `json:"jobs"`
+}
+type jobBound struct {
+	Name  string      `json:"name"`
+	Bound model.Ticks `json:"bound"`
+}
+
+func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
+	t := s.shard(w, r)
+	if t == nil {
+		return
+	}
+	names, bounds, err := t.ctl.NamedBounds()
+	if err != nil {
+		s.decisionError(w, r, err)
+		return
+	}
+	s.counters.queries.Add(1)
+	doc := boundsResponse{Jobs: []jobBound{}}
+	for i := range names {
+		doc.Jobs = append(doc.Jobs, jobBound{Name: names[i], Bound: bounds[i]})
+	}
+	s.reply(w, http.StatusOK, doc)
+}
+
+// decisionError maps controller errors to statuses: duplicates are 409,
+// canceled/overbudget decisions 503 (the client may retry), malformed
+// systems 400 (the analysis rejected the input), anything else 500.
+func (s *Server) decisionError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, admission.ErrDuplicate):
+		s.replyErr(w, http.StatusConflict, "%v", err)
+	case r.Context().Err() != nil, errors.Is(err, fault.ErrBudgetExceeded):
+		s.replyErr(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, analysis.ErrCyclic), isValidation(err):
+		s.replyErr(w, http.StatusBadRequest, "%v", err)
+	default:
+		s.replyErr(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// isValidation reports whether the error came from model validation of a
+// trial system — a malformed job the analysis refused, i.e. the client's
+// fault, not the server's.
+func isValidation(err error) bool {
+	var verr *model.ValidationError
+	return errors.As(err, &verr)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	ntenants := len(s.tenants)
+	jobs := 0
+	for _, t := range s.tenants {
+		jobs += len(t.ctl.Admitted())
+	}
+	s.mu.RUnlock()
+
+	buckets, count, mean := s.decHist.snapshot()
+	s.reply(w, http.StatusOK, StatsSnapshot{
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Overload:       s.overload.Name(),
+		Tenants:        ntenants,
+		AdmittedJobs:   jobs,
+		AdmitsGranted:  s.counters.admitsGranted.Load(),
+		AdmitsDenied:   s.counters.admitsDenied.Load(),
+		Removes:        s.counters.removes.Load(),
+		Queries:        s.counters.queries.Load(),
+		Sheds:          s.counters.sheds.Load(),
+		ClientErrors:   s.counters.clientErrors.Load(),
+		ServerErrors:   s.counters.serverErrors.Load(),
+		DecisionCount:  count,
+		DecisionMeanNs: mean,
+		DecisionP50Ns:  s.decHist.quantileNs(0.50),
+		DecisionP99Ns:  s.decHist.quantileNs(0.99),
+		DecisionHist:   buckets,
+	})
+}

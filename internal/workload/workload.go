@@ -11,6 +11,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"rta/internal/arrivals"
@@ -246,6 +247,51 @@ func (d *Draw) WithScheduler(s model.Scheduler) *model.System {
 		sys.Procs[p].Sched = s
 	}
 	return sys
+}
+
+// Gamma draws one sample from the Gamma(shape, scale) distribution with
+// Marsaglia and Tsang's squeeze method (the shape<1 case boosts through
+// shape+1 with the standard U^(1/shape) correction). Mean shape*scale,
+// variance shape*scale^2.
+func Gamma(r *rand.Rand, shape, scale float64) float64 {
+	if shape < 1 {
+		return Gamma(r, shape+1, scale) * math.Pow(r.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// GammaInterarrival draws one interarrival gap from a Gamma renewal
+// process with the given mean gap and coefficient of variation: shape
+// 1/cv^2, scale mean*cv^2. cv=1 degenerates to the exponential (Poisson
+// process); cv>1 produces the bursty high-variance arrivals of the
+// inference-serving load studies (many short gaps punctuated by long
+// silences), which is what the serve load-test harness drives admission
+// queries with.
+func GammaInterarrival(r *rand.Rand, mean, cv float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if cv <= 0 {
+		return mean // deterministic pacing
+	}
+	shape := 1 / (cv * cv)
+	return Gamma(r, shape, mean/shape)
 }
 
 func check(cfg Config) error {

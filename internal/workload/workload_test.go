@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -235,6 +236,54 @@ func TestBurstyReleases(t *testing.T) {
 			if a[i] != b[i] {
 				t.Fatalf("job %d: burst-1 trace differs from periodic at %d", k, i)
 			}
+		}
+	}
+}
+
+// TestGammaMoments checks the sampler against its analytic mean and
+// variance across the CV range the load harness uses, including the
+// shape<1 boost branch (cv>1).
+func TestGammaMoments(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const n = 200000
+	for _, cv := range []float64{0.25, 0.5, 1.0, 2.0, 4.0} {
+		mean := 3.0
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			g := GammaInterarrival(r, mean, cv)
+			if g < 0 {
+				t.Fatalf("cv=%v: negative interarrival %v", cv, g)
+			}
+			sum += g
+			sumsq += g * g
+		}
+		m := sum / n
+		v := sumsq/n - m*m
+		gotCV := math.Sqrt(v) / m
+		if math.Abs(m-mean)/mean > 0.05 {
+			t.Errorf("cv=%v: sample mean %v, want ~%v", cv, m, mean)
+		}
+		if math.Abs(gotCV-cv)/cv > 0.08 {
+			t.Errorf("cv=%v: sample CV %v", cv, gotCV)
+		}
+	}
+}
+
+// TestGammaEdgeCases pins the degenerate configurations the harness
+// relies on: cv<=0 is deterministic pacing, mean<=0 is a zero gap, and a
+// fixed seed reproduces the same trace.
+func TestGammaEdgeCases(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if g := GammaInterarrival(r, 2.5, 0); g != 2.5 {
+		t.Fatalf("cv=0 gap = %v, want 2.5", g)
+	}
+	if g := GammaInterarrival(r, 0, 2); g != 0 {
+		t.Fatalf("mean=0 gap = %v, want 0", g)
+	}
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		if ga, gb := GammaInterarrival(a, 1, 4), GammaInterarrival(b, 1, 4); ga != gb {
+			t.Fatalf("draw %d: same seed diverged: %v != %v", i, ga, gb)
 		}
 	}
 }
