@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	rta-bench [-out BENCH_PR8.json] [-benchtime 1s]
-//	rta-bench -check BENCH_PR8.json [-tolerance 0.10] [-churn-speedup 5]
+//	rta-bench [-out BENCH_PR9.json] [-benchtime 1s]
+//	rta-bench -check BENCH_PR9.json [-tolerance 0.10] [-churn-speedup 5]
 //	rta-bench -cpuprofile cpu.out -memprofile mem.out
 //
 // With -check, instead of writing a report the command reruns the
@@ -98,7 +98,7 @@ type ServeSection struct {
 func main() { cli.Main("rta-bench", body) }
 
 func body() error {
-	out := flag.String("out", "BENCH_PR8.json", "output file")
+	out := flag.String("out", "BENCH_PR9.json", "output file")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
 	check := flag.String("check", "", "baseline report to gate against instead of writing a report")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression in -check mode")
@@ -107,8 +107,7 @@ func body() error {
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the benchmark runs to this file")
 	flag.Parse()
 
-	run := func(sched model.Scheduler, f func(*model.System) error) func(*testing.B) {
-		sys := benchsys.Large(benchsys.Jobs, benchsys.Hops, benchsys.Instances, sched)
+	runSys := func(sys *model.System, f func(*model.System) error) func(*testing.B) {
 		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -117,6 +116,15 @@ func body() error {
 				}
 			}
 		}
+	}
+	run := func(sched model.Scheduler, f func(*model.System) error) func(*testing.B) {
+		return runSys(benchsys.Large(benchsys.Jobs, benchsys.Hops, benchsys.Instances, sched), f)
+	}
+	// The fork-join twin of the job shop: same subjobs, processors, and
+	// traces with the chains folded into diamond DAGs, so the delta
+	// against LargeApproximateSPNP prices the DAG bookkeeping itself.
+	runForkJoin := func(sched model.Scheduler, f func(*model.System) error) func(*testing.B) {
+		return runSys(benchsys.LargeForkJoin(benchsys.Jobs, benchsys.Hops, benchsys.Instances, sched), f)
 	}
 	approx := func(workers int) func(*model.System) error {
 		return func(sys *model.System) error {
@@ -266,6 +274,7 @@ func body() error {
 		{"LargeApproximateFCFS4Workers", run(model.FCFS, approx(4))},
 		{"LargeApproximateFCFS8Workers", run(model.FCFS, approx(8))},
 		{"LargeApproximateSPP", run(model.SPP, approx(1))},
+		{"ForkJoinApproximate", runForkJoin(model.SPNP, approx(1))},
 		{"LargeExactSPP", run(model.SPP, exact(1))},
 		{"LargeExactSPP4Workers", run(model.SPP, exact(4))},
 		{"LargeIterative", run(model.SPNP, iterative)},

@@ -26,6 +26,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"rta/internal/curve"
 	"rta/internal/fault"
@@ -274,14 +276,23 @@ type state struct {
 	topo *model.Topology
 	hops [][]Hop
 	// demandLo/demandHi cache, per subjob id, the workload staircases
-	// built from the hop's latest respectively earliest arrivals. They are
-	// published by whoever fixes the hop's arrival bounds (newState for
-	// first hops, the previous hop's computeSubjob otherwise), i.e. always
-	// in an earlier dependency level than any reader: the hop itself and,
-	// on FCFS processors, its co-located subjobs (Equation 21's total
-	// workload), which would otherwise rebuild each staircase once per
-	// neighbor.
+	// built from the hop's latest respectively earliest arrivals. Source
+	// hops are published by newState straight from the release trace;
+	// every other hop is published by ensureArrivals when its arrival
+	// bounds are first needed — by its own evaluation or, on FCFS
+	// processors, by a co-located subjob folding it into Equation 21's
+	// total workload. Either way the inputs (the precedence predecessors'
+	// departure vectors) are final by then, so the cached staircases are
+	// deterministic regardless of which reader resolves them first.
 	demandLo, demandHi []*curve.Curve
+	// arrState guards the lazy arrival resolution of the acyclic engine,
+	// one word per subjob id (see ensureArrivals); nil in iterative mode,
+	// where pinIterativeStart materializes every hop's arrivals up front
+	// and re-merges them across rounds instead.
+	arrState []uint32
+	// resolveMu serializes concurrent resolvers of the same hop in the
+	// parallel engine; the value computed is identical whoever wins.
+	resolveMu []sync.Mutex
 	// arrVer counts the ArrLate merges of each subjob and demandLoVer the
 	// version a cached demandLo was built at; the iterative engine uses
 	// the pair to rebuild a staircase only when its arrivals moved (the
@@ -312,14 +323,57 @@ func newState(sys *model.System, lim *curve.Limiter) *state {
 	st.demandHi = make([]*curve.Curve, n)
 	st.arrVer = make([]uint64, n)
 	st.demandLoVer = make([]uint64, n)
+	st.arrState = make([]uint32, n)
+	st.resolveMu = make([]sync.Mutex, n)
 	for k := range sys.Jobs {
 		st.hops[k] = make([]Hop, len(sys.Jobs[k].Subjobs))
-		rel := append([]model.Ticks(nil), sys.Jobs[k].Releases...)
-		st.hops[k][0].ArrEarly = rel
-		st.hops[k][0].ArrLate = rel
-		st.publishDemand(model.SubjobRef{Job: k, Hop: 0})
+		for _, j := range st.topo.Sources(k) {
+			rel := append([]model.Ticks(nil), sys.Jobs[k].Releases...)
+			st.hops[k][j].ArrEarly = rel
+			st.hops[k][j].ArrLate = rel
+			r := model.SubjobRef{Job: k, Hop: j}
+			st.publishDemand(r)
+			st.arrState[st.topo.ID(r)] = 1
+		}
 	}
 	return st
+}
+
+// ensureArrivals resolves the arrival bounds (and demand staircases) of
+// a non-source hop on first use: the precedence predecessors' departure
+// vectors — all final, the dependency edges guarantee it — join by
+// elementwise max plus per-edge PostDelay, then the job's sync policy
+// applies at the hop (model.JoinReleases). Safe under concurrent callers
+// (the hop's own evaluation and, on FCFS processors, its co-located
+// readers may race here): the winner computes, the rest wait on the
+// per-id mutex, and the value is a pure function of final inputs, so
+// results stay field-identical at every worker count. A no-op in
+// iterative mode (arrState nil), which manages arrivals per round.
+func (st *state) ensureArrivals(r model.SubjobRef) {
+	if st.arrState == nil {
+		return
+	}
+	id := st.topo.ID(r)
+	if atomic.LoadUint32(&st.arrState[id]) == 1 {
+		return
+	}
+	st.resolveMu[id].Lock()
+	defer st.resolveMu[id].Unlock()
+	if atomic.LoadUint32(&st.arrState[id]) == 1 {
+		return
+	}
+	job := &st.sys.Jobs[r.Job]
+	var scratch [1]int
+	preds := job.HopPreds(r.Hop, &scratch)
+	hop := &st.hops[r.Job][r.Hop]
+	hop.ArrEarly = st.sys.JoinReleases(r.Job, r.Hop, preds, func(p int) []model.Ticks {
+		return st.hops[r.Job][p].DepEarly
+	})
+	hop.ArrLate = st.sys.JoinReleases(r.Job, r.Hop, preds, func(p int) []model.Ticks {
+		return st.hops[r.Job][p].DepLate
+	})
+	st.publishDemand(r)
+	atomic.StoreUint32(&st.arrState[id], 1)
 }
 
 // initFns binds the ServiceContext accessor closures to this state value.
@@ -328,6 +382,7 @@ func newState(sys *model.System, lim *curve.Limiter) *state {
 // original.
 func (st *state) initFns() {
 	st.demandFn = func(o model.SubjobRef) (*curve.Curve, *curve.Curve) {
+		st.ensureArrivals(o)
 		oid := st.topo.ID(o)
 		return st.demandLo[oid], st.demandHi[oid]
 	}
@@ -409,6 +464,9 @@ func (st *state) computeSubjob(r model.SubjobRef) {
 	sys, topo := st.sys, st.topo
 	sj := sys.Subjob(r)
 	hop := &st.hops[r.Job][r.Hop]
+	// Pull this hop's arrivals from its precedence predecessors (no-op
+	// for sources and hops a co-located reader already resolved).
+	st.ensureArrivals(r)
 	// Per-evaluation arena: every curve intermediate below is carved from
 	// sc and recycled wholesale; only the stored artifacts (service
 	// bounds, published demands) are heap-backed.
@@ -467,16 +525,10 @@ func (st *state) computeSubjob(r model.SubjobRef) {
 		}
 	}
 	hop.Local = local
-
-	if r.Hop+1 < len(sys.Jobs[r.Job].Subjobs) {
-		// The synchronization-policy transform is monotone, so it maps
-		// the early/late departure bounds to sound early/late release
-		// bounds for the next hop.
-		next := &st.hops[r.Job][r.Hop+1]
-		next.ArrEarly = sys.NextReleases(r.Job, r.Hop, hop.DepEarly)
-		next.ArrLate = sys.NextReleases(r.Job, r.Hop, hop.DepLate)
-		st.publishDemand(model.SubjobRef{Job: r.Job, Hop: r.Hop + 1})
-	}
+	// Successors pull their own arrivals from the departure bounds just
+	// fixed (ensureArrivals), so nothing is pushed downstream here: a
+	// join hop must merge ALL its predecessors' deliveries before the
+	// sync transform runs, and the merge point owns that computation.
 }
 
 // result assembles the end-to-end bounds.
@@ -488,53 +540,69 @@ func (st *state) result() *Result {
 		WCRTSum: make([]model.Ticks, len(sys.Jobs)),
 		Hops:    st.hops,
 	}
+	var scratch [1]int
 	for k := range sys.Jobs {
-		last := len(sys.Jobs[k].Subjobs) - 1
-		// A hop never evaluated (budget-truncated run) has no departure
-		// bounds; the job's response is unknown, reported unbounded.
-		if st.hops[k][last].DepLate == nil {
-			res.WCRT[k] = curve.Inf
-			res.WCRTSum[k] = curve.Inf
-			continue
-		}
-		// Per-instance pipeline bound: latest completion at the last hop
-		// minus the actual release.
+		job := &sys.Jobs[k]
+		// Per-instance pipeline bound: an instance completes when its
+		// last sink hop does, so its response is the max over sinks of
+		// the latest completion there, minus the actual release. A sink
+		// never evaluated (budget-truncated run) has no departure bounds;
+		// the job's response is unknown, reported unbounded.
 		var tight model.Ticks
-		for i, dep := range st.hops[k][last].DepLate {
-			if curve.IsInf(dep) {
+		for _, j := range st.topo.Sinks(k) {
+			if st.hops[k][j].DepLate == nil {
 				tight = curve.Inf
 				break
 			}
-			if d := dep - sys.Jobs[k].Releases[i]; d > tight {
-				tight = d
+			for i, dep := range st.hops[k][j].DepLate {
+				if curve.IsInf(dep) {
+					tight = curve.Inf
+					break
+				}
+				if d := dep - job.Releases[i]; d > tight {
+					tight = d
+				}
+			}
+			if curve.IsInf(tight) {
+				break
 			}
 		}
 		res.WCRT[k] = tight
-		// Theorem 4: sum of per-hop local bounds (Equation 11), plus the
-		// constant inter-hop communication latencies, which fall between
-		// the per-hop response windows. The decomposition presumes direct
-		// synchronization - under Phase Modification or Release Guard the
-		// inter-hop waiting is policy-controlled, not bounded by the link
-		// latency - so for those jobs the per-instance pipeline bound is
-		// reported instead.
-		if sys.Jobs[k].Sync != model.DirectSync {
+		// Theorem 4 generalized: the sum of per-hop local bounds plus the
+		// inter-hop communication latencies (Equation 11) becomes the max
+		// over source->sink paths of that sum — a longest-path recurrence
+		// in topological hop order, which reduces to the plain sum for
+		// chain jobs. The decomposition presumes direct synchronization -
+		// under Phase Modification or Release Guard the inter-hop waiting
+		// is policy-controlled, not bounded by the link latency - so for
+		// those jobs the per-instance pipeline bound is reported instead.
+		if job.Sync != model.DirectSync {
 			res.WCRTSum[k] = tight
 			continue
 		}
-		var sum model.Ticks
-		for j := range st.hops[k] {
-			if st.hops[k][j].DepLate == nil {
+		acc := make([]model.Ticks, len(st.hops[k]))
+		sum := model.Ticks(0)
+		for _, j := range st.topo.HopOrder(k) {
+			if st.hops[k][j].DepLate == nil || curve.IsInf(st.hops[k][j].Local) {
+				// Every hop lies on some source->sink path (the precedence
+				// graph is connected), so one uncertified hop makes the
+				// max over paths unbounded.
 				sum = curve.Inf
 				break
 			}
-			l := st.hops[k][j].Local
-			if curve.IsInf(l) {
-				sum = curve.Inf
-				break
+			var best model.Ticks
+			for _, p := range job.HopPreds(j, &scratch) {
+				if c := acc[p] + job.Subjobs[p].PostDelay; c > best {
+					best = c
+				}
 			}
-			sum += l
-			if j < last {
-				sum += sys.Jobs[k].Subjobs[j].PostDelay
+			acc[j] = best + st.hops[k][j].Local
+		}
+		if !curve.IsInf(sum) {
+			for _, j := range st.topo.Sinks(k) {
+				if acc[j] > sum {
+					sum = acc[j]
+				}
 			}
 		}
 		res.WCRTSum[k] = sum

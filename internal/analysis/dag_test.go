@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rta/internal/benchsys"
+	"rta/internal/model"
+	"rta/internal/randsys"
+)
+
+// explicitChains deep-copies sys with every job's implicit chain written
+// out as explicit precedence (Precedence[j] = {j-1}). The copy must be
+// analytically indistinguishable from the original: nil precedence IS
+// chain semantics, not an approximation of it.
+func explicitChains(sys *model.System) *model.System {
+	out := &model.System{Procs: append([]model.Processor(nil), sys.Procs...)}
+	for k := range sys.Jobs {
+		job := cloneJob(sys.Jobs[k])
+		prec := make([][]int, len(job.Subjobs))
+		for j := 1; j < len(prec); j++ {
+			prec[j] = []int{j - 1}
+		}
+		job.Precedence = prec
+		out.Jobs = append(out.Jobs, job)
+	}
+	return out
+}
+
+// TestChainAsDAGEquivalence: rewriting implicit chains as explicit
+// single-predecessor DAGs changes nothing — the approximate, exact, and
+// iterative engines return field-identical results (bounds, curves,
+// traces) at both serial and parallel worker counts, on the benchmark
+// workload of every built-in scheduler and on random draws covering all
+// synchronization policies.
+func TestChainAsDAGEquivalence(t *testing.T) {
+	for _, sc := range []model.Scheduler{model.SPP, model.SPNP, model.FCFS} {
+		sys := benchsys.Large(12, 5, 8, sc)
+		dag := explicitChains(sys)
+		for _, workers := range []int{1, 8} {
+			opts := Options{Workers: workers}
+			want, werr := ApproximateOpts(sys, opts)
+			got, gerr := ApproximateOpts(dag, opts)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%v/w%d: error mismatch: %v vs %v", sc, workers, werr, gerr)
+			}
+			if werr == nil {
+				requireSameResult(t, fmt.Sprintf("benchsys/%v/w%d", sc, workers), want, got)
+			}
+			if sc == model.SPP {
+				wex, weerr := ExactOpts(sys, opts)
+				gex, geerr := ExactOpts(dag, opts)
+				if (weerr == nil) != (geerr == nil) {
+					t.Fatalf("exact/w%d: error mismatch: %v vs %v", workers, weerr, geerr)
+				}
+				if weerr == nil {
+					requireSameResult(t, fmt.Sprintf("benchsys/exact/w%d", workers), wex, gex)
+				}
+			}
+		}
+	}
+
+	// Random draws: all schedulers and synchronization policies, with
+	// communication latencies — the explicit-chain path must thread
+	// PostDelay and the sync transform through JoinReleases identically.
+	r := rand.New(rand.NewSource(91))
+	cfg := randsys.Default
+	cfg.Schedulers = []model.Scheduler{model.SPP, model.SPNP, model.FCFS}
+	cfg.SyncPolicies = []model.SyncPolicy{model.DirectSync, model.PhaseModification, model.ReleaseGuard}
+	cfg.MaxPostDelay = 7
+	for trial := 0; trial < 80; trial++ {
+		sys := randsys.New(r, cfg)
+		dag := explicitChains(sys)
+		for _, workers := range []int{1, 8} {
+			opts := Options{Workers: workers}
+			want, werr := AnalyzeOpts(sys, opts)
+			got, gerr := AnalyzeOpts(dag, opts)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("trial %d w%d: error mismatch: %v vs %v", trial, workers, werr, gerr)
+			}
+			if werr != nil {
+				continue
+			}
+			requireSameResult(t, fmt.Sprintf("draw%d/w%d", trial, workers), want, got)
+		}
+	}
+
+	// Loop systems through the iterative engine.
+	cfg.Loops = true
+	cfg.SyncPolicies = nil
+	for trial := 0; trial < 60; trial++ {
+		sys := randsys.New(r, cfg)
+		dag := explicitChains(sys)
+		want, werr := IterativeOpts(sys, 0, Options{})
+		got, gerr := IterativeOpts(dag, 0, Options{})
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("loop trial %d: convergence mismatch: %v vs %v", trial, werr, gerr)
+		}
+		requireSameResult(t, fmt.Sprintf("loop%d", trial), want, got)
+	}
+}
+
+// forkJoinChurnSystem draws a named fork-join base population.
+func forkJoinChurnSystem(r *rand.Rand, cfg randsys.Config) *model.System {
+	sys := randsys.ForkJoin(r, cfg)
+	for k := range sys.Jobs {
+		sys.Jobs[k].Name = fmt.Sprintf("F%02d", k)
+	}
+	return sys
+}
+
+// TestSessionForkJoinWarmMatchesCold scripts an admit/remove/mutate churn
+// over fork-join populations and asserts after every converge that the
+// warm delta result is field-identical to a cold analysis of the same
+// working system — including a precedence rewrite, which must dirty the
+// whole job cone.
+func TestSessionForkJoinWarmMatchesCold(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	cfg := randsys.Default
+	cfg.MaxJobs = 5
+	cfg.MaxWidth = 3
+	cfg.MaxPostDelay = 5
+	cfg.Schedulers = []model.Scheduler{model.SPP, model.SPNP, model.FCFS}
+	cfg.SyncPolicies = []model.SyncPolicy{model.DirectSync, model.PhaseModification}
+	for trial := 0; trial < 25; trial++ {
+		for _, workers := range []int{1, 8} {
+			opts := Options{Workers: workers}
+			base := forkJoinChurnSystem(r, cfg)
+			s, err := NewSession(base, SessionConfig{Opts: opts})
+			if err != nil {
+				t.Fatalf("trial %d: NewSession: %v", trial, err)
+			}
+			requireWarmEqualsCold(t, "initial", s, opts)
+			s.Commit()
+
+			// Admit a clone of an existing fork-join job (deep-copied
+			// precedence) under a different priority.
+			donor := r.Intn(len(base.Jobs))
+			newJob := cloneJob(base.Jobs[donor])
+			newJob.Name = "newcomer"
+			newJob.Subjobs[0].Priority++
+			s.Admit(newJob)
+			requireWarmEqualsCold(t, "admit", s, opts)
+			s.Commit()
+
+			// Mutate: execution time on a non-source hop when there is one.
+			if err := s.Mutate(func(sys *model.System) error {
+				k := r.Intn(len(sys.Jobs))
+				sys.Jobs[k].Subjobs[len(sys.Jobs[k].Subjobs)-1].Exec += 2
+				return nil
+			}); err != nil {
+				t.Fatalf("trial %d: Mutate exec: %v", trial, err)
+			}
+			requireWarmEqualsCold(t, "mutate-exec", s, opts)
+			s.Commit()
+
+			// Mutate: rewrite one job's DAG into an explicit chain — a pure
+			// precedence change (same hops, same processors) that must
+			// re-seed every hop of the job and its readers.
+			if err := s.Mutate(func(sys *model.System) error {
+				k := r.Intn(len(sys.Jobs))
+				prec := make([][]int, len(sys.Jobs[k].Subjobs))
+				for j := 1; j < len(prec); j++ {
+					prec[j] = []int{j - 1}
+				}
+				sys.Jobs[k].Precedence = prec
+				if sys.Jobs[k].Sync == model.PhaseModification {
+					// Keep phases valid along the new chain.
+					for j := 1; j < len(sys.Jobs[k].Phases); j++ {
+						if min := sys.Jobs[k].Phases[j-1] + sys.Jobs[k].Subjobs[j-1].Exec; sys.Jobs[k].Phases[j] < min {
+							sys.Jobs[k].Phases[j] = min
+						}
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("trial %d: Mutate precedence: %v", trial, err)
+			}
+			requireWarmEqualsCold(t, "mutate-precedence", s, opts)
+			s.Commit()
+
+			// Mutate: shift the release trace (re-pins every source hop).
+			if err := s.Mutate(func(sys *model.System) error {
+				k := r.Intn(len(sys.Jobs))
+				for i := range sys.Jobs[k].Releases {
+					sys.Jobs[k].Releases[i] += 3
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("trial %d: Mutate releases: %v", trial, err)
+			}
+			requireWarmEqualsCold(t, "mutate-releases", s, opts)
+			s.Commit()
+
+			// Remove a job and re-admit the newcomer in one staged batch.
+			if err := s.Remove(0); err != nil {
+				t.Fatalf("trial %d: Remove: %v", trial, err)
+			}
+			reAdd := cloneJob(newJob)
+			reAdd.Name = "readmitted"
+			s.Admit(reAdd)
+			requireWarmEqualsCold(t, "batch", s, opts)
+			s.Commit()
+		}
+	}
+}

@@ -17,7 +17,7 @@ import (
 //
 //	go test -fuzz FuzzAnalyzeSystem ./internal/analysis
 func FuzzAnalyzeSystem(f *testing.F) {
-	for _, name := range []string{"pipeline.json", "loopshop.json"} {
+	for _, name := range []string{"pipeline.json", "loopshop.json", "forkjoin.json"} {
 		if data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name)); err == nil {
 			f.Add(data)
 		}

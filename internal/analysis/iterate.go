@@ -125,10 +125,10 @@ sweep:
 			}
 			dirty[id] = false
 			r := refs[id]
-			var svcCh, arrCh, ch bool
+			var svcCh, depCh, arrCh, ch bool
 			be := catchBudget(func() {
 				fault.Tag(r.Job, r.Hop, sys.Subjob(r).Proc, func() {
-					svcCh, arrCh, ch = st.iterateSubjob(r)
+					svcCh, depCh, arrCh, ch = st.iterateSubjob(r)
 				})
 			})
 			if be != nil {
@@ -144,7 +144,16 @@ sweep:
 				st.dirtyServiceReaders(id, dirty)
 			}
 			if arrCh {
-				st.dirtyArrivalReaders(id+1, dirty)
+				// My own late arrivals moved: my demand staircase changed
+				// for everyone folding it into a total-workload term.
+				st.dirtyDemandReaders(id, dirty)
+			}
+			if depCh {
+				// My latest departures moved: every precedence successor
+				// must re-pull its joined arrivals.
+				for _, o := range st.topo.JobSuccs(id) {
+					dirty[o] = true
+				}
 			}
 		}
 		converged = !anyChange
@@ -182,37 +191,47 @@ sweep:
 }
 
 // pinIterativeStart re-seeds a fresh state for the Kleene iteration:
-// sound early bounds (release plus cumulative execution prefix; DepEarly
-// of hop j is ArrEarly of hop j+1, both pinned for the whole iteration)
-// and late arrivals started equal to the early ones. The demand caches
-// published by newState assumed the Approximate arrival bounds; hops past
-// the first were just re-pinned, so every cache except the
-// (release-trace, hence final) first hops is dropped and iterDemand*
-// rebuilds them version-checked.
+// sound early bounds (release plus the longest execution-plus-delay path
+// from any source, the chain's cumulative prefix generalized over the
+// precedence DAG; DepEarly of a hop feeds the pinned ArrEarly of its
+// successors, all pinned for the whole iteration) and late arrivals
+// started equal to the early ones. The demand caches published by
+// newState assumed the Approximate arrival bounds; non-source hops were
+// just re-pinned, so every cache except the (release-trace, hence final)
+// source hops is dropped and iterDemand* rebuilds them version-checked.
+// Arrivals are managed per round here, so the acyclic engine's one-shot
+// resolution state is disarmed.
 func (st *state) pinIterativeStart() {
 	sys := st.sys
+	st.arrState, st.resolveMu = nil, nil
+	var scratch [1]int
 	for k := range sys.Jobs {
 		job := &sys.Jobs[k]
-		cum := model.Ticks(0)
-		for j := range job.Subjobs {
-			if j > 0 {
-				cum += job.Subjobs[j-1].Exec + job.Subjobs[j-1].PostDelay
+		offset := make([]model.Ticks, len(job.Subjobs))
+		for _, j := range st.topo.HopOrder(k) {
+			preds := job.HopPreds(j, &scratch)
+			for _, p := range preds {
+				if c := offset[p] + job.Subjobs[p].Exec + job.Subjobs[p].PostDelay; c > offset[j] {
+					offset[j] = c
+				}
+			}
+			if len(preds) > 0 {
 				early := make([]model.Ticks, len(job.Releases))
 				for i, t := range job.Releases {
-					early[i] = t + cum
+					early[i] = t + offset[j]
 				}
 				st.hops[k][j].ArrEarly = early
 				st.hops[k][j].ArrLate = append([]model.Ticks(nil), early...)
 			}
 			dep := make([]model.Ticks, len(job.Releases))
 			for i, t := range job.Releases {
-				dep[i] = t + cum + job.Subjobs[j].Exec
+				dep[i] = t + offset[j] + job.Subjobs[j].Exec
 			}
 			st.hops[k][j].DepEarly = dep
 		}
 	}
-	for id, r := range st.topo.Subjobs() {
-		if r.Hop > 0 {
+	for id := range st.topo.Subjobs() {
+		if len(st.topo.JobPreds(id)) > 0 {
 			st.demandLo[id], st.demandHi[id] = nil, nil
 		}
 	}
@@ -290,12 +309,13 @@ func (st *state) dirtyServiceReaders(id int, dirty []bool) {
 	}
 }
 
-// dirtyArrivalReaders marks the subjobs that consume subjob id's late
-// arrival bounds: the subjob itself (its demand staircase) and the reverse
-// of the policy registry's DemandDeps hook (e.g. every co-located subjob
-// on FCFS processors, Equation 21's total workload).
-func (st *state) dirtyArrivalReaders(id int, dirty []bool) {
-	dirty[id] = true
+// dirtyDemandReaders marks the co-located subjobs that consume subjob
+// id's late arrival bounds beyond id itself — the reverse of the policy
+// registry's DemandDeps hook (e.g. every co-located subjob on FCFS
+// processors, Equation 21's total workload). id's own demand staircase is
+// version-checked (arrVer), so id needs no mark: whoever evaluates it
+// next rebuilds the staircase.
+func (st *state) dirtyDemandReaders(id int, dirty []bool) {
 	for _, o := range st.topo.DemandReaders(id) {
 		dirty[o] = true
 	}
@@ -328,13 +348,45 @@ func (st *state) iterDemandHi(id int, r model.SubjobRef) *curve.Curve {
 
 // iterateSubjob recomputes one subjob from the current bound vector and
 // merges the result monotonically. It reports whether the subjob's
-// service bounds moved, whether its successor's late arrivals moved, and
-// whether anything at all changed.
-func (st *state) iterateSubjob(r model.SubjobRef) (svcChanged, arrChanged, changed bool) {
+// service bounds moved, whether its latest departures moved (its
+// precedence successors must re-pull), whether its own late arrivals
+// moved (its demand readers must re-fold), and whether anything at all
+// changed.
+func (st *state) iterateSubjob(r model.SubjobRef) (svcChanged, depChanged, arrChanged, changed bool) {
 	sys, topo := st.sys, st.topo
 	sj := sys.Subjob(r)
 	hop := &st.hops[r.Job][r.Hop]
 	id := topo.ID(r)
+	// Pull the joined late arrivals from the precedence predecessors'
+	// current latest departures. Predecessors not yet evaluated (possible
+	// within a cycle) have no departure vector and contribute nothing this
+	// round — the pinned optimistic start stands in, and their first
+	// evaluation dirties this hop again through JobSuccs. The sync
+	// transform runs on the merged vector (ReleaseGuard applied per edge
+	// and merged afterwards would under-estimate), and every partial join
+	// is elementwise below the final one, so the monotone merge never
+	// overshoots the fixed point.
+	var scratch [1]int
+	job := &sys.Jobs[r.Job]
+	if preds := job.HopPreds(r.Hop, &scratch); len(preds) > 0 {
+		ready := true
+		for _, p := range preds {
+			if st.hops[r.Job][p].DepLate == nil {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			joined := sys.JoinReleases(r.Job, r.Hop, preds, func(p int) []model.Ticks {
+				return st.hops[r.Job][p].DepLate
+			})
+			if mergeLate(hop.ArrLate, joined) {
+				st.arrVer[id]++
+				arrChanged = true
+				changed = true
+			}
+		}
+	}
 	demandLo := st.iterDemandLo(id, r)
 	demandHi := st.iterDemandHi(id, r)
 	oldLo, oldHi := hop.SvcLo, hop.SvcHi
@@ -370,6 +422,7 @@ func (st *state) iterateSubjob(r model.SubjobRef) (svcChanged, arrChanged, chang
 	if hop.DepLate == nil {
 		hop.DepLate = make([]model.Ticks, n)
 		copy(hop.DepLate, depLate)
+		depChanged = true
 		changed = true
 	}
 	for i := 0; i < n; i++ {
@@ -377,6 +430,7 @@ func (st *state) iterateSubjob(r model.SubjobRef) (svcChanged, arrChanged, chang
 		// their pinned sound values (see Iterative).
 		if depLate[i] > hop.DepLate[i] || (curve.IsInf(depLate[i]) && !curve.IsInf(hop.DepLate[i])) {
 			hop.DepLate[i] = depLate[i]
+			depChanged = true
 			changed = true
 		}
 	}
@@ -393,16 +447,7 @@ func (st *state) iterateSubjob(r model.SubjobRef) (svcChanged, arrChanged, chang
 		}
 	}
 	hop.Local = local
-
-	if r.Hop+1 < len(sys.Jobs[r.Job].Subjobs) {
-		next := &st.hops[r.Job][r.Hop+1]
-		if mergeLate(next.ArrLate, sys.NextReleases(r.Job, r.Hop, hop.DepLate)) {
-			st.arrVer[id+1]++
-			arrChanged = true
-			changed = true
-		}
-	}
-	return svcChanged, arrChanged, changed
+	return svcChanged, depChanged, arrChanged, changed
 }
 
 // mergeLate raises dst elementwise to at least src; reports change.

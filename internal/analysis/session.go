@@ -118,7 +118,7 @@ type Session struct {
 
 	// Delta bookkeeping for the staged changes, in cur.topo numbering:
 	// seeds are the subjob ids whose inputs changed (the dirty cone grows
-	// from their dependents-closure), resetArr the job-hop-0 ids whose
+	// from their dependents-closure), resetArr the source-hop ids whose
 	// resident arrival rows must be re-pinned from the release trace, and
 	// republish the ids whose demand staircases must be rebuilt before the
 	// sweep (approximate engine only).
@@ -195,6 +195,9 @@ func (s *Session) beginStage() {
 // original), the per-job rows and cached curves are shared until a delta
 // converge re-copies the rows it rewrites. Version counters restart at
 // zero — only the iterative engine consumes them, and it never runs warm.
+// The lazy-resolution guards (arrState, resolveMu) stay nil: deltaApprox
+// rebuilds them per converge, sized to the then-current topology, marking
+// exactly the dirty non-source hops unresolved.
 func (st *state) sessionClone() *state {
 	out := &state{
 		sys:         st.sys,
@@ -231,6 +234,13 @@ func cloneJob(job model.Job) model.Job {
 	}
 	job.Releases = append([]model.Ticks(nil), job.Releases...)
 	job.Phases = append([]model.Ticks(nil), job.Phases...)
+	if job.Precedence != nil {
+		prec := make([][]int, len(job.Precedence))
+		for x := range job.Precedence {
+			prec[x] = append([]int(nil), job.Precedence[x]...)
+		}
+		job.Precedence = prec
+	}
 	return job
 }
 
@@ -259,12 +269,16 @@ func (s *Session) seedReaders(topo *model.Topology, id int, remap []int) {
 	}
 }
 
-// seedHop0Reset marks job k's first hop for the arrival re-pin + demand
-// republish prologue (its release trace or row identity changed).
-func (s *Session) seedHop0Reset(id0 int) {
-	s.seed(id0)
-	s.resetArr[id0] = struct{}{}
-	s.republish[id0] = struct{}{}
+// seedSourceResets marks every source hop of job k (hop 0 for chain
+// jobs) for the arrival re-pin + demand republish prologue (the release
+// trace or the rows' identity changed).
+func (s *Session) seedSourceResets(topo *model.Topology, k int) {
+	for _, j := range topo.Sources(k) {
+		id := topo.ID(model.SubjobRef{Job: k, Hop: j})
+		s.seed(id)
+		s.resetArr[id] = struct{}{}
+		s.republish[id] = struct{}{}
+	}
 }
 
 // ValidateJob checks a candidate job against the working system without
@@ -311,7 +325,7 @@ func (s *Session) Admit(job model.Job) {
 			s.seed(id)
 			s.seedReaders(newTopo, id, nil)
 		}
-		s.seedHop0Reset(lo)
+		s.seedSourceResets(newTopo, k)
 	}
 	s.cur.topo = newTopo
 	s.cur.needs = true
@@ -500,6 +514,7 @@ func (s *Session) seedMutation(pre *model.System, oldTopo, newTopo *model.Topolo
 		oj, nj := &pre.Jobs[k], &s.cur.sys.Jobs[k]
 		relChanged := !slices.Equal(oj.Releases, nj.Releases)
 		syncChanged := oj.Sync != nj.Sync || oj.Period != nj.Period || !slices.Equal(oj.Phases, nj.Phases)
+		precChanged := !slices.EqualFunc(oj.Precedence, nj.Precedence, slices.Equal)
 		for j := range oj.Subjobs {
 			osj, nsj := &oj.Subjobs[j], &nj.Subjobs[j]
 			id := newTopo.ID(model.SubjobRef{Job: k, Hop: j})
@@ -520,15 +535,31 @@ func (s *Session) seedMutation(pre *model.System, oldTopo, newTopo *model.Topolo
 				s.republish[id] = struct{}{}
 			}
 		}
-		id0 := newTopo.ID(model.SubjobRef{Job: k, Hop: 0})
 		if relChanged {
-			s.seedHop0Reset(id0)
-			s.seedReaders(oldTopo, id0, nil)
-			s.seedReaders(newTopo, id0, nil)
+			s.seedSourceResets(newTopo, k)
+			for _, j := range newTopo.Sources(k) {
+				id := newTopo.ID(model.SubjobRef{Job: k, Hop: j})
+				s.seedReaders(oldTopo, id, nil)
+				s.seedReaders(newTopo, id, nil)
+			}
+		}
+		if precChanged {
+			// The precedence DAG changed: arrival joins, the source set and
+			// the dependency edges all move, so dirty the whole job, its
+			// policy readers under both topologies (FCFS demand edges follow
+			// the old and the new predecessor lists), and re-pin the new
+			// sources from the release trace.
+			for j := range nj.Subjobs {
+				id := newTopo.ID(model.SubjobRef{Job: k, Hop: j})
+				s.seed(id)
+				s.seedReaders(oldTopo, id, nil)
+				s.seedReaders(newTopo, id, nil)
+			}
+			s.seedSourceResets(newTopo, k)
 		}
 		if syncChanged || (relChanged && (oj.Sync != model.DirectSync || nj.Sync != model.DirectSync)) {
-			// NextReleases consults the release trace (and the sync knobs)
-			// at every hop for non-DirectSync jobs; dirty the whole chain.
+			// JoinReleases consults the release trace (and the sync knobs)
+			// at every hop for non-DirectSync jobs; dirty the whole job.
 			for j := range nj.Subjobs {
 				s.seed(newTopo.ID(model.SubjobRef{Job: k, Hop: j}))
 			}

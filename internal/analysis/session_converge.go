@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync"
 
 	"rta/internal/curve"
 	"rta/internal/fault"
@@ -318,18 +319,36 @@ func (s *Session) deltaApprox(ids, resetArr []int, keepPrefix []int, keepFCFS []
 	}
 
 	refs := topo.Subjobs()
+	// Rebuild the lazy-resolution guards for this converge: every resident
+	// row counts as resolved except the dirty non-source hops, which must
+	// re-pull their arrival joins from their predecessors' (refreshed or
+	// resident, either way final) departure rows. Dirty ids always belong
+	// to affected jobs, so ensureArrivals only ever writes re-cloned rows.
+	n := len(refs)
+	st.arrState = make([]uint32, n)
+	for i := range st.arrState {
+		st.arrState[i] = 1
+	}
+	st.resolveMu = make([]sync.Mutex, n)
+	var scratch [1]int
+	for _, id := range ids {
+		r := refs[id]
+		if len(sys.Jobs[r.Job].HopPreds(r.Hop, &scratch)) > 0 {
+			st.arrState[id] = 0
+		}
+	}
 	republish := setToSorted(s.republish)
 	var runErr error
 	be := catchBudget(func() {
 		// Prologue: re-pin changed release traces (ArrEarly and ArrLate
-		// share one slice on first hops, exactly as newState publishes
+		// share one slice on source hops, exactly as newState publishes
 		// them) and rebuild the demand staircases whose inputs changed
-		// outside the sweep (first-hop arrivals, execution times).
+		// outside the sweep (source-hop arrivals, execution times).
 		for _, id := range resetArr {
 			r := refs[id]
 			rel := append([]model.Ticks(nil), sys.Jobs[r.Job].Releases...)
-			st.hops[r.Job][0].ArrEarly = rel
-			st.hops[r.Job][0].ArrLate = rel
+			st.hops[r.Job][r.Hop].ArrEarly = rel
+			st.hops[r.Job][r.Hop].ArrLate = rel
 		}
 		for _, id := range republish {
 			st.publishDemand(refs[id])
@@ -371,7 +390,7 @@ func (s *Session) deltaExact(ids, resetArr []int, keepPrefix []int, keepFCFS []b
 	refs := topo.Subjobs()
 	for _, id := range resetArr {
 		r := refs[id]
-		ex.Arrival[r.Job][0] = append([]model.Ticks(nil), sys.Jobs[r.Job].Releases...)
+		ex.Arrival[r.Job][r.Hop] = append([]model.Ticks(nil), sys.Jobs[r.Job].Releases...)
 	}
 	err := spp.Reanalyze(opts.ctx(), sys, memo, ex, ids, opts.workers(), opts.limiter())
 	res := assembleExact(ex)

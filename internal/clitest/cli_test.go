@@ -49,6 +49,7 @@ func TestCommands(t *testing.T) {
 	root := repoRoot(t)
 	pipeline := filepath.Join(root, "testdata", "pipeline.json")
 	network := filepath.Join(root, "testdata", "network.json")
+	forkjoin := filepath.Join(root, "testdata", "forkjoin.json")
 
 	obs := filepath.Join(t.TempDir(), "obs.csv")
 	if err := os.WriteFile(obs, []byte("0,0,0,0,2000\n0,1,0,2000,3000\n"), 0o644); err != nil {
@@ -89,6 +90,11 @@ func TestCommands(t *testing.T) {
 			name: "analyze exact rejects SPNP", bin: "rta-analyze",
 			args: []string{"-method", "exact", pipeline}, wantExit: 1,
 			want: []string{"exact analysis requires SPP"},
+		},
+		{
+			name: "analyze fork-join DAG", bin: "rta-analyze",
+			args: []string{"-method", "exact", "-sim", forkjoin},
+			want: []string{"camera", "housekeeping", "OK"},
 		},
 		{
 			name: "net with backlog", bin: "rta-net",

@@ -115,18 +115,31 @@ func Check(sys *model.System, log *Log, bounds []model.Ticks) []Violation {
 		}
 		byKey[key{rec.Job, rec.Hop, rec.Idx}] = rec
 	}
+	topo := sys.Topology()
+	isSink := make([]map[int]bool, len(sys.Jobs))
+	for j := range sys.Jobs {
+		isSink[j] = map[int]bool{}
+		for _, h := range topo.Sinks(j) {
+			isSink[j][h] = true
+		}
+	}
+	var scratch [1]int
 	for k, rec := range byKey {
-		// Chain causality: the next hop must not be released before this
-		// completion (plus the link latency).
-		if next, ok := byKey[key{k.j, k.h + 1, k.i}]; ok {
-			if next.Release < rec.Complete+sys.Jobs[k.j].Subjobs[k.h].PostDelay {
-				report("order", next, "released %d before predecessor completion %d (+%d link)",
-					next.Release, rec.Complete, sys.Jobs[k.j].Subjobs[k.h].PostDelay)
+		// Precedence causality: a hop must not be released before any of
+		// its predecessors' completions (plus the link latency).
+		for _, p := range sys.Jobs[k.j].HopPreds(k.h, &scratch) {
+			if pred, ok := byKey[key{k.j, p, k.i}]; ok {
+				if rec.Release < pred.Complete+sys.Jobs[k.j].Subjobs[p].PostDelay {
+					report("order", rec, "released %d before predecessor hop %d completion %d (+%d link)",
+						rec.Release, p+1, pred.Complete, sys.Jobs[k.j].Subjobs[p].PostDelay)
+				}
 			}
 		}
-		// End-to-end checks on the last hop.
-		if k.h == len(sys.Jobs[k.j].Subjobs)-1 {
-			if first, ok := byKey[key{k.j, 0, k.i}]; ok {
+		// End-to-end checks on the sink hops: every sink's completion is a
+		// lower bound on the instance's response, so a violation at any
+		// sink is a violation of the end-to-end contract.
+		if isSink[k.j][k.h] {
+			if first, ok := byKey[key{k.j, topo.Sources(k.j)[0], k.i}]; ok {
 				resp := rec.Complete - first.Release
 				if resp > sys.Jobs[k.j].Deadline {
 					report("deadline", rec, "response %d exceeds deadline %d", resp, sys.Jobs[k.j].Deadline)
@@ -142,12 +155,18 @@ func Check(sys *model.System, log *Log, bounds []model.Ticks) []Violation {
 }
 
 // ObservedEnvelopes extracts, per job, the tightest minimum-distance
-// envelope of the observed first-hop releases (maxGroup as in
-// envelope.FromTrace). Jobs without observations get empty envelopes.
+// envelope of the observed source-hop releases (maxGroup as in
+// envelope.FromTrace). Every source hop shares the job's release trace,
+// so only the first source is sampled to avoid double-counting releases.
+// Jobs without observations get empty envelopes.
 func ObservedEnvelopes(sys *model.System, log *Log, maxGroup int) []envelope.Envelope {
+	topo := sys.Topology()
 	traces := make([][]model.Ticks, len(sys.Jobs))
 	for _, rec := range log.Records {
-		if rec.Hop != 0 || rec.Job < 0 || rec.Job >= len(sys.Jobs) {
+		if rec.Job < 0 || rec.Job >= len(sys.Jobs) {
+			continue
+		}
+		if rec.Hop != topo.Sources(rec.Job)[0] {
 			continue
 		}
 		traces[rec.Job] = append(traces[rec.Job], rec.Release)

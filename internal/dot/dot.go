@@ -1,9 +1,10 @@
 // Package dot exports a system's structure as a Graphviz digraph: one
 // cluster per processor (labeled with its scheduler), one node per
-// subjob, solid edges for the job chains (annotated with communication
-// latency), and dashed edges for the same-processor priority order. The
-// picture answers the two questions an analyst asks first: where do the
-// chains cross, and who can preempt whom.
+// subjob, solid edges for the jobs' precedence DAGs (chains when no
+// explicit precedence is given, annotated with communication latency),
+// and dashed edges for the same-processor priority order. The picture
+// answers the two questions an analyst asks first: where do the jobs
+// cross (and fork, and join), and who can preempt whom.
 package dot
 
 import (
@@ -47,15 +48,18 @@ func Write(w io.Writer, sys *model.System) {
 		fmt.Fprintln(w, "  }")
 	}
 
+	var scratch [1]int
 	for k := range sys.Jobs {
-		for j := 1; j < len(sys.Jobs[k].Subjobs); j++ {
-			label := ""
-			if d := sys.Jobs[k].Subjobs[j-1].PostDelay; d > 0 {
-				label = fmt.Sprintf(" [label=\"+%d\"]", d)
+		for j := range sys.Jobs[k].Subjobs {
+			for _, p := range sys.Jobs[k].HopPreds(j, &scratch) {
+				label := ""
+				if d := sys.Jobs[k].Subjobs[p].PostDelay; d > 0 {
+					label = fmt.Sprintf(" [label=\"+%d\"]", d)
+				}
+				fmt.Fprintf(w, "  %s -> %s%s;\n",
+					node(model.SubjobRef{Job: k, Hop: p}),
+					node(model.SubjobRef{Job: k, Hop: j}), label)
 			}
-			fmt.Fprintf(w, "  %s -> %s%s;\n",
-				node(model.SubjobRef{Job: k, Hop: j - 1}),
-				node(model.SubjobRef{Job: k, Hop: j}), label)
 		}
 	}
 	fmt.Fprintln(w, "}")

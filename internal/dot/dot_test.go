@@ -2,6 +2,9 @@ package dot
 
 import (
 	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -41,5 +44,44 @@ func TestWriteStructure(t *testing.T) {
 	// Balanced braces.
 	if strings.Count(out, "{") != strings.Count(out, "}") {
 		t.Error("unbalanced braces")
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteForkJoinGolden pins the rendering of a diamond fork-join job
+// byte for byte: fork edges out of the source, both parallel branches,
+// and the join into the sink, with the per-edge latency annotation.
+func TestWriteForkJoinGolden(t *testing.T) {
+	sys := &model.System{
+		Procs: []model.Processor{{Name: "CPU", Sched: model.SPP}, {Name: "DSP", Sched: model.SPP}},
+		Jobs: []model.Job{
+			{Name: "cam", Deadline: 200, Releases: []model.Ticks{0, 10},
+				Subjobs: []model.Subjob{
+					{Proc: 0, Exec: 2, Priority: 0, PostDelay: 3},
+					{Proc: 0, Exec: 4, Priority: 1},
+					{Proc: 1, Exec: 5, Priority: 0},
+					{Proc: 1, Exec: 1, Priority: 1},
+				},
+				Precedence: [][]int{nil, {0}, {0}, {1, 2}}},
+		},
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Write(&buf, sys)
+	golden := filepath.Join("testdata", "forkjoin.dot")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s (run with -update to rewrite):\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
 	}
 }

@@ -321,3 +321,44 @@ func TestFigureCSVWorkerIdentity(t *testing.T) {
 		t.Errorf("figure 4 CSV differs between 1 and 8 workers:\n-- serial --\n%s\n-- 8 workers --\n%s", s4, p4)
 	}
 }
+
+// TestFigureCSVChainAsDAGIdentity reruns the figure pipeline with every
+// generated job's chain written out as explicit precedence
+// (workload.Config.ExplicitChains) and demands byte-identical CSVs at
+// both worker counts: the DAG generalization must not move a single
+// admission decision on chain-shaped workloads.
+func TestFigureCSVChainAsDAGIdentity(t *testing.T) {
+	render := func(explicit bool, workers int) (string, string) {
+		base := workload.Default
+		base.Jobs = 4
+		base.ExplicitChains = explicit
+		opts := Options{
+			Seed:         7,
+			Sets:         10,
+			Utilizations: []float64{0.4, 0.8},
+			Workers:      workers,
+		}
+		f3, err := Figure3(base, []int{1, 2}, []float64{2}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f4, err := Figure4(base, []float64{6}, []float64{1, 2}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b3, b4 bytes.Buffer
+		RenderCSV(&b3, f3)
+		RenderCSV(&b4, f4)
+		return b3.String(), b4.String()
+	}
+	c3, c4 := render(false, 1)
+	for _, workers := range []int{1, 8} {
+		d3, d4 := render(true, workers)
+		if c3 != d3 {
+			t.Errorf("figure 3 CSV differs with explicit chain precedence (%d workers):\n-- chains --\n%s\n-- DAG --\n%s", workers, c3, d3)
+		}
+		if c4 != d4 {
+			t.Errorf("figure 4 CSV differs with explicit chain precedence (%d workers):\n-- chains --\n%s\n-- DAG --\n%s", workers, c4, d4)
+		}
+	}
+}

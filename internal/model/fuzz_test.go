@@ -3,8 +3,11 @@ package model
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -17,7 +20,7 @@ import (
 // for an open-ended search; the seeds below (including the shipped
 // testdata) run as part of `go test`.
 func FuzzDecodeSystem(f *testing.F) {
-	for _, name := range []string{"pipeline.json", "loopshop.json", "network.json"} {
+	for _, name := range []string{"pipeline.json", "loopshop.json", "network.json", "forkjoin.json"} {
 		if data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name)); err == nil {
 			f.Add(data)
 		}
@@ -47,6 +50,90 @@ func FuzzDecodeSystem(f *testing.F) {
 		}
 		if _, rerr := Load(bytes.NewReader(out)); rerr != nil {
 			t.Fatalf("round trip rejected: %v\n%s", rerr, out)
+		}
+	})
+}
+
+// FuzzDecodeDAGJob targets the precedence decoder specifically: the fuzz
+// input is spliced into the "precedence" field of an otherwise fixed,
+// valid three-hop job. Whatever the bytes are, Load must never panic; if
+// the fragment is a structurally well-formed list (so the only possible
+// complaint is the DAG semantics — cycles, out-of-range hops, self-loops,
+// duplicates, disconnection, wrong length), a rejection must be a typed
+// *ValidationError; and an accepted job must round-trip with its
+// precedence intact and index into an acyclic topology.
+func FuzzDecodeDAGJob(f *testing.F) {
+	for _, frag := range []string{
+		`null`,                      // chain semantics
+		`[[],[0],[1]]`,              // explicit chain
+		`[null,[0],[0],[1,2]]`,      // diamond fork-join
+		`[[1],[0],[1]]`,             // cycle
+		`[[],[5],[1]]`,              // out-of-range predecessor
+		`[[],[-1],[1]]`,             // negative predecessor
+		`[[1],[0]]`,                 // wrong length (2 rows for 3 hops)
+		`[[],[0,0],[1]]`,            // duplicate predecessor
+		`[[2],[0],[0]]`,             // cycle through a forward edge (0 -> 2 -> 0)
+		`[[],[],[1]]`,               // disconnected (hop 0 isolated from 1 -> 2)
+		`[[0],[0],[1]]`,             // self-loop on hop 0
+		`"x"`,                       // wrong JSON type
+		`[[],[0],[18446744073709]]`, // big index
+	} {
+		f.Add([]byte(frag))
+	}
+	f.Fuzz(func(t *testing.T, frag []byte) {
+		doc := fmt.Sprintf(`{"processors":[{"name":"P","scheduler":"SPP"}],
+			"jobs":[{"name":"t","deadline":100,"releases":[0,10],
+			"subjobs":[{"proc":0,"exec":1},{"proc":0,"exec":2,"priority":1},{"proc":0,"exec":3,"priority":2}],
+			"precedence":%s}]}`, frag)
+		sys, err := Load(bytes.NewReader([]byte(doc)))
+		if err != nil {
+			if sys != nil {
+				t.Fatal("Load returned both a system and an error")
+			}
+			// If the fragment alone is a well-formed, size-bounded [][]int,
+			// the whole document is syntactically fine and within limits, so
+			// the rejection must come from Validate as a *ValidationError.
+			var prec [][]int
+			if json.Unmarshal(frag, &prec) == nil && len(prec) <= DefaultLimits.MaxSubjobs {
+				ok := true
+				for _, row := range prec {
+					if len(row) > DefaultLimits.MaxSubjobs {
+						ok = false
+					}
+				}
+				if ok {
+					var verr *ValidationError
+					if !errors.As(err, &verr) {
+						t.Fatalf("semantic precedence rejection is not a *ValidationError: %v", err)
+					}
+				}
+			}
+			return
+		}
+		if verr := sys.Validate(); verr != nil {
+			t.Fatalf("Load accepted a system failing Validate: %v", verr)
+		}
+		// Topology construction must succeed and respect the DAG: every
+		// predecessor edge points at a lower topological level.
+		topo := sys.Topology()
+		if len(topo.Sources(0)) == 0 || len(topo.Sinks(0)) == 0 {
+			t.Fatalf("accepted DAG has no sources or no sinks: %s", frag)
+		}
+		out, merr := json.Marshal(sys)
+		if merr != nil {
+			t.Fatalf("re-marshal failed: %v", merr)
+		}
+		back, rerr := Load(bytes.NewReader(out))
+		if rerr != nil {
+			t.Fatalf("round trip rejected: %v\n%s", rerr, out)
+		}
+		var scratch, scratch2 [1]int
+		for j := range sys.Jobs[0].Subjobs {
+			got := back.Jobs[0].HopPreds(j, &scratch)
+			want := sys.Jobs[0].HopPreds(j, &scratch2)
+			if !reflect.DeepEqual(append([]int{}, got...), append([]int{}, want...)) {
+				t.Fatalf("round trip changed hop %d predecessors: %v != %v", j, got, want)
+			}
 		}
 	})
 }

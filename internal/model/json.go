@@ -73,6 +73,9 @@ type jsonJob struct {
 	Deadline Ticks        `json:"deadline"`
 	Subjobs  []jsonSubjob `json:"subjobs"`
 	Releases []Ticks      `json:"releases"`
+	// Precedence optionally carries the job's explicit precedence DAG
+	// (one predecessor list per subjob); absent for chain jobs.
+	Precedence [][]int `json:"precedence,omitempty"`
 }
 
 type jsonSystem struct {
@@ -96,7 +99,7 @@ func (s *System) MarshalJSON() ([]byte, error) {
 }
 
 func (j *Job) marshalDoc() jsonJob {
-	jj := jsonJob{Name: j.Name, Deadline: j.Deadline, Releases: j.Releases}
+	jj := jsonJob{Name: j.Name, Deadline: j.Deadline, Releases: j.Releases, Precedence: j.Precedence}
 	for _, sj := range j.Subjobs {
 		js := jsonSubjob{Proc: sj.Proc, Exec: sj.Exec, Priority: sj.Priority, PostDelay: sj.PostDelay}
 		for _, cs := range sj.CS {
@@ -292,12 +295,26 @@ func (l Limits) checkJob(j *jsonJob, path string) error {
 				fmt.Sprintf("%s.subjobs[%d].criticalSections", path, i))
 		}
 	}
+	// Precedence lists are capped by the subjob ceiling on both axes: a
+	// valid DAG cannot name more hops than the job has, so anything past
+	// the cap is rejected here before Validate sizes graphs from it.
+	if l.MaxSubjobs > 0 {
+		if len(j.Precedence) > l.MaxSubjobs {
+			return over(len(j.Precedence), l.MaxSubjobs, path+".precedence")
+		}
+		for i, preds := range j.Precedence {
+			if len(preds) > l.MaxSubjobs {
+				return over(len(preds), l.MaxSubjobs,
+					fmt.Sprintf("%s.precedence[%d]", path, i))
+			}
+		}
+	}
 	return nil
 }
 
 // buildJob converts one decoded job document.
 func (j *jsonJob) build() Job {
-	job := Job{Name: j.Name, Deadline: j.Deadline, Releases: j.Releases}
+	job := Job{Name: j.Name, Deadline: j.Deadline, Releases: j.Releases, Precedence: j.Precedence}
 	for _, sj := range j.Subjobs {
 		ms := Subjob{Proc: sj.Proc, Exec: sj.Exec, Priority: sj.Priority, PostDelay: sj.PostDelay}
 		for _, cs := range sj.CS {

@@ -151,6 +151,36 @@ type Job struct {
 	// Period is the minimum release separation enforced per hop by
 	// ReleaseGuard; must be positive for that policy.
 	Period Ticks
+	// Precedence optionally replaces the implicit chain order with an
+	// explicit precedence DAG: Precedence[j] lists the hops that must
+	// complete before hop j is released (fork/join parallelism). A hop
+	// with an empty list is a source: it is released directly by the
+	// job's release trace. A nil (or empty) Precedence keeps the chain
+	// semantics, Precedence[j] = [j-1], unchanged — every pre-DAG spec
+	// and JSON file means exactly what it always did. When non-nil it
+	// must have one list per subjob and describe a weakly connected
+	// acyclic graph (Validate enforces this). PostDelay of a hop applies
+	// on every outgoing precedence edge; a join hop is released once ALL
+	// its predecessors have delivered.
+	Precedence [][]int
+}
+
+// ChainLike reports whether the job uses the implicit chain precedence
+// (nil/empty Precedence): hop j depends exactly on hop j-1.
+func (j *Job) ChainLike() bool { return len(j.Precedence) == 0 }
+
+// HopPreds returns the predecessor hops of hop j, honoring the implicit
+// chain when Precedence is nil. The chain case returns a slice backed by
+// the scratch array; callers that retain the result must copy it.
+func (j *Job) HopPreds(hop int, scratch *[1]int) []int {
+	if j.ChainLike() {
+		if hop == 0 {
+			return nil
+		}
+		scratch[0] = hop - 1
+		return scratch[:]
+	}
+	return j.Precedence[hop]
 }
 
 // SubjobRef addresses one subjob in a System.
@@ -258,6 +288,9 @@ func validateJobShape(label string, job *Job, nprocs int) error {
 			return fmt.Errorf("model: %s hop %d has negative post delay %d", label, j, sj.PostDelay)
 		}
 	}
+	if err := validatePrecedence(label, job); err != nil {
+		return err
+	}
 	if len(job.Releases) == 0 {
 		return fmt.Errorf("model: %s has no release instances", label)
 	}
@@ -276,12 +309,28 @@ func validateJobShape(label string, job *Job, nprocs int) error {
 			return fmt.Errorf("model: %s needs one phase per hop, got %d for %d hops",
 				label, len(job.Phases), len(job.Subjobs))
 		}
-		if job.Phases[0] != 0 {
-			return fmt.Errorf("model: %s first phase must be 0", label)
-		}
-		for j := 1; j < len(job.Phases); j++ {
-			if job.Phases[j] < job.Phases[j-1] {
-				return fmt.Errorf("model: %s phases must be non-decreasing", label)
+		if job.ChainLike() {
+			if job.Phases[0] != 0 {
+				return fmt.Errorf("model: %s first phase must be 0", label)
+			}
+			for j := 1; j < len(job.Phases); j++ {
+				if job.Phases[j] < job.Phases[j-1] {
+					return fmt.Errorf("model: %s phases must be non-decreasing", label)
+				}
+			}
+		} else {
+			// The chain rules generalized per edge: source hops release
+			// straight from the trace (phase 0) and a phase may only grow
+			// along a precedence edge, so the PM clamp stays monotone.
+			for j, preds := range job.Precedence {
+				if len(preds) == 0 && job.Phases[j] != 0 {
+					return fmt.Errorf("model: %s source hop %d phase must be 0", label, j)
+				}
+				for _, p := range preds {
+					if job.Phases[j] < job.Phases[p] {
+						return fmt.Errorf("model: %s phases must be non-decreasing along precedence edge %d->%d", label, p, j)
+					}
+				}
 			}
 		}
 	case ReleaseGuard:
@@ -290,6 +339,82 @@ func validateJobShape(label string, job *Job, nprocs int) error {
 		}
 	default:
 		return fmt.Errorf("model: %s has unknown sync policy %d", label, job.Sync)
+	}
+	return nil
+}
+
+// validatePrecedence checks an explicit precedence DAG: one predecessor
+// list per hop, entries in range without self-loops or duplicates, and
+// the graph acyclic and weakly connected. A nil Precedence (the implicit
+// chain) always passes.
+func validatePrecedence(label string, job *Job) error {
+	if job.ChainLike() {
+		return nil
+	}
+	n := len(job.Subjobs)
+	if len(job.Precedence) != n {
+		return fmt.Errorf("model: %s needs one predecessor list per hop, got %d for %d hops",
+			label, len(job.Precedence), n)
+	}
+	indeg := make([]int, n)
+	succs := make([][]int, n)
+	for j, preds := range job.Precedence {
+		for pi, p := range preds {
+			if p < 0 || p >= n {
+				return fmt.Errorf("model: %s hop %d precedence references hop %d of %d", label, j, p, n)
+			}
+			if p == j {
+				return fmt.Errorf("model: %s hop %d lists itself as a predecessor", label, j)
+			}
+			for _, q := range preds[:pi] {
+				if q == p {
+					return fmt.Errorf("model: %s hop %d lists predecessor %d twice", label, j, p)
+				}
+			}
+			succs[p] = append(succs[p], j)
+		}
+		indeg[j] = len(preds)
+	}
+	queue := make([]int, 0, n)
+	for j, d := range indeg {
+		if d == 0 {
+			queue = append(queue, j)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		for _, s := range succs[queue[qi]] {
+			if indeg[s]--; indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(queue) != n {
+		return fmt.Errorf("model: %s precedence graph has a cycle", label)
+	}
+	// Weak connectivity: a disconnected precedence graph is two unrelated
+	// jobs sharing one deadline — almost certainly a spec error, and the
+	// end-to-end bound over source->sink paths would silently ignore the
+	// smaller component.
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = i
+	}
+	find := func(x int) int {
+		for comp[x] != x {
+			comp[x] = comp[comp[x]]
+			x = comp[x]
+		}
+		return x
+	}
+	for j, preds := range job.Precedence {
+		for _, p := range preds {
+			comp[find(p)] = find(j)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if find(i) != find(0) {
+			return fmt.Errorf("model: %s precedence graph is not connected (hop %d is isolated from hop 0)", label, i)
+		}
 	}
 	return nil
 }
@@ -428,6 +553,13 @@ func (s *System) Clone() *System {
 		}
 		j.Releases = append([]Ticks(nil), j.Releases...)
 		j.Phases = append([]Ticks(nil), j.Phases...)
+		if j.Precedence != nil {
+			pre := make([][]int, len(j.Precedence))
+			for x := range j.Precedence {
+				pre[x] = append([]int(nil), j.Precedence[x]...)
+			}
+			j.Precedence = pre
+		}
 		out.Jobs[k] = j
 	}
 	// Topology indexes are immutable and fingerprint-checked, so the clone
@@ -468,27 +600,80 @@ func (s *System) TotalWork(p int) Ticks {
 // every input, so applying it to a sound upper (lower) bound vector
 // yields a sound upper (lower) bound on the releases.
 func (s *System) NextReleases(k, hop int, dep []Ticks) []Ticks {
-	job := &s.Jobs[k]
-	delay := job.Subjobs[hop].PostDelay
-	const inf = Ticks(1<<63 - 1)
+	delay := s.Jobs[k].Subjobs[hop].PostDelay
 	out := make([]Ticks, len(dep))
-	var prev Ticks = -1
-	for i, d := range dep {
-		t := d
-		if t != inf {
+	for i, t := range dep {
+		if t != infTicks {
 			t += delay
 		}
+		out[i] = t
+	}
+	return s.applySync(k, hop+1, out)
+}
+
+// infTicks is the "never" sentinel shared with the analysis packages
+// (curve.Inf): an instance not certified to complete within the horizon.
+const infTicks = Ticks(1<<63 - 1)
+
+// JoinReleases maps the completion vectors of hop `hop`'s precedence
+// predecessors to its release times: each predecessor p contributes
+// dep(p) shifted by p's PostDelay (the per-edge communication latency),
+// the contributions merge by elementwise max — a join hop is released
+// only when ALL predecessors have delivered — and the job's
+// synchronization policy is applied to the merged vector at hop `hop`.
+// Inf entries stay Inf. With a single predecessor this reduces exactly
+// to NextReleases. Like NextReleases the transformation is monotone in
+// every input, so applying it to sound upper (lower) bound vectors
+// yields sound upper (lower) bounds on the releases; the sync transform
+// runs after the merge because ReleaseGuard applied per edge and then
+// merged would under-estimate the guarded sequence.
+func (s *System) JoinReleases(k, hop int, preds []int, dep func(pred int) []Ticks) []Ticks {
+	job := &s.Jobs[k]
+	var out []Ticks
+	for _, p := range preds {
+		d := dep(p)
+		delay := job.Subjobs[p].PostDelay
+		if out == nil {
+			out = make([]Ticks, len(d))
+			for i, t := range d {
+				if t != infTicks {
+					t += delay
+				}
+				out[i] = t
+			}
+			continue
+		}
+		for i, t := range d {
+			if t != infTicks {
+				t += delay
+			}
+			if t > out[i] {
+				out[i] = t
+			}
+		}
+	}
+	return s.applySync(k, hop, out)
+}
+
+// applySync applies job k's synchronization policy to a release vector
+// at hop `hop`, in place: PhaseModification clamps instance i up to
+// Releases[i]+Phases[hop], ReleaseGuard chains the minimum separation
+// through the sequence. DirectSync leaves the vector untouched.
+func (s *System) applySync(k, hop int, out []Ticks) []Ticks {
+	job := &s.Jobs[k]
+	var prev Ticks = -1
+	for i, t := range out {
 		switch job.Sync {
 		case PhaseModification:
 			if i < len(job.Releases) {
-				if nominal := job.Releases[i] + job.Phases[hop+1]; t != inf && nominal > t {
+				if nominal := job.Releases[i] + job.Phases[hop]; t != infTicks && nominal > t {
 					t = nominal
 				}
 			}
 		case ReleaseGuard:
-			if prev == inf {
-				t = inf
-			} else if prev >= 0 && t != inf && prev+job.Period > t {
+			if prev == infTicks {
+				t = infTicks
+			} else if prev >= 0 && t != infTicks && prev+job.Period > t {
 				t = prev + job.Period
 			}
 		}

@@ -53,12 +53,26 @@ type Topology struct {
 	// DemandDeps hooks and drive the iterative engine's dirty sets.
 	serviceReaders [][]int
 	demandReaders  [][]int
+	// Job-internal precedence graph in global-id space: jobPreds[id] are
+	// the subjobs whose completions release id (the job's Precedence
+	// lists, or [id-1] for the implicit chain), jobSuccs the reverse
+	// edges. sources/sinks list each job's entry and exit hop indices;
+	// hopOrder is a per-job topological order of its hops (identity for
+	// chains) that the engines' longest-path recurrences sweep in.
+	jobPreds [][]int
+	jobSuccs [][]int
+	sources  [][]int
+	sinks    [][]int
+	hopOrder [][]int
 }
 
 // topoSig fingerprints the fields the index depends on: processor
-// schedulers and, per subjob, its processor, priority, execution time and
-// critical sections. Release traces, deadlines and synchronization
-// policies do not affect the topology. FNV-1a over the raw values.
+// schedulers, per subjob its processor, priority, execution time and
+// critical sections, and the job's precedence lists (the dependency
+// graph and level partition derive from them; a nil Precedence and an
+// explicit chain hash differently, which only costs a duplicate cache
+// entry). Release traces, deadlines and synchronization policies do not
+// affect the topology. FNV-1a over the raw values.
 func (s *System) topoSig() uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -90,6 +104,13 @@ func (s *System) topoSig() uint64 {
 				mix(uint64(cs.Resource))
 				mix(uint64(cs.Start))
 				mix(uint64(cs.Duration))
+			}
+		}
+		mix(uint64(len(s.Jobs[k].Precedence)))
+		for _, preds := range s.Jobs[k].Precedence {
+			mix(uint64(len(preds)))
+			for _, p := range preds {
+				mix(uint64(p))
 			}
 		}
 	}
@@ -173,6 +194,7 @@ func buildTopology(s *System, sig uint64) *Topology {
 			t.onProc[p] = append(t.onProc[p], r)
 		}
 	}
+	buildPrecedence(s, t, n)
 	for p := range t.byPrio {
 		t.byPrio[p] = append([]SubjobRef(nil), t.onProc[p]...)
 		refs := t.byPrio[p]
@@ -254,20 +276,99 @@ func buildTopology(s *System, sig uint64) *Topology {
 	return t
 }
 
+// buildPrecedence compiles each job's precedence DAG (or the implicit
+// chain) into global-id edge lists, source/sink hop sets and a per-job
+// topological hop order. Out-of-range, self-loop and duplicate entries
+// are skipped so the index stays total on systems Validate would reject;
+// on a cyclic precedence graph hopOrder covers only the acyclic prefix
+// (such systems never reach the engines).
+func buildPrecedence(s *System, t *Topology, n int) {
+	t.jobPreds = make([][]int, n)
+	t.jobSuccs = make([][]int, n)
+	t.sources = make([][]int, len(s.Jobs))
+	t.sinks = make([][]int, len(s.Jobs))
+	t.hopOrder = make([][]int, len(s.Jobs))
+	for k := range s.Jobs {
+		job := &s.Jobs[k]
+		base := t.offsets[k]
+		nh := len(job.Subjobs)
+		if job.ChainLike() {
+			for j := 1; j < nh; j++ {
+				t.jobPreds[base+j] = []int{base + j - 1}
+				t.jobSuccs[base+j-1] = []int{base + j}
+			}
+			order := make([]int, nh)
+			for j := range order {
+				order[j] = j
+			}
+			t.hopOrder[k] = order
+			if nh > 0 {
+				t.sources[k] = []int{0}
+				t.sinks[k] = []int{nh - 1}
+			}
+			continue
+		}
+		indeg := make([]int, nh)
+		for j := 0; j < nh && j < len(job.Precedence); j++ {
+			for pi, p := range job.Precedence[j] {
+				if p < 0 || p >= nh || p == j {
+					continue
+				}
+				dup := false
+				for _, q := range job.Precedence[j][:pi] {
+					if q == p {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				t.jobPreds[base+j] = append(t.jobPreds[base+j], base+p)
+				t.jobSuccs[base+p] = append(t.jobSuccs[base+p], base+j)
+				indeg[j]++
+			}
+		}
+		order := make([]int, 0, nh)
+		for j, d := range indeg {
+			if d == 0 {
+				order = append(order, j)
+				t.sources[k] = append(t.sources[k], j)
+			}
+		}
+		for qi := 0; qi < len(order); qi++ {
+			for _, sid := range t.jobSuccs[base+order[qi]] {
+				j := sid - base
+				if indeg[j]--; indeg[j] == 0 {
+					order = append(order, j)
+				}
+			}
+		}
+		t.hopOrder[k] = order
+		for j := 0; j < nh; j++ {
+			if len(t.jobSuccs[base+j]) == 0 {
+				t.sinks[k] = append(t.sinks[k], j)
+			}
+		}
+	}
+}
+
 // buildDependencyGraph derives the analysis dependency edges: which
 // subjobs' outputs each subjob reads. The edges mirror the data flow of
 // the per-subjob analyses exactly:
 //
-//   - the previous hop of the same job (its latest/earliest departures are
-//     this hop's arrival bounds);
+//   - the precedence predecessors within the same job (their
+//     latest/earliest departures join into this hop's arrival bounds;
+//     for chain jobs this is the previous hop);
 //   - the scheduler's ServiceDeps (e.g. the strictly higher-priority
 //     subjobs on a SPP/SPNP processor, whose service bounds are the
 //     interference terms);
-//   - the previous hop of each of the scheduler's DemandDeps (e.g. every
-//     co-located subjob on a FCFS processor, whose arrivals form the
-//     total-workload function of Equation 21).
+//   - the precedence predecessors of each of the scheduler's DemandDeps
+//     (e.g. every co-located subjob on a FCFS processor, whose arrivals
+//     form the total-workload function of Equation 21: the arrivals of
+//     such a neighbor are a deterministic function of its predecessors'
+//     departures, which is what the edge must wait for).
 //
-// Ids follow the (job, hop) numbering, so the previous hop of id is id-1.
 // The same graph drives Kahn scheduling and level partitioning in the
 // acyclic engines, and dirty-set propagation plus divergence marking in
 // the iterative engine (via the reverse edges). The reverse policy-input
@@ -287,8 +388,8 @@ func buildDependencyGraph(s *System, t *Topology, n int) {
 				t.deps[id] = append(t.deps[id], dep)
 			}
 		}
-		if r.Hop > 0 {
-			add(id - 1)
+		for _, pid := range t.jobPreds[id] {
+			add(pid)
 		}
 		// Unregistered schedulers (rejected by Validate) contribute no
 		// policy edges, keeping the index total on arbitrary systems.
@@ -303,8 +404,8 @@ func buildDependencyGraph(s *System, t *Topology, n int) {
 		if info.DemandDeps != nil {
 			for _, o := range info.DemandDeps(s, t, r) {
 				oid := t.ID(o)
-				if o.Hop > 0 {
-					add(oid - 1)
+				for _, pid := range t.jobPreds[oid] {
+					add(pid)
 				}
 				if oid != id {
 					t.demandReaders[oid] = append(t.demandReaders[oid], id)
@@ -439,6 +540,34 @@ func (t *Topology) ServiceReaders(id int) []int { return t.serviceReaders[id] }
 // DemandDeps, reversed): under FCFS these are the subjobs sharing the
 // processor. Shared slice; do not mutate.
 func (t *Topology) DemandReaders(id int) []int { return t.demandReaders[id] }
+
+// JobPreds returns the precedence predecessors of subjob id within its
+// own job, as global ids: the hops whose completions (plus their
+// PostDelay) join into id's release. Empty exactly when id is a source
+// hop. For a chain job this is [id-1]. Shared slice; do not mutate.
+func (t *Topology) JobPreds(id int) []int { return t.jobPreds[id] }
+
+// JobSuccs returns the precedence successors of subjob id within its own
+// job, as global ids: the hops id's completion helps release (the fork
+// fan-out). Empty exactly when id is a sink hop. Shared slice; do not
+// mutate.
+func (t *Topology) JobSuccs(id int) []int { return t.jobSuccs[id] }
+
+// Sources returns the hop indices of job k's source subjobs — the hops
+// with no precedence predecessors, released directly by the job's
+// release trace. [0] for a chain job. Shared slice; do not mutate.
+func (t *Topology) Sources(k int) []int { return t.sources[k] }
+
+// Sinks returns the hop indices of job k's sink subjobs — the hops with
+// no precedence successors; the job instance completes when all of them
+// have. [len(Subjobs)-1] for a chain job. Shared slice; do not mutate.
+func (t *Topology) Sinks(k int) []int { return t.sinks[k] }
+
+// HopOrder returns a topological order of job k's hop indices over its
+// precedence DAG (the identity order for a chain job). Longest-path
+// recurrences over the job's hops sweep in this order. Shared slice; do
+// not mutate.
+func (t *Topology) HopOrder(k int) []int { return t.hopOrder[k] }
 
 // Levels partitions the subjob ids into dependency levels: every
 // dependency of a subjob in level l lies in a level strictly before l, so

@@ -34,13 +34,31 @@ type Link struct {
 	Propagation model.Ticks
 }
 
-// Flow is a stream of fixed-size packets through a path of links.
+// TreeHop is one link of a multicast distribution tree: the packet is
+// retransmitted on Link after it finishes transmitting on the parent hop
+// (plus the parent link's propagation delay).
+type TreeHop struct {
+	// Link names the transmission link of this tree hop.
+	Link string
+	// Parent is the index (into Tree) of the upstream hop feeding this
+	// one, or -1 for the root. Parents must be listed before children.
+	Parent int
+}
+
+// Flow is a stream of fixed-size packets through a path of links, or —
+// for multicast — through a distribution tree of links.
 type Flow struct {
 	// Name identifies the flow.
 	Name string
-	// Path lists link names in traversal order; must be non-empty and
-	// must not repeat a link (use analysis.Iterative manually for loops).
+	// Path lists link names in traversal order; must not repeat a link
+	// (use analysis.Iterative manually for loops). Exactly one of Path
+	// and Tree must be set.
 	Path []string
+	// Tree is a multicast distribution tree: the packet forks at every
+	// branching hop and is delivered at every leaf. The end-to-end delay
+	// of a packet is the completion of its LAST leaf transmission, and
+	// the analyses bound exactly that (max over source-to-sink paths).
+	Tree []TreeHop
 	// PacketBytes is the fixed packet size (ATM-style; 53 for cells).
 	PacketBytes int64
 	// Priority applies on every link of the path (smaller = higher).
@@ -85,33 +103,87 @@ func (n *Net) Build() (*model.System, error) {
 		sys.Procs = append(sys.Procs, model.Processor{Name: l.Name, Sched: l.Sched})
 	}
 	for _, f := range n.Flows {
-		if len(f.Path) == 0 {
-			return nil, fmt.Errorf("network: flow %q has an empty path", f.Name)
+		if len(f.Path) == 0 && len(f.Tree) == 0 {
+			return nil, fmt.Errorf("network: flow %q has an empty path and no tree", f.Name)
+		}
+		if len(f.Path) > 0 && len(f.Tree) > 0 {
+			return nil, fmt.Errorf("network: flow %q sets both Path and Tree", f.Name)
 		}
 		if f.PacketBytes <= 0 {
 			return nil, fmt.Errorf("network: flow %q has non-positive packet size", f.Name)
 		}
 		job := model.Job{Name: f.Name, Deadline: f.Deadline}
 		seen := map[string]bool{}
-		for hop, name := range f.Path {
+		resolve := func(name string) (int, error) {
 			p, ok := idx[name]
 			if !ok {
-				return nil, fmt.Errorf("network: flow %q references unknown link %q", f.Name, name)
+				return 0, fmt.Errorf("network: flow %q references unknown link %q", f.Name, name)
 			}
 			if seen[name] {
-				return nil, fmt.Errorf("network: flow %q revisits link %q", f.Name, name)
+				return 0, fmt.Errorf("network: flow %q revisits link %q", f.Name, name)
 			}
 			seen[name] = true
-			l := n.Links[p]
-			exec := (f.PacketBytes + l.BytesPerTick - 1) / l.BytesPerTick
+			return p, nil
+		}
+		subjob := func(p int) model.Subjob {
+			exec := (f.PacketBytes + n.Links[p].BytesPerTick - 1) / n.Links[p].BytesPerTick
 			if exec < 1 {
 				exec = 1
 			}
-			sj := model.Subjob{Proc: p, Exec: exec, Priority: f.Priority}
-			if hop < len(f.Path)-1 {
-				sj.PostDelay = l.Propagation
+			return model.Subjob{Proc: p, Exec: exec, Priority: f.Priority}
+		}
+		if len(f.Path) > 0 {
+			for hop, name := range f.Path {
+				p, err := resolve(name)
+				if err != nil {
+					return nil, err
+				}
+				sj := subjob(p)
+				if hop < len(f.Path)-1 {
+					sj.PostDelay = n.Links[p].Propagation
+				}
+				job.Subjobs = append(job.Subjobs, sj)
 			}
-			job.Subjobs = append(job.Subjobs, sj)
+		} else {
+			// Multicast tree: each hop's precedence is its parent hop; the
+			// root (parent -1) is released by the emission trace. Internal
+			// hops carry their link's propagation delay on the fork edges;
+			// leaves deliver, so their propagation is ignored like a path's
+			// last hop.
+			prec := make([][]int, len(f.Tree))
+			isLeaf := make([]bool, len(f.Tree))
+			for i := range isLeaf {
+				isLeaf[i] = true
+			}
+			root := -1
+			for hop, th := range f.Tree {
+				p, err := resolve(th.Link)
+				if err != nil {
+					return nil, err
+				}
+				switch {
+				case th.Parent == -1:
+					if root >= 0 {
+						return nil, fmt.Errorf("network: flow %q has multiple tree roots (hops %d and %d)", f.Name, root, hop)
+					}
+					root = hop
+				case th.Parent < 0 || th.Parent >= hop:
+					return nil, fmt.Errorf("network: flow %q tree hop %d wants parent %d; parents must be listed before children", f.Name, hop, th.Parent)
+				default:
+					prec[hop] = []int{th.Parent}
+					isLeaf[th.Parent] = false
+				}
+				job.Subjobs = append(job.Subjobs, subjob(p))
+			}
+			if root < 0 {
+				return nil, fmt.Errorf("network: flow %q tree has no root (one hop must have parent -1)", f.Name)
+			}
+			for hop := range f.Tree {
+				if !isLeaf[hop] {
+					job.Subjobs[hop].PostDelay = n.Links[job.Subjobs[hop].Proc].Propagation
+				}
+			}
+			job.Precedence = prec
 		}
 		switch {
 		case len(f.Releases) > 0 && f.Envelope != nil:

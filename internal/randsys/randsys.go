@@ -8,6 +8,7 @@ package randsys
 
 import (
 	"math/rand"
+	"slices"
 
 	"rta/internal/model"
 	"rta/internal/sched"
@@ -40,6 +41,9 @@ type Config struct {
 	// the physical and logical loops of the paper's conclusion (the
 	// stage-ordered guarantee of acyclicity is dropped).
 	Loops bool
+	// MaxWidth bounds the per-layer fork width of ForkJoin jobs (chains
+	// when 1; ForkJoin treats 0 as 2). New ignores it.
+	MaxWidth int
 }
 
 // Default is a good general-purpose fuzzing configuration.
@@ -68,8 +72,8 @@ func MixedSchedulers() []model.Scheduler {
 	return out
 }
 
-// New draws a random system from the configuration.
-func New(r *rand.Rand, cfg Config) *model.System {
+// randProcs draws the staged processor pool shared by the generators.
+func randProcs(r *rand.Rand, cfg Config) (*model.System, [][]int) {
 	stages := 1 + r.Intn(cfg.MaxStages)
 	sys := &model.System{}
 	stageProcs := make([][]int, stages)
@@ -81,6 +85,69 @@ func New(r *rand.Rand, cfg Config) *model.System {
 			sys.Procs = append(sys.Procs, model.Processor{Sched: sched})
 		}
 	}
+	return sys, stageProcs
+}
+
+// randSubjob draws one subjob on the given processor, with the optional
+// random communication latency and critical sections of the config.
+func randSubjob(r *rand.Rand, cfg Config, proc int) model.Subjob {
+	sj := model.Subjob{
+		Proc:     proc,
+		Exec:     model.Ticks(1 + r.Intn(cfg.MaxExec)),
+		Priority: r.Intn(cfg.PriorityLevels),
+	}
+	if cfg.MaxPostDelay > 0 {
+		sj.PostDelay = model.Ticks(r.Intn(cfg.MaxPostDelay + 1))
+	}
+	if cfg.Resources > 0 {
+		var at model.Ticks
+		for n := r.Intn(3); n > 0 && at < sj.Exec; n-- {
+			start := at + model.Ticks(r.Intn(int(sj.Exec-at)))
+			maxDur := sj.Exec - start
+			dur := 1 + model.Ticks(r.Intn(int(maxDur)))
+			sj.CS = append(sj.CS, model.CriticalSection{
+				Resource: sj.Proc*cfg.Resources + r.Intn(cfg.Resources),
+				Start:    start,
+				Duration: dur,
+			})
+			at = start + dur
+		}
+	}
+	return sj
+}
+
+// randReleases draws a bursty release trace: bursts of simultaneous
+// releases separated by random gaps.
+func randReleases(r *rand.Rand, cfg Config) []model.Ticks {
+	var out []model.Ticks
+	n := 1 + r.Intn(cfg.MaxInstances)
+	t := model.Ticks(r.Intn(cfg.MaxGap + 1))
+	for i := 0; i < n; i++ {
+		out = append(out, t)
+		if r.Intn(100) >= cfg.Burstiness {
+			t += model.Ticks(1 + r.Intn(cfg.MaxGap))
+		}
+	}
+	return out
+}
+
+// fixupProcs lets policies with extra per-processor parameters (e.g.
+// TDMA's slot table) repair their processors so the drawn system
+// validates; TDMA also strips critical sections, which it rejects.
+func fixupProcs(r *rand.Rand, sys *model.System) {
+	for p := range sys.Procs {
+		if pol, ok := sched.Lookup(sys.Procs[p].Sched); ok {
+			if pr, ok := pol.(sched.ProcRandomizer); ok {
+				pr.RandomizeProc(r, sys, p)
+			}
+		}
+	}
+}
+
+// New draws a random system from the configuration.
+func New(r *rand.Rand, cfg Config) *model.System {
+	sys, stageProcs := randProcs(r, cfg)
+	stages := len(stageProcs)
 	jobs := 1 + r.Intn(cfg.MaxJobs)
 	for k := 0; k < jobs; k++ {
 		job := model.Job{Deadline: 1} // deadline unused by response tests
@@ -95,29 +162,7 @@ func New(r *rand.Rand, cfg Config) *model.System {
 			if cfg.Loops {
 				proc = r.Intn(len(sys.Procs))
 			}
-			sj := model.Subjob{
-				Proc:     proc,
-				Exec:     model.Ticks(1 + r.Intn(cfg.MaxExec)),
-				Priority: r.Intn(cfg.PriorityLevels),
-			}
-			if cfg.MaxPostDelay > 0 {
-				sj.PostDelay = model.Ticks(r.Intn(cfg.MaxPostDelay + 1))
-			}
-			if cfg.Resources > 0 {
-				var at model.Ticks
-				for n := r.Intn(3); n > 0 && at < sj.Exec; n-- {
-					start := at + model.Ticks(r.Intn(int(sj.Exec-at)))
-					maxDur := sj.Exec - start
-					dur := 1 + model.Ticks(r.Intn(int(maxDur)))
-					sj.CS = append(sj.CS, model.CriticalSection{
-						Resource: sj.Proc*cfg.Resources + r.Intn(cfg.Resources),
-						Start:    start,
-						Duration: dur,
-					})
-					at = start + dur
-				}
-			}
-			job.Subjobs = append(job.Subjobs, sj)
+			job.Subjobs = append(job.Subjobs, randSubjob(r, cfg, proc))
 		}
 		if len(job.Subjobs) == 0 {
 			procs := stageProcs[stages-1]
@@ -127,16 +172,7 @@ func New(r *rand.Rand, cfg Config) *model.System {
 				Priority: r.Intn(cfg.PriorityLevels),
 			})
 		}
-		// Bursty release trace: bursts of simultaneous releases separated
-		// by random gaps.
-		n := 1 + r.Intn(cfg.MaxInstances)
-		t := model.Ticks(r.Intn(cfg.MaxGap + 1))
-		for i := 0; i < n; i++ {
-			job.Releases = append(job.Releases, t)
-			if r.Intn(100) >= cfg.Burstiness {
-				t += model.Ticks(1 + r.Intn(cfg.MaxGap))
-			}
-		}
+		job.Releases = randReleases(r, cfg)
 		job.Deadline = model.Ticks(1 + r.Intn(10*cfg.MaxExec))
 		if len(cfg.SyncPolicies) > 0 {
 			job.Sync = cfg.SyncPolicies[r.Intn(len(cfg.SyncPolicies))]
@@ -152,15 +188,140 @@ func New(r *rand.Rand, cfg Config) *model.System {
 		}
 		sys.Jobs = append(sys.Jobs, job)
 	}
-	// Policies with extra per-processor parameters (e.g. TDMA's slot table)
-	// fix up each of their processors so the drawn system validates; TDMA
-	// also strips critical sections, which it rejects.
-	for p := range sys.Procs {
-		if pol, ok := sched.Lookup(sys.Procs[p].Sched); ok {
-			if pr, ok := pol.(sched.ProcRandomizer); ok {
-				pr.RandomizeProc(r, sys, p)
+	fixupProcs(r, sys)
+	return sys
+}
+
+// ForkJoin draws a random system of fork-join jobs: each job is a layered
+// series-parallel precedence DAG — every visited stage contributes a
+// layer of up to MaxWidth parallel subjobs, each successor layer joins a
+// non-empty random subset of the previous layer, and every subjob keeps
+// at least one successor so the DAG stays (weakly) connected. Jobs visit
+// stages in increasing order, so the cross-job subjob dependency graph
+// stays acyclic exactly as with New. Single-layer draws degenerate to
+// explicit one-hop DAGs; width-1 draws to explicit chains.
+func ForkJoin(r *rand.Rand, cfg Config) *model.System {
+	width := cfg.MaxWidth
+	if width < 1 {
+		width = 2
+	}
+	sys, stageProcs := randProcs(r, cfg)
+	stages := len(stageProcs)
+	jobs := 1 + r.Intn(cfg.MaxJobs)
+	for k := 0; k < jobs; k++ {
+		job := model.Job{}
+		var prec [][]int
+		var prev []int // subjob indices of the previous layer
+		for s := 0; s < stages; s++ {
+			if len(prev) > 0 && r.Intn(3) == 0 {
+				continue // skip this stage sometimes
+			}
+			procs := stageProcs[s]
+			var layer []int
+			for w := 1 + r.Intn(width); w > 0; w-- {
+				layer = append(layer, len(job.Subjobs))
+				job.Subjobs = append(job.Subjobs, randSubjob(r, cfg, procs[r.Intn(len(procs))]))
+				prec = append(prec, nil)
+			}
+			if len(prev) > 0 {
+				// Join: every layer member picks a non-empty random subset
+				// of the previous layer; uncovered previous members then
+				// fork into a random layer member so nobody dead-ends.
+				covered := make([]bool, len(prev))
+				for _, j := range layer {
+					for _, pi := range r.Perm(len(prev))[:1+r.Intn(len(prev))] {
+						prec[j] = append(prec[j], prev[pi])
+						covered[pi] = true
+					}
+				}
+				for pi, c := range covered {
+					if !c {
+						j := layer[r.Intn(len(layer))]
+						prec[j] = append(prec[j], prev[pi])
+					}
+				}
+				for _, j := range layer {
+					slices.Sort(prec[j])
+				}
+			}
+			prev = layer
+		}
+		if len(job.Subjobs) == 0 {
+			procs := stageProcs[stages-1]
+			job.Subjobs = append(job.Subjobs, randSubjob(r, cfg, procs[r.Intn(len(procs))]))
+			prec = append(prec, nil)
+		}
+		if len(prev) == len(job.Subjobs) && len(job.Subjobs) > 1 {
+			// Only one layer materialized: parallel hops without a join
+			// are a disconnected precedence graph, so degenerate to a
+			// single hop.
+			job.Subjobs = job.Subjobs[:1]
+			prec = prec[:1]
+		} else if len(prev) < len(job.Subjobs) {
+			// Layer-local subsets can still split the job into parallel
+			// components (two sources feeding disjoint halves). Stitch
+			// every stray component into the last layer's first member —
+			// each component's minimal hop is a layer-0 source, so the
+			// added join edges keep the DAG acyclic.
+			parent := make([]int, len(job.Subjobs))
+			for i := range parent {
+				parent[i] = i
+			}
+			find := func(x int) int {
+				for parent[x] != x {
+					parent[x] = parent[parent[x]]
+					x = parent[x]
+				}
+				return x
+			}
+			for j, ps := range prec {
+				for _, p := range ps {
+					parent[find(p)] = find(j)
+				}
+			}
+			j := prev[0]
+			stitched := false
+			for h := range job.Subjobs {
+				if find(h) != find(j) {
+					prec[j] = append(prec[j], h)
+					parent[find(h)] = find(j)
+					stitched = true
+				}
+			}
+			if stitched {
+				slices.Sort(prec[j])
 			}
 		}
+		job.Precedence = prec
+		job.Releases = randReleases(r, cfg)
+		job.Deadline = model.Ticks(1 + r.Intn(10*cfg.MaxExec))
+		if len(cfg.SyncPolicies) > 0 {
+			job.Sync = cfg.SyncPolicies[r.Intn(len(cfg.SyncPolicies))]
+			switch job.Sync {
+			case model.PhaseModification:
+				// Layer-cumulative phases: every hop of one layer shares a
+				// phase at least the previous layer's, so phases are
+				// non-decreasing along every precedence edge and zero at
+				// the sources.
+				job.Phases = make([]model.Ticks, len(job.Subjobs))
+				var scratch [1]int
+				for j := range job.Subjobs {
+					var base model.Ticks
+					for _, p := range job.HopPreds(j, &scratch) {
+						if at := job.Phases[p] + job.Subjobs[p].Exec; at > base {
+							base = at
+						}
+					}
+					if base > 0 {
+						job.Phases[j] = base + model.Ticks(r.Intn(3*cfg.MaxExec))
+					}
+				}
+			case model.ReleaseGuard:
+				job.Period = model.Ticks(1 + r.Intn(2*cfg.MaxGap))
+			}
+		}
+		sys.Jobs = append(sys.Jobs, job)
 	}
+	fixupProcs(r, sys)
 	return sys
 }

@@ -51,13 +51,19 @@ func denseRun(sys *model.System) (arrival, departure [][][]model.Ticks) {
 		at model.Ticks
 		p  *densePending
 	}
+	var scratch [1]int
 	var future []futureRel
 	for k := range sys.Jobs {
-		for i, t := range sys.Jobs[k].Releases {
-			future = append(future, futureRel{t, &densePending{
-				job: k, hop: 0, idx: i, arrived: t,
-				remaining: sys.Jobs[k].Subjobs[0].Exec,
-			}})
+		for j := range sys.Jobs[k].Subjobs {
+			if len(sys.Jobs[k].HopPreds(j, &scratch)) > 0 {
+				continue // released by its precedence join, not the trace
+			}
+			for i, t := range sys.Jobs[k].Releases {
+				future = append(future, futureRel{t, &densePending{
+					job: k, hop: j, idx: i, arrived: t,
+					remaining: sys.Jobs[k].Subjobs[j].Exec,
+				}})
+			}
 		}
 	}
 	ready := make([][]*densePending, len(sys.Procs))
@@ -67,6 +73,26 @@ func denseRun(sys *model.System) (arrival, departure [][][]model.Ticks) {
 		lastRelease[k] = make([]model.Ticks, len(sys.Jobs[k].Subjobs))
 		for j := range lastRelease[k] {
 			lastRelease[k][j] = -1
+		}
+	}
+
+	// Naive mirror of the event engine's join rule: count predecessors
+	// still owed per hop instance, accumulate the running max of their
+	// completion-plus-PostDelay contributions.
+	joinLeft := make([][][]int, len(sys.Jobs))
+	joinAt := make([][][]model.Ticks, len(sys.Jobs))
+	for k := range sys.Jobs {
+		nh := len(sys.Jobs[k].Subjobs)
+		joinLeft[k] = make([][]int, nh)
+		joinAt[k] = make([][]model.Ticks, nh)
+		for j := 0; j < nh; j++ {
+			if preds := sys.Jobs[k].HopPreds(j, &scratch); len(preds) > 0 {
+				joinLeft[k][j] = make([]int, len(sys.Jobs[k].Releases))
+				joinAt[k][j] = make([]model.Ticks, len(sys.Jobs[k].Releases))
+				for i := range joinLeft[k][j] {
+					joinLeft[k][j][i] = len(preds)
+				}
+			}
 		}
 	}
 
@@ -161,25 +187,41 @@ func denseRun(sys *model.System) (arrival, departure [][][]model.Ticks) {
 				remainingWork--
 				at := t + 1
 				departure[pick.job][pick.hop][pick.idx] = at
-				if pick.hop+1 < len(sys.Jobs[pick.job].Subjobs) {
-					job := &sys.Jobs[pick.job]
-					rel := at + job.Subjobs[pick.hop].PostDelay
+				job := &sys.Jobs[pick.job]
+				for h := range job.Subjobs {
+					isSucc := false
+					for _, p := range job.HopPreds(h, &scratch) {
+						if p == pick.hop {
+							isSucc = true
+							break
+						}
+					}
+					if !isSucc {
+						continue
+					}
+					if cand := at + job.Subjobs[pick.hop].PostDelay; cand > joinAt[pick.job][h][pick.idx] {
+						joinAt[pick.job][h][pick.idx] = cand
+					}
+					if joinLeft[pick.job][h][pick.idx]--; joinLeft[pick.job][h][pick.idx] > 0 {
+						continue
+					}
+					rel := joinAt[pick.job][h][pick.idx]
 					switch job.Sync {
 					case model.PhaseModification:
-						if nominal := job.Releases[pick.idx] + job.Phases[pick.hop+1]; nominal > rel {
+						if nominal := job.Releases[pick.idx] + job.Phases[h]; nominal > rel {
 							rel = nominal
 						}
 					case model.ReleaseGuard:
-						if prev := lastRelease[pick.job][pick.hop+1]; prev >= 0 && prev+job.Period > rel {
+						if prev := lastRelease[pick.job][h]; prev >= 0 && prev+job.Period > rel {
 							rel = prev + job.Period
 						}
 					}
 					if job.Sync == model.ReleaseGuard {
-						lastRelease[pick.job][pick.hop+1] = rel
+						lastRelease[pick.job][h] = rel
 					}
 					future = append(future, futureRel{rel, &densePending{
-						job: pick.job, hop: pick.hop + 1, idx: pick.idx, arrived: rel,
-						remaining: job.Subjobs[pick.hop+1].Exec,
+						job: pick.job, hop: h, idx: pick.idx, arrived: rel,
+						remaining: job.Subjobs[h].Exec,
 					}})
 				}
 			}
@@ -201,21 +243,51 @@ func TestEventEngineMatchesDenseReference(t *testing.T) {
 		cfg.MaxInstances = 4
 		cfg.MaxGap = 25
 		sys := randsys.New(r, cfg)
-		fast := Run(sys)
-		arr, dep := denseRun(sys)
-		for k := range sys.Jobs {
-			for j := range sys.Jobs[k].Subjobs {
-				for i := range sys.Jobs[k].Releases {
-					if fast.Arrival[k][j][i] != arr[k][j][i] {
-						t.Fatalf("trial %d: arrival T_{%d,%d} #%d: event %d, dense %d\nsystem: %+v",
-							trial, k+1, j+1, i, fast.Arrival[k][j][i], arr[k][j][i], sys)
-					}
-					if fast.Departure[k][j][i] != dep[k][j][i] {
-						t.Fatalf("trial %d: departure T_{%d,%d} #%d: event %d, dense %d\nsystem: %+v",
-							trial, k+1, j+1, i, fast.Departure[k][j][i], dep[k][j][i], sys)
-					}
+		requireMatchesDense(t, trial, sys)
+	}
+}
+
+// requireMatchesDense cross-checks the event engine against the dense
+// tick-by-tick reference on one system.
+func requireMatchesDense(t *testing.T, trial int, sys *model.System) {
+	t.Helper()
+	fast := Run(sys)
+	arr, dep := denseRun(sys)
+	for k := range sys.Jobs {
+		for j := range sys.Jobs[k].Subjobs {
+			for i := range sys.Jobs[k].Releases {
+				if fast.Arrival[k][j][i] != arr[k][j][i] {
+					t.Fatalf("trial %d: arrival T_{%d,%d} #%d: event %d, dense %d\nsystem: %+v",
+						trial, k+1, j+1, i, fast.Arrival[k][j][i], arr[k][j][i], sys)
+				}
+				if fast.Departure[k][j][i] != dep[k][j][i] {
+					t.Fatalf("trial %d: departure T_{%d,%d} #%d: event %d, dense %d\nsystem: %+v",
+						trial, k+1, j+1, i, fast.Departure[k][j][i], dep[k][j][i], sys)
 				}
 			}
 		}
+	}
+}
+
+// TestEventEngineMatchesDenseReferenceForkJoin is the same cross-check on
+// fork-join precedence DAGs: both engines implement the join rule (max
+// over predecessor completions plus link latency) and the fork fan-out,
+// so every hop's arrival and departure must agree exactly. ReleaseGuard
+// is excluded — when two instances' joins complete at the same tick, the
+// guard chains releases in whatever order the engine processes them, and
+// the two engines process same-tick events in different orders.
+func TestEventEngineMatchesDenseReferenceForkJoin(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 400; trial++ {
+		cfg := randsys.Default
+		cfg.Schedulers = []model.Scheduler{model.SPP, model.SPNP, model.FCFS}
+		cfg.MaxPostDelay = 6
+		cfg.Resources = 2
+		cfg.SyncPolicies = []model.SyncPolicy{model.DirectSync, model.PhaseModification}
+		cfg.MaxInstances = 4
+		cfg.MaxGap = 25
+		cfg.MaxWidth = 3
+		sys := randsys.ForkJoin(r, cfg)
+		requireMatchesDense(t, trial, sys)
 	}
 }

@@ -1,7 +1,9 @@
 // Package sim is a discrete-event simulator for the distributed real-time
-// systems of the paper's Section 3: jobs flow through chains of subjobs on
-// processors, with direct synchronization (a subjob instance is released
-// the moment its predecessor completes).
+// systems of the paper's Section 3: jobs flow through precedence DAGs of
+// subjobs on processors (chains when no explicit precedence is given),
+// with direct synchronization — a subjob instance is released the moment
+// the last of its predecessors completes (the join), and a completion
+// releases every successor (the fork).
 //
 // The per-processor scheduling discipline is dispatched through the sched
 // policy registry: the policy supplies the queue-pick order, preemptivity
@@ -38,7 +40,7 @@ type Segment struct {
 // Result holds everything the simulation observed.
 type Result struct {
 	// Response[k][i] is the end-to-end response time of instance i of job
-	// k: completion at the last hop minus release at the first.
+	// k: completion of its last sink hop minus the job release.
 	Response [][]model.Ticks
 	// Arrival[k][j][i] is the release time of instance i of subjob (k,j).
 	Arrival [][][]model.Ticks
@@ -285,7 +287,8 @@ func run(ctx context.Context, sys *model.System, exec ExecTimes, tieKey func(job
 	// Policy-facing context: priority ceilings of the shared resources
 	// (IPCP) from the cached topology index (read-only shared map), plus
 	// the optional random tie-break.
-	simctx := &sched.SimContext{Sys: sys, Ceilings: sys.Topology().Ceilings(), TieKey: tieKey}
+	topo := sys.Topology()
+	simctx := &sched.SimContext{Sys: sys, Ceilings: topo.Ceilings(), TieKey: tieKey}
 
 	procs := make([]*procState, len(sys.Procs))
 	pols := make([]sched.Policy, len(sys.Procs))
@@ -304,6 +307,52 @@ func run(ctx context.Context, sys *model.System, exec ExecTimes, tieKey func(job
 		}
 	}
 
+	// Precedence bookkeeping. A non-source hop instance is released when
+	// the LAST of its predecessors completes: joinLeft[k][j][i] counts the
+	// predecessors still owed and joinAt[k][j][i] accumulates the running
+	// max of completion-plus-PostDelay contributions (the sync policy then
+	// transforms the joined instant, exactly as model.JoinReleases does).
+	// A completion forks to every successor hop; the per-instance response
+	// closes when the last sink hop completes.
+	var scratch [1]int
+	succs := make([][][]int, len(sys.Jobs))
+	joinLeft := make([][][]int, len(sys.Jobs))
+	joinAt := make([][][]model.Ticks, len(sys.Jobs))
+	isSink := make([][]bool, len(sys.Jobs))
+	sinkLeft := make([][]int, len(sys.Jobs))
+	sinkMax := make([][]model.Ticks, len(sys.Jobs))
+	for k := range sys.Jobs {
+		job := &sys.Jobs[k]
+		nh := len(job.Subjobs)
+		n := len(job.Releases)
+		succs[k] = make([][]int, nh)
+		joinLeft[k] = make([][]int, nh)
+		joinAt[k] = make([][]model.Ticks, nh)
+		isSink[k] = make([]bool, nh)
+		for j := 0; j < nh; j++ {
+			preds := job.HopPreds(j, &scratch)
+			for _, p := range preds {
+				succs[k][p] = append(succs[k][p], j)
+			}
+			if len(preds) > 0 {
+				joinLeft[k][j] = make([]int, n)
+				joinAt[k][j] = make([]model.Ticks, n)
+				for i := range joinLeft[k][j] {
+					joinLeft[k][j][i] = len(preds)
+				}
+			}
+		}
+		sinks := topo.Sinks(k)
+		for _, j := range sinks {
+			isSink[k][j] = true
+		}
+		sinkLeft[k] = make([]int, n)
+		sinkMax[k] = make([]model.Ticks, n)
+		for i := range sinkLeft[k] {
+			sinkLeft[k][i] = len(sinks)
+		}
+	}
+
 	actualExec := func(k, j, i int) (model.Ticks, error) {
 		e := sys.Jobs[k].Subjobs[j].Exec
 		if exec != nil {
@@ -318,15 +367,17 @@ func run(ctx context.Context, sys *model.System, exec ExecTimes, tieKey func(job
 
 	var q eventQueue
 	for k := range sys.Jobs {
-		for i, t := range sys.Jobs[k].Releases {
-			rem, err := actualExec(k, 0, i)
-			if err != nil {
-				return nil, err
+		for _, j := range topo.Sources(k) {
+			for i, t := range sys.Jobs[k].Releases {
+				rem, err := actualExec(k, j, i)
+				if err != nil {
+					return nil, err
+				}
+				heap.Push(&q, &event{at: t, kind: evRelease, inst: &instance{
+					job: k, hop: j, idx: i, arrived: t,
+					remaining: rem,
+				}})
 			}
-			heap.Push(&q, &event{at: t, kind: evRelease, inst: &instance{
-				job: k, hop: 0, idx: i, arrived: t,
-				remaining: rem,
-			}})
 		}
 	}
 
@@ -451,34 +502,48 @@ func run(ctx context.Context, sys *model.System, exec ExecTimes, tieKey func(job
 				})
 				res.Departure[done.job][done.hop][done.idx] = now
 				dirty[e.proc] = true
-				if done.hop+1 < len(sys.Jobs[done.job].Subjobs) {
-					// The synchronization policy (plus the hop's constant
-					// communication latency) sets the next release time.
-					job := &sys.Jobs[done.job]
-					at := now + job.Subjobs[done.hop].PostDelay
+				job := &sys.Jobs[done.job]
+				for _, h := range succs[done.job][done.hop] {
+					// Fork: this completion (plus the hop's constant
+					// communication latency) contributes to the join of
+					// every successor; the last contribution releases it,
+					// transformed by the synchronization policy.
+					if cand := now + job.Subjobs[done.hop].PostDelay; cand > joinAt[done.job][h][done.idx] {
+						joinAt[done.job][h][done.idx] = cand
+					}
+					if joinLeft[done.job][h][done.idx]--; joinLeft[done.job][h][done.idx] > 0 {
+						continue
+					}
+					at := joinAt[done.job][h][done.idx]
 					switch job.Sync {
 					case model.PhaseModification:
-						if nominal := job.Releases[done.idx] + job.Phases[done.hop+1]; nominal > at {
+						if nominal := job.Releases[done.idx] + job.Phases[h]; nominal > at {
 							at = nominal
 						}
 					case model.ReleaseGuard:
-						if prev := lastRelease[done.job][done.hop+1]; prev >= 0 && prev+job.Period > at {
+						if prev := lastRelease[done.job][h]; prev >= 0 && prev+job.Period > at {
 							at = prev + job.Period
 						}
 					}
 					if job.Sync == model.ReleaseGuard {
-						lastRelease[done.job][done.hop+1] = at
+						lastRelease[done.job][h] = at
 					}
-					rem, err := actualExec(done.job, done.hop+1, done.idx)
+					rem, err := actualExec(done.job, h, done.idx)
 					if err != nil {
 						return nil, err
 					}
 					heap.Push(&q, &event{at: at, kind: evRelease, inst: &instance{
-						job: done.job, hop: done.hop + 1, idx: done.idx, arrived: at,
+						job: done.job, hop: h, idx: done.idx, arrived: at,
 						remaining: rem,
 					}})
-				} else {
-					res.Response[done.job][done.idx] = now - sys.Jobs[done.job].Releases[done.idx]
+				}
+				if isSink[done.job][done.hop] {
+					if now > sinkMax[done.job][done.idx] {
+						sinkMax[done.job][done.idx] = now
+					}
+					if sinkLeft[done.job][done.idx]--; sinkLeft[done.job][done.idx] == 0 {
+						res.Response[done.job][done.idx] = sinkMax[done.job][done.idx] - job.Releases[done.idx]
+					}
 				}
 			case evRelease:
 				in := e.inst

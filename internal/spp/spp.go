@@ -118,9 +118,9 @@ func AnalyzeWith(ctx context.Context, sys *model.System, workers int, lim *curve
 }
 
 // NewResult allocates an unanalyzed Result shell for sys: rows sized per
-// job, hop-0 arrivals copied from the release traces, everything else
-// zero. Reanalyze over every subjob id fills it; warm-start callers keep
-// the shell resident and refill only dirty rows.
+// job, source-hop arrivals (hop 0 for chain jobs) copied from the release
+// traces, everything else zero. Reanalyze over every subjob id fills it;
+// warm-start callers keep the shell resident and refill only dirty rows.
 func NewResult(sys *model.System) *Result {
 	res := &Result{
 		WCRT:      make([]model.Ticks, len(sys.Jobs)),
@@ -129,13 +129,16 @@ func NewResult(sys *model.System) *Result {
 		Service:   make([][]*curve.Curve, len(sys.Jobs)),
 		Backlog:   make([][]int, len(sys.Jobs)),
 	}
+	topo := sys.Topology()
 	for k := range sys.Jobs {
 		hops := len(sys.Jobs[k].Subjobs)
 		res.Arrival[k] = make([][]model.Ticks, hops)
 		res.Departure[k] = make([][]model.Ticks, hops)
 		res.Service[k] = make([]*curve.Curve, hops)
 		res.Backlog[k] = make([]int, hops)
-		res.Arrival[k][0] = append([]model.Ticks(nil), sys.Jobs[k].Releases...)
+		for _, j := range topo.Sources(k) {
+			res.Arrival[k][j] = append([]model.Ticks(nil), sys.Jobs[k].Releases...)
+		}
 	}
 	return res
 }
@@ -188,23 +191,29 @@ func Reanalyze(ctx context.Context, sys *model.System, memo *sched.Memo, res *Re
 }
 
 // ComputeWCRT recomputes every job's Theorem 1 end-to-end response time
-// from the Departure rows. Jobs whose last hop has no departure rows
-// (budget-truncated run) report curve.Inf.
+// from the Departure rows: an instance completes when the last of its
+// sink hops does (the single last hop for chain jobs). Jobs with a sink
+// lacking departure rows (budget-truncated run) report curve.Inf.
 func ComputeWCRT(sys *model.System, res *Result) {
+	topo := sys.Topology()
 	for k := range sys.Jobs {
-		last := len(sys.Jobs[k].Subjobs) - 1
-		if res.Departure[k][last] == nil {
-			res.WCRT[k] = curve.Inf
-			continue
-		}
 		var worst model.Ticks
-		for i, dep := range res.Departure[k][last] {
-			if curve.IsInf(dep) {
+		for _, j := range topo.Sinks(k) {
+			if res.Departure[k][j] == nil {
 				worst = curve.Inf
 				break
 			}
-			if d := dep - sys.Jobs[k].Releases[i]; d > worst {
-				worst = d
+			for i, dep := range res.Departure[k][j] {
+				if curve.IsInf(dep) {
+					worst = curve.Inf
+					break
+				}
+				if d := dep - sys.Jobs[k].Releases[i]; d > worst {
+					worst = d
+				}
+			}
+			if curve.IsInf(worst) {
+				break
 			}
 		}
 		res.WCRT[k] = worst
@@ -216,6 +225,21 @@ func ComputeWCRT(sys *model.System, res *Result) {
 // it materializes against lim (nil = unlimited).
 func analyzeSubjob(sys *model.System, topo *model.Topology, memo *sched.Memo, res *Result, lim *curve.Limiter, r model.SubjobRef) {
 	sj := sys.Subjob(r)
+	// Non-source hops pull their exact arrivals from the precedence
+	// predecessors' departure rows (all final — the dependency edges
+	// cover them): the completions plus per-edge PostDelay join by
+	// elementwise max, then the sync policy applies at this hop. Only
+	// this subjob writes its own arrival row, so the sweep stays
+	// race-free at any worker count; warm re-analysis recomputes the row
+	// from whatever mix of refreshed and resident predecessor rows is
+	// current, which is exactly the cold value.
+	var scratchPreds [1]int
+	job := &sys.Jobs[r.Job]
+	if preds := job.HopPreds(r.Hop, &scratchPreds); len(preds) > 0 {
+		res.Arrival[r.Job][r.Hop] = sys.JoinReleases(r.Job, r.Hop, preds, func(p int) []model.Ticks {
+			return res.Departure[r.Job][p]
+		})
+	}
 	arr := res.Arrival[r.Job][r.Hop]
 	// Per-evaluation arena: the demand staircase, availability and raw
 	// service transform are intermediates; only the stored service
@@ -243,12 +267,6 @@ func analyzeSubjob(sys *model.System, topo *model.Topology, memo *sched.Memo, re
 	res.Departure[r.Job][r.Hop] = dep
 	if b, ok := curve.MaxVerticalDeviation(curve.StaircaseIn(sc, arr, 1), curve.StaircaseIn(sc, dep, 1)); ok {
 		res.Backlog[r.Job][r.Hop] = int(b)
-	}
-	if r.Hop+1 < len(sys.Jobs[r.Job].Subjobs) {
-		// Departures become the next hop's arrivals through the job's
-		// synchronization policy (direct synchronization by default) and
-		// the hop's constant communication latency.
-		res.Arrival[r.Job][r.Hop+1] = sys.NextReleases(r.Job, r.Hop, dep)
 	}
 }
 

@@ -65,17 +65,26 @@ func Write(w io.Writer, sys *model.System, res *sim.Result) error {
 			})
 		}
 	}
-	// Releases and deadline misses as instant events.
+	// Releases and deadline misses as instant events. Releases pin to the
+	// first source hop's processor; a miss pins to whichever sink hop
+	// completed the instance (the latest departure).
+	topo := sys.Topology()
 	for k := range sys.Jobs {
+		src := topo.Sources(k)[0]
 		for i, t := range sys.Jobs[k].Releases {
 			doc.TraceEvents = append(doc.TraceEvents, event{
 				Name:  fmt.Sprintf("release %s #%d", sys.JobName(k), i),
 				Phase: "i", Scope: "g",
 				Ts:  t,
-				Pid: sys.Jobs[k].Subjobs[0].Proc, Tid: k,
+				Pid: sys.Jobs[k].Subjobs[src].Proc, Tid: k,
 			})
 			if res.Response[k][i] > sys.Jobs[k].Deadline {
-				last := len(sys.Jobs[k].Subjobs) - 1
+				last := topo.Sinks(k)[0]
+				for _, j := range topo.Sinks(k)[1:] {
+					if res.Departure[k][j][i] > res.Departure[k][last][i] {
+						last = j
+					}
+				}
 				doc.TraceEvents = append(doc.TraceEvents, event{
 					Name:  fmt.Sprintf("DEADLINE MISS %s #%d", sys.JobName(k), i),
 					Phase: "i", Scope: "g",

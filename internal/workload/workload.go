@@ -70,6 +70,12 @@ type Config struct {
 	// release at zero (an extension ablation: the synchronous instant is
 	// the classical worst case, so random phases admit more).
 	RandomPhases bool
+	// ExplicitChains writes each generated job's hop order out as explicit
+	// single-predecessor precedence (Precedence[j] = {j-1}) instead of the
+	// implicit nil-precedence chain. Semantically a no-op — it exists so
+	// equivalence tests can drive the whole figure pipeline through the
+	// generalized DAG path and demand byte-identical output.
+	ExplicitChains bool
 	// NormalizeUtilization rescales execution times so that the realized
 	// per-processor utilization equals Utilization exactly. Equation (26)
 	// as printed (denominator sum of w_{l,i}/x_l) yields a realized
@@ -200,6 +206,12 @@ func Generate(r *rand.Rand, cfg Config) (*Draw, error) {
 			}
 			job.Releases = arrivals.Bursts(float64(size)*period[k], size, 0, horizon, cfg.Scale)
 			job.Deadline = cfg.Scale.DurationTicks(cfg.DeadlineFactor * period[k])
+		}
+		if cfg.ExplicitChains {
+			job.Precedence = make([][]int, len(job.Subjobs))
+			for j := 1; j < len(job.Subjobs); j++ {
+				job.Precedence[j] = []int{j - 1}
+			}
 		}
 		sys.Jobs = append(sys.Jobs, job)
 	}

@@ -8,10 +8,12 @@
 // priority (SPP), non-preemptive static priority (SPNP), FCFS or
 // time-division-multiple-access (TDMA) scheduling, or any discipline
 // registered with the internal/sched policy registry - and a set of jobs,
-// each a chain of subjobs executed on successive processors under direct
-// synchronization. Jobs release instances at arbitrary times given as
-// concrete traces: periodic, sporadic and bursty patterns are all just
-// traces.
+// each a precedence DAG of subjobs across the processors: a chain by
+// default, or an explicit fork-join graph (HopSpec.After) where a hop is
+// released once all its predecessors complete and a hop with several
+// successors forks to all of them. Jobs release instances at arbitrary
+// times given as concrete traces: periodic, sporadic and bursty patterns
+// are all just traces.
 //
 // Three analyses compute worst-case end-to-end response times:
 //
@@ -75,7 +77,8 @@ import (
 type (
 	// System is a complete analyzable system: processors, jobs, traces.
 	System = model.System
-	// Job is a chain of subjobs with a deadline and a release trace.
+	// Job is a precedence DAG of subjobs (a chain when no explicit
+	// precedence is given) with a deadline and a release trace.
 	Job = model.Job
 	// Subjob is one hop of a job: execution time and priority on a
 	// processor.
@@ -424,6 +427,10 @@ type HopSpec struct {
 	PostDelay Ticks
 	// CS are the hop's critical sections on shared local resources.
 	CS []CriticalSection
+	// Preds, when any hop of the job sets one, switches the job from a
+	// chain to an explicit precedence DAG; see HopSpec.After.
+	Preds    []int
+	hasPreds bool
 }
 
 // Hop is a convenience constructor for HopSpec.
@@ -446,13 +453,36 @@ func (h HopSpec) Lock(resource int, start, duration Ticks) HopSpec {
 	return h
 }
 
-// Job adds a job with an end-to-end deadline and its chain of hops.
+// After returns a copy of the hop that is released only once every listed
+// hop (by position in the Job call) has completed — the join rule: the
+// latest predecessor completion plus its link latency. As soon as any hop
+// of a job uses After, the whole job is read as an explicit precedence
+// DAG: each hop's predecessors are exactly its After list, hops with no
+// After are sources released by the job's release trace, and a hop with
+// several successors forks to all of them. Calling After with no
+// arguments marks an explicit source. Jobs where no hop uses After remain
+// chains, exactly as before.
+func (h HopSpec) After(preds ...int) HopSpec {
+	h.Preds = append(append([]int(nil), h.Preds...), preds...)
+	h.hasPreds = true
+	return h
+}
+
+// Job adds a job with an end-to-end deadline and its hops: a chain in the
+// given order, or — when any hop carries After — an explicit fork-join
+// precedence DAG.
 func (b *Builder) Job(name string, deadline Ticks, hops ...HopSpec) *Builder {
 	if _, dup := b.jobs[name]; dup {
 		b.errs = append(b.errs, fmt.Errorf("rta: duplicate job %q", name))
 		return b
 	}
 	job := Job{Name: name, Deadline: deadline}
+	dag := false
+	for _, h := range hops {
+		if h.hasPreds {
+			dag = true
+		}
+	}
 	for _, h := range hops {
 		p, ok := b.procs[h.Proc]
 		if !ok {
@@ -463,6 +493,9 @@ func (b *Builder) Job(name string, deadline Ticks, hops ...HopSpec) *Builder {
 			Proc: p, Exec: h.Exec, Priority: h.Priority,
 			PostDelay: h.PostDelay, CS: h.CS,
 		})
+		if dag {
+			job.Precedence = append(job.Precedence, append([]int(nil), h.Preds...))
+		}
 	}
 	b.jobs[name] = len(b.sys.Jobs)
 	b.sys.Jobs = append(b.sys.Jobs, job)
