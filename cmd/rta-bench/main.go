@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	rta-bench [-out BENCH_PR9.json] [-benchtime 1s]
-//	rta-bench -check BENCH_PR9.json [-tolerance 0.10] [-churn-speedup 5]
+//	rta-bench [-out BENCH_PR10.json] [-benchtime 1s]
+//	rta-bench -check BENCH_PR10.json [-tolerance 0.10] [-churn-speedup 5]
 //	rta-bench -cpuprofile cpu.out -memprofile mem.out
 //
 // With -check, instead of writing a report the command reruns the
@@ -29,7 +29,9 @@
 // decision the way the pre-session controller did. ServeDecisionChurn
 // runs the same warm churn cycle through the rta-serve HTTP handler
 // in-process, so the serving layer's overhead on top of the controller
-// is a tracked number.
+// is a tracked number; StoreDecisionChurn is its WAL-backed twin (every
+// committed decision logged to a durable store before the response), so
+// the durability tax per decision is tracked too.
 //
 // The report also carries a "serve" section: the self-contained
 // rta-serve load test (internal/serve.RunLocalLoad) run for both
@@ -61,6 +63,7 @@ import (
 	"rta/internal/cli"
 	"rta/internal/model"
 	"rta/internal/serve"
+	"rta/internal/store"
 )
 
 // Measurement is one benchmark result in the output file.
@@ -98,7 +101,7 @@ type ServeSection struct {
 func main() { cli.Main("rta-bench", body) }
 
 func body() error {
-	out := flag.String("out", "BENCH_PR9.json", "output file")
+	out := flag.String("out", "BENCH_PR10.json", "output file")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
 	check := flag.String("check", "", "baseline report to gate against instead of writing a report")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression in -check mode")
@@ -212,13 +215,18 @@ func body() error {
 		}
 	}
 
-	// serveChurn is churnWarm through the rta-serve HTTP handler,
+	// serveChurnWith is churnWarm through the rta-serve HTTP handler,
 	// in-process (httptest recorders, no sockets): per op one removal, one
 	// re-admission, and one rejected probe, each a full JSON round trip
-	// through the mux, the shard map, and the decision histogram.
-	serveChurn := func(b *testing.B) {
+	// through the mux, the shard map, and the decision histogram. A
+	// non-nil store adds the durability tax: every committed decision is
+	// appended to the WAL (and periodically snapshotted) before its
+	// response, so the delta against the storeless twin prices the log.
+	serveChurnWith := func(b *testing.B, st *store.Store) {
 		sys, last, probe := churnSetup()
-		h := serve.New(serve.Config{Policy: admission.KeepPriorities}).Handler()
+		s := serve.New(serve.Config{Policy: admission.KeepPriorities, Store: st})
+		defer s.Close()
+		h := s.Handler()
 		call := func(method, path string, body []byte) *httptest.ResponseRecorder {
 			req := httptest.NewRequest(method, path, bytes.NewReader(body))
 			w := httptest.NewRecorder()
@@ -262,6 +270,20 @@ func body() error {
 			admit(probe, false)
 		}
 	}
+	serveChurn := func(b *testing.B) { serveChurnWith(b, nil) }
+	storeChurn := func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "rta-bench-store")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(store.Config{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		serveChurnWith(b, st)
+	}
 
 	benches := []struct {
 		name string
@@ -281,6 +303,7 @@ func body() error {
 		{"AdmissionChurnWarm", churnWarm},
 		{"AdmissionChurnCold", churnCold},
 		{"ServeDecisionChurn", serveChurn},
+		{"StoreDecisionChurn", storeChurn},
 	}
 
 	// In -check mode, only the benchmarks named in the baseline are rerun.

@@ -43,6 +43,7 @@ import (
 	"rta/internal/analysis"
 	"rta/internal/cli"
 	"rta/internal/serve"
+	"rta/internal/store"
 )
 
 func main() { cli.Main("rta-serve", body) }
@@ -58,6 +59,10 @@ func body() error {
 	budgetSteps := flag.Int64("budget-steps", 0, "per-decision budget: fixed-point steps (0 = no limit)")
 	maxTenants := flag.Int("max-tenants", 64, "maximum concurrent tenants")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown drain deadline")
+	stateDir := flag.String("state-dir", "", "durable state directory: log every committed operation and recover tenants on restart (empty = in-memory only)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "operations between per-tenant snapshots (0 = default 64, negative disables)")
+	fsync := flag.Bool("fsync", false, "fsync every append and snapshot (survives machine crashes, not just process crashes)")
+	tenantTTL := flag.Duration("tenant-ttl", 0, "evict tenants idle longer than this (0 disables); evictions are logged as drops")
 
 	loadtest := flag.Bool("loadtest", false, "run the load-test harness instead of serving")
 	target := flag.String("target", "", "load test: drive this base URL instead of in-process servers")
@@ -80,10 +85,29 @@ func body() error {
 	cfg := serve.Config{
 		Policy:     pp,
 		MaxTenants: *maxTenants,
+		TenantTTL:  *tenantTTL,
 		Opts: analysis.Options{
 			Workers: *workers,
 			Budget:  analysis.Budget{Breakpoints: *budgetBreaks, FixedPointSteps: *budgetSteps},
 		},
+	}
+	var st *store.Store
+	if *stateDir != "" {
+		st, err = store.Open(store.Config{Dir: *stateDir, Fsync: *fsync, SnapshotEvery: *snapshotEvery})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		cfg.Store = st
+		report := st.Report()
+		fmt.Fprintf(os.Stderr, "rta-serve: state %s: %d tenant(s) recovered", *stateDir, report.Recovered)
+		if n := report.TornTails + report.QuarantinedSegments + report.QuarantinedSnapshots + report.QuarantinedTenants; n > 0 {
+			fmt.Fprintf(os.Stderr, ", %d anomalies repaired or quarantined", n)
+		}
+		fmt.Fprintln(os.Stderr)
+		for _, line := range report.Details {
+			fmt.Fprintf(os.Stderr, "rta-serve: recovery: %s\n", line)
+		}
 	}
 	switch *overload {
 	case "always":
@@ -121,6 +145,10 @@ func parsePolicy(name string) (admission.PriorityPolicy, error) {
 // decisions; a second signal aborts the drain.
 func runServer(cfg serve.Config, addr string, grace time.Duration) error {
 	s := serve.New(cfg)
+	defer s.Close()
+	for _, note := range s.Recovery() {
+		fmt.Fprintf(os.Stderr, "rta-serve: recovery: %s\n", note)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

@@ -314,6 +314,60 @@ func (c *Controller) removeLocked(name string) (bool, error) {
 	return true, nil
 }
 
+// Update re-decides an admitted job in place: the record under job.Name
+// is replaced (same hop count) and the new configuration admitted only
+// if every deadline still holds. present reports whether the name was
+// admitted at all; ok the decision. On rejection or error the admitted
+// set is unchanged. Under the Synthesized policy the update keeps the
+// submitted priorities — no Audsley re-synthesis on this path.
+func (c *Controller) Update(job model.Job) (present, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.updateLocked(job)
+}
+
+// UpdateOpts is Update with one-shot execution options for this decision,
+// mirroring RequestOpts.
+func (c *Controller) UpdateOpts(job model.Job, opts analysis.Options) (present, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sess.SetOptions(opts)
+	defer c.sess.SetOptions(c.opts)
+	return c.updateLocked(job)
+}
+
+func (c *Controller) updateLocked(job model.Job) (present, ok bool, err error) {
+	if job.Name == "" {
+		return false, false, errors.New("admission: job needs a name")
+	}
+	k, found := c.index[job.Name]
+	if !found {
+		return false, false, nil
+	}
+	if err := c.sess.ValidateJob(&job); err != nil {
+		return true, false, fmt.Errorf("admission: %w", err)
+	}
+	if err := c.sess.Mutate(replaceJob(k, job)); err != nil {
+		c.sess.Rollback()
+		return true, false, fmt.Errorf("admission: %w", err)
+	}
+	if err := c.assign(); err != nil {
+		c.sess.Rollback()
+		return true, false, fmt.Errorf("admission: %w", err)
+	}
+	ok, err = c.sess.Schedulable()
+	if err != nil {
+		c.sess.Rollback()
+		return true, false, fmt.Errorf("admission: %w", err)
+	}
+	if !ok {
+		c.sess.Rollback()
+		return true, false, nil
+	}
+	c.sess.Commit()
+	return true, true, nil
+}
+
 // Bounds returns the current worst-case response bounds per admitted job,
 // served from the session's converged resident state — no re-analysis
 // unless a prior engine error left the committed state stale.

@@ -1,0 +1,225 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+
+	"rta/internal/model"
+)
+
+// This file is the store-replay surface of the controller: methods that
+// re-apply operations already decided and committed in a previous
+// process life, without re-running the admission decision. Replay must
+// be deterministic and cheap — in particular, priority-synthesizing
+// policies (DeadlineMonotonic, Audsley) are never re-run; the committed
+// assignment travels with the logged operation as a priority vector and
+// is applied verbatim.
+
+// Priorities returns the committed priority assignment: Priorities()[k][j]
+// is admitted job k's hop-j priority, in committed job order. The serve
+// layer logs this vector alongside each committed operation when the
+// policy reassigns priorities, so replay reproduces the assignment
+// without re-running the policy.
+func (c *Controller) Priorities() [][]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sys := c.sess.System()
+	out := make([][]int, len(sys.Jobs))
+	for k := range sys.Jobs {
+		out[k] = make([]int, len(sys.Jobs[k].Subjobs))
+		for j := range sys.Jobs[k].Subjobs {
+			out[k][j] = sys.Jobs[k].Subjobs[j].Priority
+		}
+	}
+	return out
+}
+
+// applyPri stages the logged post-operation priority vector onto the
+// working system. A nil vector means the operation did not move
+// priorities (KeepPriorities, or a policy run that was a no-op).
+func (c *Controller) applyPri(pri [][]int) error {
+	if pri == nil {
+		return nil
+	}
+	return c.sess.Mutate(func(sys *model.System) error {
+		if len(pri) != len(sys.Jobs) {
+			return fmt.Errorf("priority vector covers %d jobs, system has %d", len(pri), len(sys.Jobs))
+		}
+		for k := range sys.Jobs {
+			if len(pri[k]) != len(sys.Jobs[k].Subjobs) {
+				return fmt.Errorf("job %d priority vector has %d hops, job has %d", k, len(pri[k]), len(sys.Jobs[k].Subjobs))
+			}
+			for j := range sys.Jobs[k].Subjobs {
+				sys.Jobs[k].Subjobs[j].Priority = pri[k][j]
+			}
+		}
+		return nil
+	})
+}
+
+// Reinstate re-applies one committed admission: the job is added and the
+// logged priority vector applied with no schedulability decision — the
+// decision was made (and acknowledged) before the operation was logged.
+// Any failure leaves the controller unchanged.
+func (c *Controller) Reinstate(job model.Job, pri [][]int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if job.Name == "" {
+		return errors.New("admission: job needs a name")
+	}
+	if _, dup := c.index[job.Name]; dup {
+		return ErrDuplicate
+	}
+	if err := c.sess.ValidateJob(&job); err != nil {
+		return fmt.Errorf("admission: %w", err)
+	}
+	c.sess.Admit(job)
+	if err := c.applyPri(pri); err != nil {
+		c.sess.Rollback()
+		return fmt.Errorf("admission: %w", err)
+	}
+	if _, err := c.sess.Converge(); err != nil {
+		c.sess.Rollback()
+		return fmt.Errorf("admission: %w", err)
+	}
+	c.sess.Commit()
+	c.index[job.Name] = c.sess.Jobs() - 1
+	return nil
+}
+
+// ReinstateAll seeds an empty controller from a snapshot's admitted set:
+// every job is staged (with its snapshotted priorities baked into the
+// records) and the batch converges once — one fixed point for the whole
+// set instead of one per job. On error the controller stays empty.
+func (c *Controller) ReinstateAll(jobs []model.Job) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.index) != 0 {
+		return errors.New("admission: ReinstateAll needs an empty controller")
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	names := make(map[string]struct{}, len(jobs))
+	for i := range jobs {
+		if jobs[i].Name == "" {
+			c.sess.Rollback()
+			return fmt.Errorf("admission: snapshot job %d has no name", i)
+		}
+		if _, dup := names[jobs[i].Name]; dup {
+			c.sess.Rollback()
+			return fmt.Errorf("admission: snapshot repeats job %q", jobs[i].Name)
+		}
+		names[jobs[i].Name] = struct{}{}
+		if err := c.sess.ValidateJob(&jobs[i]); err != nil {
+			c.sess.Rollback()
+			return fmt.Errorf("admission: snapshot job %q: %w", jobs[i].Name, err)
+		}
+		c.sess.Admit(jobs[i])
+	}
+	if _, err := c.sess.Converge(); err != nil {
+		c.sess.Rollback()
+		return fmt.Errorf("admission: %w", err)
+	}
+	c.sess.Commit()
+	for i := range jobs {
+		c.index[jobs[i].Name] = i
+	}
+	return nil
+}
+
+// ReinstateRemove re-applies one committed removal with its logged
+// post-removal priority vector. The named job must be admitted — a log
+// that removes an absent job is semantically inconsistent and surfaces
+// as an error for the caller to quarantine.
+func (c *Controller) ReinstateRemove(name string, pri [][]int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k, ok := c.index[name]
+	if !ok {
+		return fmt.Errorf("admission: job %q not admitted", name)
+	}
+	if err := c.sess.Remove(k); err != nil {
+		c.sess.Rollback()
+		return fmt.Errorf("admission: %w", err)
+	}
+	if err := c.applyPri(pri); err != nil {
+		c.sess.Rollback()
+		return fmt.Errorf("admission: %w", err)
+	}
+	// Mirror the live removal: a convergence error cannot veto a shrink —
+	// the commit stands and the next Bounds repairs the stale result.
+	_, _ = c.sess.Converge()
+	c.sess.Commit()
+	delete(c.index, name)
+	for n, i := range c.index {
+		if i > k {
+			c.index[n] = i - 1
+		}
+	}
+	return nil
+}
+
+// ReinstateUpdate re-applies one committed in-place job replacement
+// (same name, same hop count) with its logged priority vector.
+func (c *Controller) ReinstateUpdate(job model.Job, pri [][]int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k, ok := c.index[job.Name]
+	if !ok {
+		return fmt.Errorf("admission: job %q not admitted", job.Name)
+	}
+	if err := c.sess.ValidateJob(&job); err != nil {
+		return fmt.Errorf("admission: %w", err)
+	}
+	if err := c.sess.Mutate(replaceJob(k, job)); err != nil {
+		c.sess.Rollback()
+		return fmt.Errorf("admission: %w", err)
+	}
+	if err := c.applyPri(pri); err != nil {
+		c.sess.Rollback()
+		return fmt.Errorf("admission: %w", err)
+	}
+	if _, err := c.sess.Converge(); err != nil {
+		c.sess.Rollback()
+		return fmt.Errorf("admission: %w", err)
+	}
+	c.sess.Commit()
+	return nil
+}
+
+// replaceJob builds the Mutate body that swaps job k's record for a deep
+// copy of job, enforcing the shape the session's delta machinery needs
+// (the warm mutation path forbids hop-count changes).
+func replaceJob(k int, job model.Job) func(*model.System) error {
+	return func(sys *model.System) error {
+		old := &sys.Jobs[k]
+		if old.Name != job.Name {
+			return fmt.Errorf("update targets job %q but slot %d holds %q", job.Name, k, old.Name)
+		}
+		if len(job.Subjobs) != len(old.Subjobs) {
+			return fmt.Errorf("update must keep the hop count (%d), got %d", len(old.Subjobs), len(job.Subjobs))
+		}
+		sys.Jobs[k] = deepCopyJob(job)
+		return nil
+	}
+}
+
+// deepCopyJob detaches a caller-owned job record before the session
+// takes ownership of it.
+func deepCopyJob(job model.Job) model.Job {
+	job.Subjobs = append([]model.Subjob(nil), job.Subjobs...)
+	for x := range job.Subjobs {
+		job.Subjobs[x].CS = append([]model.CriticalSection(nil), job.Subjobs[x].CS...)
+	}
+	job.Releases = append([]model.Ticks(nil), job.Releases...)
+	job.Phases = append([]model.Ticks(nil), job.Phases...)
+	if job.Precedence != nil {
+		prec := make([][]int, len(job.Precedence))
+		for x := range job.Precedence {
+			prec[x] = append([]int(nil), job.Precedence[x]...)
+		}
+		job.Precedence = prec
+	}
+	return job
+}

@@ -1,0 +1,205 @@
+package admission
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rta/internal/model"
+)
+
+// replayMirror drives a live controller through a random churn while a
+// log of (op, job, pri) tuples accumulates, then replays the log into a
+// fresh controller and demands field-identical bounds — the property the
+// durable store's recovery leans on.
+func TestReplayMatchesLive(t *testing.T) {
+	for _, policy := range []PriorityPolicy{KeepPriorities, DeadlineMonotonic, Synthesized} {
+		policy := policy
+		t.Run([...]string{"keep", "dm", "audsley"}[policy], func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7 + int64(policy)))
+			live := New(twoProcs(model.SPP), policy)
+			type entry struct {
+				kind string
+				job  model.Job
+				name string
+				pri  [][]int
+			}
+			var log []entry
+			var admitted []string
+			for i := 0; i < 40; i++ {
+				if len(admitted) > 0 && rng.Intn(5) == 0 {
+					idx := rng.Intn(len(admitted))
+					nm := admitted[idx]
+					present, err := live.RemoveErr(nm)
+					if err != nil || !present {
+						t.Fatalf("remove %q: present=%v err=%v", nm, present, err)
+					}
+					admitted = append(admitted[:idx], admitted[idx+1:]...)
+					log = append(log, entry{kind: "remove", name: nm, pri: live.Priorities()})
+					continue
+				}
+				j := job(name(i), model.Ticks(30+rng.Intn(40)), model.Ticks(2+rng.Intn(5)), rng.Intn(8), 0, 50)
+				ok, err := live.Request(j)
+				if err != nil {
+					t.Fatalf("request %q: %v", j.Name, err)
+				}
+				if ok {
+					admitted = append(admitted, j.Name)
+					log = append(log, entry{kind: "admit", job: j, pri: live.Priorities()})
+				}
+			}
+			if len(admitted) == 0 {
+				t.Fatal("churn admitted nothing; test is vacuous")
+			}
+			liveNames, liveBounds, err := live.NamedBounds()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			replay := New(twoProcs(model.SPP), policy)
+			for _, e := range log {
+				switch e.kind {
+				case "admit":
+					if err := replay.Reinstate(e.job, e.pri); err != nil {
+						t.Fatalf("reinstate %q: %v", e.job.Name, err)
+					}
+				case "remove":
+					if err := replay.ReinstateRemove(e.name, e.pri); err != nil {
+						t.Fatalf("reinstate remove %q: %v", e.name, err)
+					}
+				}
+			}
+			gotNames, gotBounds, err := replay.NamedBounds()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotNames, liveNames) {
+				t.Fatalf("replayed names %v != live %v", gotNames, liveNames)
+			}
+			if !reflect.DeepEqual(gotBounds, liveBounds) {
+				t.Fatalf("replayed bounds %v != live %v", gotBounds, liveBounds)
+			}
+		})
+	}
+}
+
+// A snapshot-seeded controller (ReinstateAll with priorities baked in)
+// must agree with the op-by-op live state too.
+func TestReinstateAllMatchesLive(t *testing.T) {
+	live := New(twoProcs(model.SPP), DeadlineMonotonic)
+	var kept []model.Job
+	for i := 0; i < 6; i++ {
+		j := job(name(i), model.Ticks(40+5*i), 4, 0, 0, 60)
+		ok, err := live.Request(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			kept = append(kept, j)
+		}
+	}
+	if len(kept) < 2 {
+		t.Fatalf("only %d admitted; test is vacuous", len(kept))
+	}
+	liveNames, liveBounds, err := live.NamedBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bake the committed priorities into the records, as a snapshot does.
+	sys := live.System()
+	jobs := make([]model.Job, len(sys.Jobs))
+	copy(jobs, sys.Jobs)
+
+	replay := New(twoProcs(model.SPP), DeadlineMonotonic)
+	if err := replay.ReinstateAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	gotNames, gotBounds, err := replay.NamedBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotNames, liveNames) || !reflect.DeepEqual(gotBounds, liveBounds) {
+		t.Fatalf("snapshot replay (%v, %v) != live (%v, %v)", gotNames, gotBounds, liveNames, liveBounds)
+	}
+	// Seeding a non-empty controller is refused.
+	if err := replay.ReinstateAll(jobs); err == nil {
+		t.Fatal("ReinstateAll on a non-empty controller succeeded")
+	}
+}
+
+func TestUpdateDecision(t *testing.T) {
+	c := New(twoProcs(model.SPP), KeepPriorities)
+	j := job("a", 40, 5, 1, 0, 50)
+	if ok, err := c.Request(j); err != nil || !ok {
+		t.Fatalf("seed admit: ok=%v err=%v", ok, err)
+	}
+	if ok, err := c.Request(job("b", 40, 5, 2, 0, 50)); err != nil || !ok {
+		t.Fatalf("seed admit b: ok=%v err=%v", ok, err)
+	}
+	base, _, err := c.NamedBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Absent name: present=false, no decision.
+	present, ok, err := c.Update(job("ghost", 40, 5, 1, 0, 50))
+	if present || ok || err != nil {
+		t.Fatalf("update of absent job: present=%v ok=%v err=%v", present, ok, err)
+	}
+	// A harmless shrink is accepted.
+	lighter := job("a", 40, 3, 1, 0, 50)
+	present, ok, err = c.Update(lighter)
+	if !present || !ok || err != nil {
+		t.Fatalf("lighter update: present=%v ok=%v err=%v", present, ok, err)
+	}
+	// An update that blows every deadline is rejected and rolls back.
+	heavy := job("a", 40, 39, 1, 0, 50)
+	present, ok, err = c.Update(heavy)
+	if !present || ok || err != nil {
+		t.Fatalf("heavy update: present=%v ok=%v err=%v", present, ok, err)
+	}
+	// A hop-count change is an error, not a decision.
+	odd := model.Job{Name: "a", Deadline: 40,
+		Subjobs:  []model.Subjob{{Proc: 0, Exec: 2, Priority: 1}},
+		Releases: []model.Ticks{0, 50}}
+	present, ok, err = c.Update(odd)
+	if !present || ok || err == nil {
+		t.Fatalf("hop-count change: present=%v ok=%v err=%v", present, ok, err)
+	}
+	// The committed set is still the accepted configuration.
+	names, bounds, err := c.NamedBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, base) {
+		t.Fatalf("names drifted: %v != %v", names, base)
+	}
+	for i := range bounds {
+		if bounds[i] > 40 {
+			t.Fatalf("job %s bound %d exceeds deadline after updates", names[i], bounds[i])
+		}
+	}
+
+	// Replay of a committed update reproduces it.
+	replay := New(twoProcs(model.SPP), KeepPriorities)
+	if err := replay.Reinstate(j, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay.Reinstate(job("b", 40, 5, 2, 0, 50), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay.ReinstateUpdate(lighter, nil); err != nil {
+		t.Fatal(err)
+	}
+	rn, rb, err := replay.NamedBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rn, names) || !reflect.DeepEqual(rb, bounds) {
+		t.Fatalf("update replay (%v, %v) != live (%v, %v)", rn, rb, names, bounds)
+	}
+	// Replaying an update against an absent name is an error.
+	if err := replay.ReinstateUpdate(job("ghost", 40, 3, 1, 0, 50), nil); err == nil {
+		t.Fatal("ReinstateUpdate of absent job succeeded")
+	}
+}

@@ -277,6 +277,26 @@ func LoadSpecLimited(r io.Reader, lim Limits) (*System, error) {
 	return out, nil
 }
 
+// LoadProcSpec reads a processors-only tenant spec: LoadSpecLimited plus
+// the structural rules of tenant creation — at least one processor, no
+// jobs (jobs enter one by one through admission, so each has passed the
+// admission test). It is the single validation path shared by the serve
+// layer's HTTP tenant creation and the durable store's replay of logged
+// creations: a spec that fails one necessarily fails the other.
+func LoadProcSpec(r io.Reader, lim Limits) (*System, error) {
+	sys, err := LoadSpecLimited(r, lim)
+	if err != nil {
+		return nil, err
+	}
+	if len(sys.Jobs) != 0 {
+		return nil, fmt.Errorf("model: tenant spec must not carry jobs; admit them through /admit")
+	}
+	if len(sys.Procs) == 0 {
+		return nil, fmt.Errorf("model: tenant spec needs at least one processor")
+	}
+	return sys, nil
+}
+
 // checkJob verifies one job document's collection counts; path prefixes
 // the error location ("job" for a standalone document).
 func (l Limits) checkJob(j *jsonJob, path string) error {

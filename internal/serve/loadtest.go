@@ -397,6 +397,7 @@ func (d *tenantDriver) do(ctx context.Context, method, path string, body []byte,
 // the committed rta-bench serve section.
 func RunLocalLoad(ctx context.Context, cfg Config, lcfg LoadConfig) (*LoadResult, error) {
 	s := New(cfg)
+	defer s.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err

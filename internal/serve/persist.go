@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rta/internal/admission"
+	"rta/internal/analysis"
+	"rta/internal/model"
+	"rta/internal/store"
+)
+
+// The durability glue between the server and the store.
+//
+// Ordering: each tenant's logMu is held across "commit the decision in
+// the session" and "append the operation to the WAL", so the log's
+// operation order is exactly the commit order and replay reproduces the
+// committed state. Logging happens after the commit and before the HTTP
+// acknowledgment: an operation that committed but crashed before its
+// append was never acknowledged, so recovering to the logged prefix is
+// consistent with everything any client was told.
+//
+// Degraded mode: a store error never fails the request — the in-memory
+// session is the source of truth and keeps serving. The unlogged
+// operation enters a FIFO outbox that a retry loop drains with capped
+// exponential backoff; while the outbox is non-empty every new operation
+// enqueues behind it (preserving per-tenant order) and /healthz reports
+// "degraded". Only a process crash while degraded loses the queued
+// suffix — and /stats has been advertising exactly that risk.
+
+// retryMin/retryMax bound the outbox retry backoff.
+const (
+	retryMin = 50 * time.Millisecond
+	retryMax = 2 * time.Second
+)
+
+// persister owns the server's durable side: the store handle, the
+// degraded-mode outbox, and the retry loop.
+type persister struct {
+	st *store.Store
+
+	mu      sync.Mutex
+	queue   []queuedOp
+	backoff time.Duration
+	timer   *time.Timer
+	closed  bool
+
+	errors    atomic.Uint64 // failed store operations (appends, snapshots)
+	snapshots atomic.Uint64 // snapshots written
+	dropped   atomic.Uint64 // outbox entries abandoned as unretryable
+}
+
+type queuedOp struct {
+	id string
+	op store.Op
+}
+
+func newPersister(st *store.Store) *persister {
+	return &persister{st: st, backoff: retryMin}
+}
+
+// degraded reports whether unlogged operations are waiting in the outbox.
+func (p *persister) degraded() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue) > 0
+}
+
+func (p *persister) pending() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// log appends one committed operation, entering or extending degraded
+// mode instead of failing. The caller holds the tenant's logMu. The
+// returned snapDue asks the caller to write a snapshot now (still under
+// logMu, so the snapshot captures exactly the logged prefix).
+func (p *persister) log(id string, op store.Op) (snapDue bool) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	if len(p.queue) > 0 {
+		// Order preservation: once anything is queued, everything queues.
+		p.queue = append(p.queue, queuedOp{id, op})
+		p.mu.Unlock()
+		return false
+	}
+	p.mu.Unlock()
+
+	due, err := p.st.Append(id, op)
+	if err == nil {
+		return due
+	}
+	p.errors.Add(1)
+	if !retryable(err) {
+		p.dropped.Add(1)
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.queue = append(p.queue, queuedOp{id, op})
+	p.scheduleLocked(retryMin)
+	return false
+}
+
+// retryable classifies store errors: sequencing errors (unknown tenant,
+// duplicate create) can never succeed on retry and are dropped with a
+// counter; everything else is assumed to be a transient disk fault.
+func retryable(err error) bool {
+	var unk *store.ErrUnknownTenant
+	return !errors.As(err, &unk) && !errors.Is(err, store.ErrTenantExists)
+}
+
+// scheduleLocked arms the retry timer; p.mu held.
+func (p *persister) scheduleLocked(d time.Duration) {
+	p.backoff = d
+	if p.timer == nil {
+		p.timer = time.AfterFunc(d, p.drain)
+	} else {
+		p.timer.Reset(d)
+	}
+}
+
+// drain retries the outbox head-first, preserving order: the head either
+// appends or doubles the backoff; later entries never jump the queue.
+func (p *persister) drain() {
+	for {
+		p.mu.Lock()
+		if p.closed || len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		head := p.queue[0]
+		p.mu.Unlock()
+
+		_, err := p.st.Append(head.id, head.op)
+		if err != nil && retryable(err) {
+			p.errors.Add(1)
+			p.mu.Lock()
+			if !p.closed {
+				p.scheduleLocked(min(p.backoff*2, retryMax))
+			}
+			p.mu.Unlock()
+			return
+		}
+		if err != nil {
+			// Unretryable sequencing error: drop the entry, keep draining.
+			p.errors.Add(1)
+			p.dropped.Add(1)
+		}
+		p.mu.Lock()
+		p.queue = p.queue[1:]
+		if len(p.queue) == 0 {
+			p.queue = nil
+		}
+		p.backoff = retryMin
+		p.mu.Unlock()
+	}
+}
+
+// close stops the retry loop. Queued entries are abandoned — by then the
+// operator has been watching store_errors and a non-empty outbox.
+func (p *persister) close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+}
+
+// snapshot assembles and writes the tenant's snapshot from its committed
+// controller state. Called under the tenant's logMu right after the
+// append that made it due, so the controller state is exactly the logged
+// prefix. Failures only count: the cadence check fires again on the next
+// append.
+func (p *persister) snapshot(id string, spec json.RawMessage, ctl *admission.Controller) {
+	sys := ctl.System()
+	var jobs []json.RawMessage
+	if sys != nil {
+		jobs = make([]json.RawMessage, len(sys.Jobs))
+		for k := range sys.Jobs {
+			b, err := json.Marshal(sys.Jobs[k])
+			if err != nil {
+				p.errors.Add(1)
+				return
+			}
+			jobs[k] = b
+		}
+	}
+	if err := p.st.WriteSnapshot(id, spec, jobs); err != nil {
+		p.errors.Add(1)
+		return
+	}
+	p.snapshots.Add(1)
+}
+
+// priVector returns the committed priority assignment to log with an
+// operation, or nil when the policy never moves priorities (the job
+// records already carry them).
+func (s *Server) priVector(ctl *admission.Controller) [][]int {
+	if s.cfg.Policy == admission.KeepPriorities {
+		return nil
+	}
+	return ctl.Priorities()
+}
+
+// replayOpts are the execution options for startup replay: the
+// configured worker pool, but no request context and no budget — replay
+// re-applies decisions that already paid their analysis cost once, and a
+// budget tuned for single decisions could starve a legitimate recovery.
+func (s *Server) replayOpts() analysis.Options {
+	opts := s.cfg.Opts
+	opts.Context = nil
+	opts.Budget = analysis.Budget{}
+	return opts
+}
+
+// replayTenant rebuilds one tenant from its recovered snapshot + tail.
+// A nil return with nil error means the tenant folded to dropped.
+func (s *Server) replayTenant(rt store.RecoveredTenant) (*tenant, error) {
+	opts := s.replayOpts()
+	var ctl *admission.Controller
+	var spec json.RawMessage
+
+	boot := func(raw json.RawMessage) error {
+		sys, err := model.LoadProcSpec(bytes.NewReader(raw), s.cfg.Limits)
+		if err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+		ctl, err = admission.NewWithOptions(sys.Procs, s.cfg.Policy, opts)
+		if err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+		spec = raw
+		return nil
+	}
+
+	if rt.Snapshot != nil && rt.Snapshot.Live {
+		if err := boot(rt.Snapshot.Spec); err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		jobs := make([]model.Job, len(rt.Snapshot.Jobs))
+		for i, raw := range rt.Snapshot.Jobs {
+			job, err := model.LoadJobLimited(bytes.NewReader(raw), s.cfg.Limits)
+			if err != nil {
+				return nil, fmt.Errorf("snapshot job %d: %w", i, err)
+			}
+			jobs[i] = job
+		}
+		if err := ctl.ReinstateAll(jobs); err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	for _, op := range rt.Tail {
+		var err error
+		switch op.Kind {
+		case store.OpCreate:
+			if ctl != nil {
+				err = fmt.Errorf("create while live")
+			} else {
+				err = boot(op.Spec)
+			}
+		case store.OpDrop:
+			ctl, spec = nil, nil
+		case store.OpAdmit, store.OpMutate:
+			var job model.Job
+			if ctl == nil {
+				err = fmt.Errorf("%s before create", op.Kind)
+			} else if job, err = model.LoadJobLimited(bytes.NewReader(op.Job), s.cfg.Limits); err == nil {
+				if op.Kind == store.OpAdmit {
+					err = ctl.Reinstate(job, op.Pri)
+				} else {
+					err = ctl.ReinstateUpdate(job, op.Pri)
+				}
+			}
+		case store.OpRemove:
+			if ctl == nil {
+				err = fmt.Errorf("remove before create")
+			} else {
+				err = ctl.ReinstateRemove(op.Name, op.Pri)
+			}
+		default:
+			err = fmt.Errorf("unknown operation kind %q", op.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("op %d (%s): %w", op.Seq, op.Kind, err)
+		}
+	}
+	if ctl == nil {
+		return nil, nil
+	}
+	if err := s.verifyReplay(ctl, opts); err != nil {
+		return nil, err
+	}
+	return &tenant{ctl: ctl, spec: spec, lastUsed: s.now().UnixNano()}, nil
+}
+
+// verifyReplay cross-checks a recovered controller against a cold
+// analysis of the same system: the recovered warm-session bounds must be
+// field-identical to AnalyzeOpts on a fresh copy. This is the recovery
+// self-check the store's crash-consistency argument leans on — a log
+// that replays but converges elsewhere is quarantined, not served.
+func (s *Server) verifyReplay(ctl *admission.Controller, opts analysis.Options) error {
+	sys := ctl.System()
+	if sys == nil {
+		return nil // no jobs: nothing to cross-check
+	}
+	_, warm, err := ctl.NamedBounds()
+	if err != nil {
+		return fmt.Errorf("recovered bounds: %w", err)
+	}
+	cold, err := analysis.AnalyzeOpts(sys, opts)
+	if err != nil {
+		return fmt.Errorf("cold cross-check: %w", err)
+	}
+	if len(warm) != len(cold.WCRTSum) {
+		return fmt.Errorf("cold cross-check: %d recovered bounds vs %d cold", len(warm), len(cold.WCRTSum))
+	}
+	for k := range warm {
+		if warm[k] != cold.WCRTSum[k] {
+			return fmt.Errorf("cold cross-check: job %d recovered bound %d != cold %d", k, warm[k], cold.WCRTSum[k])
+		}
+	}
+	return nil
+}
+
+// replayAll rebuilds every tenant the store recovered. Semantic replay
+// failures quarantine that tenant's directory (the framing was valid;
+// the operations do not apply) and never abort startup.
+func (s *Server) replayAll() {
+	for _, rt := range s.persist.st.Tenants() {
+		t, err := s.replayTenant(rt)
+		if err != nil {
+			s.counters.replayQuarantines.Add(1)
+			s.recoveryNotes = append(s.recoveryNotes,
+				fmt.Sprintf("tenant %s: replay: %v (quarantined)", rt.ID, err))
+			if qerr := s.persist.st.QuarantineTenant(rt.ID); qerr != nil {
+				s.recoveryNotes = append(s.recoveryNotes,
+					fmt.Sprintf("tenant %s: quarantine failed: %v", rt.ID, qerr))
+			}
+			continue
+		}
+		if t == nil {
+			continue
+		}
+		s.tenants[rt.ID] = t
+	}
+}

@@ -31,12 +31,14 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rta/internal/admission"
 	"rta/internal/analysis"
 	"rta/internal/fault"
 	"rta/internal/model"
+	"rta/internal/store"
 )
 
 // Config parameterizes a Server.
@@ -55,6 +57,18 @@ type Config struct {
 	Overload Overload
 	// MaxTenants caps the number of concurrent tenants; 0 means 64.
 	MaxTenants int
+	// Store, when non-nil, makes every committed mutation durable: tenant
+	// creations, drops, admissions, removals, and updates are logged
+	// after their session commit and before the HTTP acknowledgment, and
+	// New replays the store's recovered tenants before serving. Store
+	// errors degrade durability, never availability (see persist.go).
+	Store *store.Store
+	// TenantTTL evicts tenants idle (no create/admit/remove/update/bounds
+	// traffic) longer than this; zero disables eviction. Evictions are
+	// logged to the store as drops, so a restart does not resurrect them.
+	TenantTTL time.Duration
+	// Now overrides the clock for TTL bookkeeping; nil means time.Now.
+	Now func() time.Time
 }
 
 // Server is the admission-control service. Create with New, mount
@@ -69,13 +83,34 @@ type Server struct {
 	started  time.Time
 	counters counters
 	decHist  hist
+
+	// persist is the durability glue (nil without a Store); see persist.go.
+	persist *persister
+	// recoveryNotes records per-tenant semantic replay failures from New.
+	recoveryNotes []string
+	// janitorStop ends the TTL janitor; closeOnce guards double Close.
+	janitorStop chan struct{}
+	closeOnce   sync.Once
 }
 
 type tenant struct {
 	ctl *admission.Controller
+	// spec is the canonical processors-only spec JSON the tenant was
+	// created from, kept for snapshots.
+	spec json.RawMessage
+	// logMu is held across "commit the decision" + "append to the WAL",
+	// making the log's operation order the commit order.
+	logMu sync.Mutex
+	// lastUsed is the UnixNano of the last request that touched the
+	// tenant, for TTL eviction.
+	lastUsed int64
 }
 
-// New creates a server with no tenants.
+func (t *tenant) touch(now int64) { atomic.StoreInt64(&t.lastUsed, now) }
+
+// New creates a server. Without a Store it starts empty; with one it
+// replays every recovered tenant (quarantining any whose log does not
+// apply — see Recovery) before it is ready to serve.
 func New(cfg Config) *Server {
 	if cfg.Overload == nil {
 		cfg.Overload = AlwaysAdmit{}
@@ -86,11 +121,87 @@ func New(cfg Config) *Server {
 	if cfg.Limits == (model.Limits{}) {
 		cfg.Limits = model.DefaultLimits
 	}
-	return &Server{
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Server{
 		cfg:      cfg,
 		overload: cfg.Overload,
 		tenants:  map[string]*tenant{},
 		started:  time.Now(),
+	}
+	if cfg.Store != nil {
+		s.persist = newPersister(cfg.Store)
+		s.replayAll()
+	}
+	if cfg.TenantTTL > 0 {
+		s.janitorStop = make(chan struct{})
+		go s.janitor()
+	}
+	return s
+}
+
+func (s *Server) now() time.Time { return s.cfg.Now() }
+
+// Close stops the background goroutines (TTL janitor, store retry
+// loop). It does not close the store itself — the store's owner does.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.janitorStop != nil {
+			close(s.janitorStop)
+		}
+		s.persist.close()
+	})
+}
+
+// Recovery reports the semantic replay failures New quarantined (framing
+// -level recovery accounting lives in the store's own Report).
+func (s *Server) Recovery() []string { return s.recoveryNotes }
+
+// janitor periodically evicts idle tenants; cadence is TenantTTL/4
+// clamped to [50ms, 30s].
+func (s *Server) janitor() {
+	period := s.cfg.TenantTTL / 4
+	if period < 50*time.Millisecond {
+		period = 50 * time.Millisecond
+	}
+	if period > 30*time.Second {
+		period = 30 * time.Second
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-tick.C:
+			s.evictIdle()
+		}
+	}
+}
+
+// evictIdle drops every tenant idle longer than TenantTTL, logging each
+// eviction to the store as a drop so restarts do not resurrect them.
+func (s *Server) evictIdle() {
+	deadline := s.now().Add(-s.cfg.TenantTTL).UnixNano()
+	var evicted []*tenant
+	var ids []string
+	s.mu.Lock()
+	for id, t := range s.tenants {
+		if atomic.LoadInt64(&t.lastUsed) <= deadline {
+			delete(s.tenants, id)
+			evicted = append(evicted, t)
+			ids = append(ids, id)
+		}
+	}
+	s.mu.Unlock()
+	for i, t := range evicted {
+		s.counters.evictions.Add(1)
+		if s.persist != nil {
+			t.logMu.Lock()
+			s.persist.log(ids[i], store.Op{Kind: store.OpDrop, Evicted: true})
+			t.logMu.Unlock()
+		}
 	}
 }
 
@@ -109,9 +220,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/tenants/{tenant}", s.handleDrop)
 	mux.HandleFunc("POST /v1/tenants/{tenant}/admit", s.handleAdmit)
 	mux.HandleFunc("POST /v1/tenants/{tenant}/remove", s.handleRemove)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/update", s.handleUpdate)
 	mux.HandleFunc("GET /v1/tenants/{tenant}/bounds", s.handleBounds)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.persist.degraded() {
+			// Still 200: the server is live and serving from memory; the
+			// body tells the orchestrator durability is behind.
+			fmt.Fprintln(w, "degraded")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -138,7 +256,8 @@ func (s *Server) replyErr(w http.ResponseWriter, status int, format string, args
 	s.reply(w, status, errorDoc{Error: fmt.Sprintf(format, args...)})
 }
 
-// shard returns the tenant's shard, or nil after writing a 404.
+// shard returns the tenant's shard, or nil after writing a 404. A hit
+// refreshes the tenant's TTL clock.
 func (s *Server) shard(w http.ResponseWriter, r *http.Request) *tenant {
 	id := r.PathValue("tenant")
 	s.mu.RLock()
@@ -146,7 +265,9 @@ func (s *Server) shard(w http.ResponseWriter, r *http.Request) *tenant {
 	s.mu.RUnlock()
 	if t == nil {
 		s.replyErr(w, http.StatusNotFound, "unknown tenant %q", id)
+		return nil
 	}
+	t.touch(s.now().UnixNano())
 	return t
 }
 
@@ -180,17 +301,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.replyErr(w, http.StatusBadRequest, "tenant id must be non-empty")
 		return
 	}
-	spec, err := model.LoadSpecLimited(r.Body, s.cfg.Limits)
+	// LoadProcSpec is the same validation replay runs, so a spec accepted
+	// here is a spec the store can replay after a crash (and vice versa).
+	spec, err := model.LoadProcSpec(r.Body, s.cfg.Limits)
 	if err != nil {
 		s.replyErr(w, http.StatusBadRequest, "tenant spec: %v", err)
-		return
-	}
-	if len(spec.Jobs) != 0 {
-		s.replyErr(w, http.StatusBadRequest, "tenant spec must not carry jobs; admit them through /admit")
-		return
-	}
-	if len(spec.Procs) == 0 {
-		s.replyErr(w, http.StatusBadRequest, "tenant spec needs at least one processor")
 		return
 	}
 	ctl, err := admission.NewWithOptions(spec.Procs, s.cfg.Policy, s.cfg.Opts)
@@ -198,31 +313,52 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.replyErr(w, http.StatusBadRequest, "tenant spec: %v", err)
 		return
 	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		s.replyErr(w, http.StatusInternalServerError, "tenant spec: %v", err)
+		return
+	}
+	t := &tenant{ctl: ctl, spec: specJSON, lastUsed: s.now().UnixNano()}
+	// Hold the new tenant's logMu across map insertion and the create
+	// append: an admit that finds the tenant in the map blocks on logMu
+	// until the creation itself is in the log.
+	t.logMu.Lock()
 	s.mu.Lock()
 	if _, dup := s.tenants[id]; dup {
 		s.mu.Unlock()
+		t.logMu.Unlock()
 		s.replyErr(w, http.StatusConflict, "tenant %q already exists", id)
 		return
 	}
 	if len(s.tenants) >= s.cfg.MaxTenants {
 		s.mu.Unlock()
+		t.logMu.Unlock()
 		s.replyErr(w, http.StatusTooManyRequests, "tenant limit %d reached", s.cfg.MaxTenants)
 		return
 	}
-	s.tenants[id] = &tenant{ctl: ctl}
+	s.tenants[id] = t
 	s.mu.Unlock()
+	if s.persist != nil {
+		s.persist.log(id, store.Op{Kind: store.OpCreate, Spec: specJSON})
+	}
+	t.logMu.Unlock()
 	s.reply(w, http.StatusCreated, map[string]any{"tenant": id, "processors": len(spec.Procs)})
 }
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("tenant")
 	s.mu.Lock()
-	_, ok := s.tenants[id]
+	t, ok := s.tenants[id]
 	delete(s.tenants, id)
 	s.mu.Unlock()
 	if !ok {
 		s.replyErr(w, http.StatusNotFound, "unknown tenant %q", id)
 		return
+	}
+	if s.persist != nil {
+		t.logMu.Lock()
+		s.persist.log(id, store.Op{Kind: store.OpDrop})
+		t.logMu.Unlock()
 	}
 	s.reply(w, http.StatusOK, map[string]any{"dropped": id})
 }
@@ -247,8 +383,23 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		s.replyErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	id := r.PathValue("tenant")
 	start := time.Now()
+	t.logMu.Lock()
 	ok, err := t.ctl.RequestOpts(job, s.decisionOpts(r))
+	if err == nil && ok && s.persist != nil {
+		// Log after the commit, before the 200: a crash between the two
+		// forgets only an unacknowledged admission.
+		jobJSON, merr := json.Marshal(job)
+		if merr == nil {
+			if s.persist.log(id, store.Op{Kind: store.OpAdmit, Job: jobJSON, Pri: s.priVector(t.ctl)}) {
+				s.persist.snapshot(id, t.spec, t.ctl)
+			}
+		} else {
+			s.persist.errors.Add(1)
+		}
+	}
+	t.logMu.Unlock()
 	s.decHist.observe(time.Since(start))
 	if err != nil {
 		s.decisionError(w, r, err)
@@ -283,8 +434,16 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		s.replyErr(w, http.StatusBadRequest, "removal body must be {\"name\": \"...\"}")
 		return
 	}
+	id := r.PathValue("tenant")
 	start := time.Now()
+	t.logMu.Lock()
 	present, err := t.ctl.RemoveOpts(req.Name, s.decisionOpts(r))
+	if err == nil && present && s.persist != nil {
+		if s.persist.log(id, store.Op{Kind: store.OpRemove, Name: req.Name, Pri: s.priVector(t.ctl)}) {
+			s.persist.snapshot(id, t.spec, t.ctl)
+		}
+	}
+	t.logMu.Unlock()
 	s.decHist.observe(time.Since(start))
 	if err != nil {
 		// The controller rolled back; the job is still admitted.
@@ -295,6 +454,59 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		s.counters.removes.Add(1)
 	}
 	s.reply(w, http.StatusOK, removeResponse{Removed: present})
+}
+
+// updateResponse is the in-place job update body.
+type updateResponse struct {
+	Updated bool `json:"updated"`
+}
+
+// handleUpdate re-decides an admitted job in place: the body is a full
+// job record whose name must already be admitted; the replacement keeps
+// the hop count and is committed only if every deadline still holds.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
+	t := s.shard(w, r)
+	if t == nil {
+		return
+	}
+	job, err := model.LoadJobLimited(r.Body, s.cfg.Limits)
+	if err != nil {
+		s.replyErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := r.PathValue("tenant")
+	start := time.Now()
+	t.logMu.Lock()
+	present, ok, err := t.ctl.UpdateOpts(job, s.decisionOpts(r))
+	if err == nil && present && ok && s.persist != nil {
+		jobJSON, merr := json.Marshal(job)
+		if merr == nil {
+			if s.persist.log(id, store.Op{Kind: store.OpMutate, Job: jobJSON, Name: job.Name, Pri: s.priVector(t.ctl)}) {
+				s.persist.snapshot(id, t.spec, t.ctl)
+			}
+		} else {
+			s.persist.errors.Add(1)
+		}
+	}
+	t.logMu.Unlock()
+	s.decHist.observe(time.Since(start))
+	if err != nil {
+		s.decisionError(w, r, err)
+		return
+	}
+	if !present {
+		s.replyErr(w, http.StatusNotFound, "job %q not admitted", job.Name)
+		return
+	}
+	if ok {
+		s.counters.admitsGranted.Add(1)
+	} else {
+		s.counters.admitsDenied.Add(1)
+	}
+	s.reply(w, http.StatusOK, updateResponse{Updated: ok})
 }
 
 // boundsResponse lists the admitted jobs with their certified worst-case
@@ -359,7 +571,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 
 	buckets, count, mean := s.decHist.snapshot()
-	s.reply(w, http.StatusOK, StatsSnapshot{
+	snap := StatsSnapshot{
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Overload:       s.overload.Name(),
 		Tenants:        ntenants,
@@ -371,10 +583,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Sheds:          s.counters.sheds.Load(),
 		ClientErrors:   s.counters.clientErrors.Load(),
 		ServerErrors:   s.counters.serverErrors.Load(),
+		Evictions:      s.counters.evictions.Load(),
 		DecisionCount:  count,
 		DecisionMeanNs: mean,
 		DecisionP50Ns:  s.decHist.quantileNs(0.50),
 		DecisionP99Ns:  s.decHist.quantileNs(0.99),
 		DecisionHist:   buckets,
-	})
+	}
+	if s.persist != nil {
+		snap.Store = &StoreStats{
+			Degraded:          s.persist.degraded(),
+			Errors:            s.persist.errors.Load(),
+			Pending:           s.persist.pending(),
+			Snapshots:         s.persist.snapshots.Load(),
+			DroppedOps:        s.persist.dropped.Load(),
+			ReplayQuarantines: s.counters.replayQuarantines.Load(),
+		}
+	}
+	s.reply(w, http.StatusOK, snap)
 }

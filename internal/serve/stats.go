@@ -83,6 +83,10 @@ type counters struct {
 	sheds         atomic.Uint64
 	clientErrors  atomic.Uint64 // 4xx other than 429
 	serverErrors  atomic.Uint64 // 5xx
+	evictions     atomic.Uint64 // TTL-evicted tenants
+	// replayQuarantines counts tenants whose recovered log would not
+	// replay into a consistent controller at startup.
+	replayQuarantines atomic.Uint64
 }
 
 // HistBucket is one non-empty histogram bucket in /stats.
@@ -108,6 +112,9 @@ type StatsSnapshot struct {
 	ClientErrors  uint64 `json:"client_errors"`
 	ServerErrors  uint64 `json:"server_errors"`
 
+	// Evictions counts tenants dropped by the idle-TTL janitor.
+	Evictions uint64 `json:"evictions"`
+
 	// Decision latency (admit/remove round trips inside the handler),
 	// from the log2 histogram: quantiles are bucket upper bounds.
 	DecisionCount  uint64       `json:"decision_count"`
@@ -115,4 +122,26 @@ type StatsSnapshot struct {
 	DecisionP50Ns  uint64       `json:"decision_p50_ns"`
 	DecisionP99Ns  uint64       `json:"decision_p99_ns"`
 	DecisionHist   []HistBucket `json:"decision_histogram,omitempty"`
+
+	// Store is present when the server runs with a durable store.
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// StoreStats is the durability section of /stats.
+type StoreStats struct {
+	// Degraded is true while unlogged operations wait in the outbox; the
+	// server keeps deciding from memory, but a crash now would lose the
+	// queued suffix.
+	Degraded bool `json:"degraded"`
+	// Errors counts failed store operations (appends and snapshots).
+	Errors uint64 `json:"store_errors"`
+	// Pending is the current outbox depth.
+	Pending int `json:"pending_ops"`
+	// Snapshots counts snapshots written.
+	Snapshots uint64 `json:"snapshots"`
+	// DroppedOps counts outbox entries abandoned as unretryable.
+	DroppedOps uint64 `json:"dropped_ops"`
+	// ReplayQuarantines counts tenants quarantined at startup because
+	// their recovered log did not replay into a consistent controller.
+	ReplayQuarantines uint64 `json:"replay_quarantines"`
 }

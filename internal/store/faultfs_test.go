@@ -1,0 +1,84 @@
+package store
+
+import (
+	"errors"
+	"sync"
+)
+
+// errInjected is the sentinel every injected fault returns.
+var errInjected = errors.New("injected fault")
+
+// faultFS wraps the OS filesystem and fails operations on command: the
+// Nth data write, short writes, fsync refusals. Bit-flips in existing
+// files are done directly on disk by the tests (the corruption is in
+// the bytes, not the API).
+type faultFS struct {
+	osFS
+	mu sync.Mutex
+	// writes counts File.Write calls across all files.
+	writes int
+	// failWriteAt fails the Nth (1-based) write; 0 disables.
+	failWriteAt int
+	// shortWrite makes the failing write deliver half its bytes first.
+	shortWrite bool
+	// syncs counts File.Sync calls; failSyncAt fails the Nth.
+	syncs      int
+	failSyncAt int
+}
+
+// heal clears all pending fault triggers.
+func (f *faultFS) heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWriteAt, f.failSyncAt = 0, 0
+}
+
+func (f *faultFS) OpenAppend(path string) (File, error) {
+	file, err := f.osFS.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, fs: f}, nil
+}
+
+func (f *faultFS) Create(path string) (File, error) {
+	file, err := f.osFS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, fs: f}, nil
+}
+
+type faultFile struct {
+	f  File
+	fs *faultFS
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	w.fs.writes++
+	trip := w.fs.failWriteAt != 0 && w.fs.writes == w.fs.failWriteAt
+	short := w.fs.shortWrite
+	w.fs.mu.Unlock()
+	if trip {
+		if short && len(p) > 1 {
+			n, _ := w.f.Write(p[:len(p)/2])
+			return n, errInjected
+		}
+		return 0, errInjected
+	}
+	return w.f.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	w.fs.mu.Lock()
+	w.fs.syncs++
+	trip := w.fs.failSyncAt != 0 && w.fs.syncs == w.fs.failSyncAt
+	w.fs.mu.Unlock()
+	if trip {
+		return errInjected
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Close() error { return w.f.Close() }

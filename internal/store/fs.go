@@ -1,0 +1,96 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the narrow filesystem surface the store runs on. Production uses
+// the operating system (osFS); the fault-injection tests substitute an
+// implementation that fails the Nth write, short-writes, refuses fsync,
+// or flips bits — the recovery and degraded-mode guarantees are proven
+// against that interface, not against a healthy disk.
+type FS interface {
+	// MkdirAll creates a directory and its parents.
+	MkdirAll(path string) error
+	// OpenAppend opens a file for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// Create opens a file for writing, truncating any existing content.
+	Create(path string) (File, error)
+	// ReadFile returns the full content of a file.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir lists the entry names of a directory, sorted.
+	ReadDir(path string) ([]string, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes one file or empty directory.
+	Remove(path string) error
+	// RemoveAll deletes a tree.
+	RemoveAll(path string) error
+	// Truncate cuts a file to the given size.
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs a directory so entry creations and renames are
+	// durable.
+	SyncDir(path string) error
+	// IsDir reports whether the path exists and is a directory.
+	IsDir(path string) bool
+}
+
+// File is the writable handle appends go through.
+type File interface {
+	io.Writer
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Close releases the handle.
+	Close() error
+}
+
+// osFS is the production FS over the operating system.
+type osFS struct{}
+
+func (osFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Create(path string) (File, error) { return os.Create(path) }
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(filepath.Clean(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func (osFS) IsDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}

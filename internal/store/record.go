@@ -1,0 +1,233 @@
+// Package store is the durable tenant store behind the admission
+// service: a per-tenant append-only write-ahead log of committed
+// operations plus periodic snapshots, so a restart recovers every
+// acknowledged admission decision instead of silently forgetting them.
+//
+// On disk each tenant owns a directory under the state root:
+//
+//	<root>/<enc(tenant)>/wal-<firstSeq>.log   log segments (rotated at snapshots)
+//	<root>/<enc(tenant)>/snap-<seq>.snap      snapshots (spec + admitted set at seq)
+//	<root>/<enc(tenant)>/quarantine/          corrupt bytes set aside by recovery
+//
+// A segment is an 8-byte magic header followed by frames; each frame is
+// a little-endian uint32 payload length, a uint32 CRC32C of the payload,
+// and the payload itself — one version byte then the operation as JSON.
+// A snapshot file is a different magic plus a single frame of the same
+// shape. Everything the store writes is checksummed; recovery trusts
+// nothing that does not verify.
+//
+// Recovery per tenant is snapshot + tail replay: the newest verifiable
+// snapshot seeds the state, and log records with a higher sequence
+// number are replayed on top. A bad checksum in the last segment is a
+// torn tail: the segment is truncated at the last good frame and the
+// torn bytes are preserved under quarantine/. A bad checksum in an
+// earlier segment means the history itself is damaged, so that segment
+// and everything after it are quarantined — the tenant recovers to the
+// longest consistent prefix, and the operator keeps the bytes. Recovery
+// never panics on any input (see FuzzStoreReplay) and is deterministic:
+// recovering the same bytes twice yields the same state.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// recordVersion is the payload format version byte; bump when the Op or
+// Snapshot JSON schema changes incompatibly. Recovery rejects versions
+// from the future as corruption (quarantine, never a crash).
+const recordVersion = 1
+
+// maxRecord caps a single frame's declared payload length. A frame
+// claiming more is treated as corruption: the limit keeps a flipped
+// length byte from driving recovery into a multi-gigabyte allocation.
+const maxRecord = 16 << 20
+
+var (
+	segMagic  = []byte("RTAWAL1\n")
+	snapMagic = []byte("RTASNP1\n")
+)
+
+// castagnoli is the CRC32C polynomial table (the checksum used by
+// ext4/Btrfs metadata and iSCSI — hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Kind enumerates the logged operations.
+type Kind string
+
+const (
+	// OpCreate brings a tenant into existence; Spec carries the
+	// processors-only system document the tenant was created from.
+	OpCreate Kind = "create"
+	// OpDrop removes the tenant and its admitted set (an explicit DELETE
+	// or an idle eviction — Evicted distinguishes them).
+	OpDrop Kind = "drop"
+	// OpAdmit records a granted admission; Job is the full job record as
+	// submitted, Pri the post-decision priority assignment when the
+	// policy reassigns priorities.
+	OpAdmit Kind = "admit"
+	// OpRemove records a committed removal by job name.
+	OpRemove Kind = "remove"
+	// OpMutate replaces an admitted job's record wholesale (same name,
+	// same hop count); Job is the replacement record.
+	OpMutate Kind = "mutate"
+)
+
+// Op is one committed operation in a tenant's log. Seq is assigned by
+// the store, strictly increasing per tenant; replay rejects regressions
+// and gaps as corruption.
+type Op struct {
+	Seq  uint64 `json:"seq"`
+	Kind Kind   `json:"kind"`
+	// Spec is the processors-only system JSON (OpCreate).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Job is the full job record JSON (OpAdmit, OpMutate).
+	Job json.RawMessage `json:"job,omitempty"`
+	// Name is the job name (OpRemove, OpMutate).
+	Name string `json:"name,omitempty"`
+	// Pri is the committed priority assignment after the operation —
+	// Pri[k][j] is job k's hop-j priority in committed job order. Logged
+	// when the priority policy reassigns on change (deadline-monotonic,
+	// Audsley) so replay reproduces the assignment without re-running
+	// the policy.
+	Pri [][]int `json:"pri,omitempty"`
+	// Evicted marks an OpDrop that came from the idle-TTL janitor rather
+	// than an explicit DELETE.
+	Evicted bool `json:"evicted,omitempty"`
+}
+
+// Snapshot is a tenant's full state at a log position: replaying the
+// snapshot then every op with Seq > Snapshot.Seq reproduces the tenant.
+type Snapshot struct {
+	// Seq is the last operation the snapshot covers.
+	Seq uint64 `json:"seq"`
+	// Spec is the processors-only system JSON the tenant was created
+	// from.
+	Spec json.RawMessage `json:"spec"`
+	// Jobs are the admitted job records in committed order, with their
+	// committed (post-policy) priorities baked in.
+	Jobs []json.RawMessage `json:"jobs"`
+	// Live is false when the tenant was dropped at or before Seq (the
+	// snapshot then exists only to anchor compaction).
+	Live bool `json:"live"`
+}
+
+// encodeFrame appends one frame carrying payload to buf.
+func encodeFrame(buf, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// encodeOp frames an operation: version byte + JSON.
+func encodeOp(op *Op) ([]byte, error) {
+	body, err := json.Marshal(op)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding %s record: %w", op.Kind, err)
+	}
+	payload := make([]byte, 0, 1+len(body))
+	payload = append(payload, recordVersion)
+	payload = append(payload, body...)
+	return encodeFrame(nil, payload), nil
+}
+
+// frameErr classifies why a frame failed to decode; recovery maps it to
+// truncation or quarantine but never to a crash.
+type frameErr struct {
+	off int64 // byte offset of the bad frame
+	why string
+}
+
+func (e *frameErr) Error() string {
+	return fmt.Sprintf("store: bad frame at offset %d: %s", e.off, e.why)
+}
+
+// decodeFrame reads one frame from data at off. It returns the payload
+// and the offset past the frame, or a *frameErr naming the first
+// corruption it saw.
+func decodeFrame(data []byte, off int64) ([]byte, int64, error) {
+	rest := data[off:]
+	if len(rest) == 0 {
+		return nil, off, nil // clean end
+	}
+	if len(rest) < 8 {
+		return nil, off, &frameErr{off, "torn header"}
+	}
+	n := binary.LittleEndian.Uint32(rest[0:4])
+	sum := binary.LittleEndian.Uint32(rest[4:8])
+	if n == 0 || n > maxRecord {
+		return nil, off, &frameErr{off, fmt.Sprintf("implausible length %d", n)}
+	}
+	if int64(len(rest)) < 8+int64(n) {
+		return nil, off, &frameErr{off, "torn payload"}
+	}
+	payload := rest[8 : 8+n]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, off, &frameErr{off, "checksum mismatch"}
+	}
+	return payload, off + 8 + int64(n), nil
+}
+
+// decodeOp unmarshals a framed payload into an Op.
+func decodeOp(payload []byte, off int64) (*Op, error) {
+	if len(payload) < 1 {
+		return nil, &frameErr{off, "empty payload"}
+	}
+	if payload[0] != recordVersion {
+		return nil, &frameErr{off, fmt.Sprintf("unknown record version %d", payload[0])}
+	}
+	var op Op
+	if err := json.Unmarshal(payload[1:], &op); err != nil {
+		return nil, &frameErr{off, "undecodable operation: " + err.Error()}
+	}
+	switch op.Kind {
+	case OpCreate, OpDrop, OpAdmit, OpRemove, OpMutate:
+	default:
+		return nil, &frameErr{off, fmt.Sprintf("unknown operation kind %q", op.Kind)}
+	}
+	if op.Seq == 0 {
+		return nil, &frameErr{off, "zero sequence number"}
+	}
+	return &op, nil
+}
+
+// encodeSnapshot builds a snapshot file's bytes: magic + one frame.
+func encodeSnapshot(snap *Snapshot) ([]byte, error) {
+	body, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	payload := make([]byte, 0, 1+len(body))
+	payload = append(payload, recordVersion)
+	payload = append(payload, body...)
+	return encodeFrame(append([]byte(nil), snapMagic...), payload), nil
+}
+
+// decodeSnapshot verifies and unmarshals a snapshot file.
+func decodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != string(snapMagic) {
+		return nil, &frameErr{0, "bad snapshot magic"}
+	}
+	payload, next, err := decodeFrame(data, int64(len(snapMagic)))
+	if err != nil {
+		return nil, err
+	}
+	if payload == nil {
+		return nil, &frameErr{int64(len(snapMagic)), "empty snapshot"}
+	}
+	if next != int64(len(data)) {
+		return nil, &frameErr{next, "trailing bytes after snapshot frame"}
+	}
+	if payload[0] != recordVersion {
+		return nil, &frameErr{0, fmt.Sprintf("unknown snapshot version %d", payload[0])}
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload[1:], &snap); err != nil {
+		return nil, &frameErr{0, "undecodable snapshot: " + err.Error()}
+	}
+	return &snap, nil
+}

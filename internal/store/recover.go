@@ -1,0 +1,249 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// RecoveredTenant is one live tenant as recovered by Open: the newest
+// usable snapshot (nil when the tenant never snapshotted) plus every
+// logged operation after it, in order. Replaying Snapshot then Tail
+// into a fresh controller reproduces the tenant's committed state.
+type RecoveredTenant struct {
+	ID       string
+	Snapshot *Snapshot
+	Tail     []Op
+}
+
+// RecoveryReport is Open's accounting of what it found and what it had
+// to do about it. Quarantined counts are evidence preserved under
+// quarantine directories, never deleted silently.
+type RecoveryReport struct {
+	// Tenants is the number of tenant directories scanned.
+	Tenants int
+	// Recovered is the number of live tenants returned by Tenants.
+	Recovered int
+	// Dropped counts tenants whose final logged state is a drop; their
+	// directories are reclaimed.
+	Dropped int
+	// TornTails counts segments truncated at a bad trailing frame.
+	TornTails int
+	// QuarantinedSegments counts mid-history segments (and their
+	// successors) set aside because their damage was not a clean tail.
+	QuarantinedSegments int
+	// QuarantinedSnapshots counts snapshot files that failed
+	// verification and were set aside in favor of an older generation.
+	QuarantinedSnapshots int
+	// QuarantinedTenants counts whole tenant directories set aside
+	// (unusable framing, or — via QuarantineTenant — semantic replay
+	// failure at the serve layer).
+	QuarantinedTenants int
+	// Details carries one human-readable line per anomaly.
+	Details []string
+}
+
+// recoverTenant rebuilds one tenant directory: pick the newest
+// verifiable snapshot, replay segment frames after it, truncating a
+// torn tail and quarantining deeper corruption. The returned tlog is
+// positioned for appending. A non-nil error means the directory as a
+// whole is unusable and should be quarantined.
+func (s *Store) recoverTenant(id, dir string) (*RecoveredTenant, *tlog, error) {
+	names, err := s.fs.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scanning: %w", err)
+	}
+	var segs, snaps []uint64
+	for _, name := range names {
+		if v, ok := parseSeqName(name, "wal-", ".log"); ok {
+			segs = append(segs, v)
+		} else if v, ok := parseSeqName(name, "snap-", ".snap"); ok {
+			snaps = append(snaps, v)
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a] < segs[b] })
+	sort.Slice(snaps, func(a, b int) bool { return snaps[a] > snaps[b] }) // newest first
+
+	// Newest snapshot that verifies wins; bad ones are quarantined and
+	// the previous generation (still on disk by the compaction rule)
+	// takes over.
+	var snap *Snapshot
+	for _, v := range snaps {
+		name := snapName(v)
+		data, rerr := s.fs.ReadFile(filepath.Join(dir, name))
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("reading %s: %w", name, rerr)
+		}
+		got, derr := decodeSnapshot(data)
+		if derr == nil && got.Seq != v {
+			derr = fmt.Errorf("snapshot %s claims seq %d", name, got.Seq)
+		}
+		if derr != nil {
+			s.report.QuarantinedSnapshots++
+			s.report.Details = append(s.report.Details, fmt.Sprintf("tenant %s: %s: %v (quarantined)", id, name, derr))
+			if qerr := s.quarantineFile(dir, name); qerr != nil {
+				return nil, nil, qerr
+			}
+			continue
+		}
+		snap = got
+		break
+	}
+
+	base := uint64(0)
+	if snap != nil {
+		base = snap.Seq
+	}
+	var tail []Op
+	var prev uint64 // last sequence number seen across all segments
+	lastGood := base
+
+	// abandon quarantines segments[i:] after an unrepairable frame.
+	abandon := func(i int, why string) error {
+		for _, v := range segs[i:] {
+			s.report.QuarantinedSegments++
+			if qerr := s.quarantineFile(dir, segName(v)); qerr != nil {
+				return qerr
+			}
+		}
+		s.report.Details = append(s.report.Details,
+			fmt.Sprintf("tenant %s: %s and %d later segment(s) quarantined: %s", id, segName(segs[i]), len(segs)-i-1, why))
+		return nil
+	}
+
+scan:
+	for i, first := range segs {
+		name := segName(first)
+		path := filepath.Join(dir, name)
+		data, rerr := s.fs.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("reading %s: %w", name, rerr)
+		}
+		last := i == len(segs)-1
+		if len(data) < len(segMagic) || string(data[:len(segMagic)]) != string(segMagic) {
+			if last && len(data) < len(segMagic) {
+				// A header torn by a crash during rotation: no frame was
+				// ever acknowledged from this segment, so deleting it is a
+				// truncation of zero records.
+				s.report.TornTails++
+				s.report.Details = append(s.report.Details, fmt.Sprintf("tenant %s: %s: torn header, removed", id, name))
+				if rerr := s.fs.Remove(path); rerr != nil {
+					return nil, nil, rerr
+				}
+				break
+			}
+			if err := abandon(i, "bad segment magic"); err != nil {
+				return nil, nil, err
+			}
+			break
+		}
+		off := int64(len(segMagic))
+		for {
+			payload, next, ferr := decodeFrame(data, off)
+			var op *Op
+			if ferr == nil && payload != nil {
+				op, ferr = decodeOp(payload, off)
+			}
+			if ferr == nil && op != nil {
+				// Sequence discipline: monotone always, and contiguous in
+				// the replayed tail (records at or below the snapshot are
+				// skipped history; gaps there just mean compaction ran).
+				if op.Seq <= prev {
+					ferr = &frameErr{off, fmt.Sprintf("sequence %d regresses from %d", op.Seq, prev)}
+				} else if op.Seq > base && op.Seq != lastGood+1 {
+					ferr = &frameErr{off, fmt.Sprintf("sequence gap: %d after %d", op.Seq, lastGood)}
+				}
+			}
+			if ferr != nil {
+				if last {
+					// Torn tail: cut the segment back to the last good
+					// frame, preserving the torn bytes as evidence.
+					s.report.TornTails++
+					s.report.Details = append(s.report.Details,
+						fmt.Sprintf("tenant %s: %s truncated at offset %d: %v", id, name, off, ferr))
+					s.preserveTorn(dir, name, data[off:])
+					if terr := s.fs.Truncate(path, off); terr != nil {
+						return nil, nil, fmt.Errorf("truncating %s: %w", name, terr)
+					}
+					break scan
+				}
+				if segs[i+1] <= base+1 {
+					// Every record this segment could hold is at or below
+					// the snapshot (its successor starts inside covered
+					// history), so the damage costs nothing the snapshot
+					// does not already carry: quarantine just this segment.
+					s.report.QuarantinedSegments++
+					s.report.Details = append(s.report.Details,
+						fmt.Sprintf("tenant %s: %s quarantined (damage inside snapshotted history): %v", id, name, ferr))
+					if qerr := s.quarantineFile(dir, name); qerr != nil {
+						return nil, nil, qerr
+					}
+					continue scan
+				}
+				if err := abandon(i, ferr.Error()); err != nil {
+					return nil, nil, err
+				}
+				break scan
+			}
+			if payload == nil {
+				break // clean end of segment
+			}
+			prev = op.Seq
+			if op.Seq > base {
+				tail = append(tail, *op)
+				lastGood = op.Seq
+			}
+			off = next
+		}
+	}
+
+	if snap == nil && len(tail) == 0 {
+		return nil, nil, fmt.Errorf("no usable snapshot or log records")
+	}
+
+	// Final liveness: the snapshot's, then whatever the tail says last.
+	live := snap != nil && snap.Live
+	if snap == nil {
+		// With no snapshot the history must start at its own beginning.
+		if tail[0].Kind != OpCreate || tail[0].Seq != 1 {
+			return nil, nil, fmt.Errorf("log does not begin with the tenant's creation")
+		}
+	}
+	for i := range tail {
+		switch tail[i].Kind {
+		case OpCreate:
+			live = true
+		case OpDrop:
+			live = false
+		}
+	}
+	t := &tlog{id: id, dir: dir, next: lastGood + 1, live: live}
+	return &RecoveredTenant{ID: id, Snapshot: snap, Tail: tail}, t, nil
+}
+
+// preserveTorn saves torn bytes under quarantine/ for forensics. Best
+// effort: failing to preserve evidence must not block recovery itself.
+func (s *Store) preserveTorn(dir, segname string, torn []byte) {
+	if len(torn) == 0 {
+		return
+	}
+	qdir := filepath.Join(dir, quarantineRoot)
+	if err := s.fs.MkdirAll(qdir); err != nil {
+		return
+	}
+	f, err := s.fs.Create(filepath.Join(qdir, segname+".torn"))
+	if err != nil {
+		return
+	}
+	_, _ = f.Write(torn)
+	_ = f.Close()
+}
+
+// quarantineFile moves one file into the tenant's quarantine directory.
+func (s *Store) quarantineFile(dir, name string) error {
+	qdir := filepath.Join(dir, quarantineRoot)
+	if err := s.fs.MkdirAll(qdir); err != nil {
+		return err
+	}
+	return s.fs.Rename(filepath.Join(dir, name), filepath.Join(qdir, name))
+}

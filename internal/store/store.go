@@ -1,0 +1,515 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// Dir is the state root; one subdirectory per tenant.
+	Dir string
+	// Fsync, when true, fsyncs every append and snapshot before it is
+	// acknowledged — survives machine crashes, not just process crashes.
+	// When false, writes reach the OS page cache synchronously (a killed
+	// process loses nothing) but a power failure can lose the tail.
+	Fsync bool
+	// SnapshotEvery is the number of appended operations between
+	// snapshots per tenant; 0 means 64, negative disables snapshots.
+	SnapshotEvery int
+	// FS overrides the filesystem (fault-injection tests); nil is the OS.
+	FS FS
+}
+
+// DefaultSnapshotEvery is the snapshot cadence when Config leaves it 0.
+const DefaultSnapshotEvery = 64
+
+// Store is the durable tenant store. Open recovers existing state;
+// Append and WriteSnapshot extend it. All methods are safe for
+// concurrent use; callers serialize per-tenant operation order
+// themselves (the serve layer holds its per-tenant log lock across
+// decision commit + append, which is what makes replay order match
+// commit order).
+type Store struct {
+	cfg Config
+	fs  FS
+
+	mu      sync.Mutex
+	tenants map[string]*tlog
+
+	recovered []RecoveredTenant
+	report    RecoveryReport
+}
+
+// tlog is the in-memory append state of one tenant's log.
+type tlog struct {
+	id  string
+	dir string
+
+	seg     File   // open segment, nil until the next append
+	segPath string // path of the open segment
+	segGood int64  // verified-good byte length of the open segment
+	dirty   bool   // the last append failed mid-frame; truncate before reuse
+
+	next      uint64 // next sequence number
+	live      bool   // false once an OpDrop is the latest state
+	sinceSnap int    // ops appended since the last snapshot
+}
+
+// tenantDirPat matches ids safe to use as directory names verbatim.
+var tenantDirPat = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,100}$`)
+
+// idFile names the file inside hashed ("h_") tenant directories that
+// carries the raw tenant id, since a hash cannot be inverted.
+const idFile = "id"
+
+// encTenant maps a tenant id to its directory name. Safe ids get a "t_"
+// prefix; short unsafe ids are hex-encoded under "x_"; ids too long for
+// a filename are hashed under "h_" with the raw id kept in an id file
+// (the prefixes keep the three schemes from colliding).
+func encTenant(id string) string {
+	if tenantDirPat.MatchString(id) {
+		return "t_" + id
+	}
+	if len(id) <= 100 {
+		return "x_" + hex.EncodeToString([]byte(id))
+	}
+	sum := sha256.Sum256([]byte(id))
+	return "h_" + hex.EncodeToString(sum[:])
+}
+
+// decTenant inverts encTenant; ok is false for foreign directory names.
+func decTenant(name string) (string, bool) {
+	switch {
+	case strings.HasPrefix(name, "t_"):
+		id := name[2:]
+		if tenantDirPat.MatchString(id) {
+			return id, true
+		}
+	case strings.HasPrefix(name, "x_"):
+		raw, err := hex.DecodeString(name[2:])
+		if err == nil && len(raw) > 0 {
+			return string(raw), true
+		}
+	}
+	return "", false
+}
+
+func segName(firstSeq uint64) string { return fmt.Sprintf("wal-%016x.log", firstSeq) }
+
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%016x.snap", seq) }
+
+// parseSeqName extracts the sequence number from wal-/snap- file names.
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	if len(mid) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(mid, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// quarantineRoot is the directory under the state root where whole
+// tenant directories are set aside when replay finds them inconsistent.
+const quarantineRoot = "quarantine"
+
+// Open opens (creating if needed) the state root and recovers every
+// tenant in it: snapshot + tail replay, with torn tails truncated and
+// corrupt segments quarantined. The recovered tenants are available via
+// Tenants, the recovery accounting via Report. Open never fails on
+// corrupt tenant state — that is quarantined and reported — only on
+// filesystem errors against the root itself.
+func Open(cfg Config) (*Store, error) {
+	if cfg.FS == nil {
+		cfg.FS = osFS{}
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("store: Config.Dir must be set")
+	}
+	s := &Store{cfg: cfg, fs: cfg.FS, tenants: map[string]*tlog{}}
+	if err := s.fs.MkdirAll(cfg.Dir); err != nil {
+		return nil, fmt.Errorf("store: creating state dir: %w", err)
+	}
+	names, err := s.fs.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning state dir: %w", err)
+	}
+	for _, name := range names {
+		if name == quarantineRoot || !s.fs.IsDir(filepath.Join(cfg.Dir, name)) {
+			continue
+		}
+		id, ok := decTenant(name)
+		if !ok && strings.HasPrefix(name, "h_") {
+			// Hashed directory: the id lives in its id file.
+			raw, rerr := s.fs.ReadFile(filepath.Join(cfg.Dir, name, idFile))
+			if rerr == nil && len(raw) > 0 && encTenant(string(raw)) == name {
+				id, ok = string(raw), true
+			} else {
+				s.report.QuarantinedTenants++
+				s.report.Details = append(s.report.Details, fmt.Sprintf("%s: tenant identity lost (bad id file), quarantined", name))
+				if qerr := s.quarantineDir(filepath.Join(cfg.Dir, name), name); qerr != nil {
+					return nil, fmt.Errorf("store: quarantining %s: %w", name, qerr)
+				}
+				continue
+			}
+		}
+		if !ok {
+			s.report.Details = append(s.report.Details, fmt.Sprintf("%s: not a tenant directory, ignored", name))
+			continue
+		}
+		s.report.Tenants++
+		dir := filepath.Join(cfg.Dir, name)
+		rt, st, rerr := s.recoverTenant(id, dir)
+		switch {
+		case rerr != nil:
+			s.report.QuarantinedTenants++
+			s.report.Details = append(s.report.Details, fmt.Sprintf("tenant %s: %v (quarantined)", id, rerr))
+			if qerr := s.quarantineDir(dir, name); qerr != nil {
+				return nil, fmt.Errorf("store: quarantining tenant %s: %w", id, qerr)
+			}
+		case !st.live:
+			// The final state is dropped: the directory only documents a
+			// tenant that no longer exists. Reclaim it.
+			s.report.Dropped++
+			if err := s.fs.RemoveAll(dir); err != nil {
+				return nil, fmt.Errorf("store: removing dropped tenant %s: %w", id, err)
+			}
+		default:
+			s.report.Recovered++
+			s.tenants[id] = st
+			s.recovered = append(s.recovered, *rt)
+		}
+	}
+	return s, nil
+}
+
+// Tenants returns the live tenants recovered by Open, each as the
+// newest usable snapshot plus the log tail after it, ready to be
+// replayed into an admission controller.
+func (s *Store) Tenants() []RecoveredTenant { return s.recovered }
+
+// Report returns the recovery accounting from Open.
+func (s *Store) Report() RecoveryReport { return s.report }
+
+// ErrTenantExists rejects an OpCreate for a tenant that is already live.
+// Like ErrUnknownTenant it marks a sequencing bug in the caller, not a
+// transient disk fault — retrying the same append cannot succeed.
+var ErrTenantExists = errors.New("store: tenant already exists")
+
+// ErrUnknownTenant rejects an append against a tenant the store has
+// never seen created (or has seen dropped).
+type ErrUnknownTenant struct{ ID string }
+
+func (e *ErrUnknownTenant) Error() string {
+	return fmt.Sprintf("store: unknown tenant %q (log it with an OpCreate first)", e.ID)
+}
+
+// Append durably logs one operation for the tenant. The store assigns
+// the sequence number. An OpCreate on an unknown (or dropped) tenant
+// starts (or restarts) its log; every other kind requires a live
+// tenant. snapDue reports that the tenant has accumulated enough
+// operations since its last snapshot that the caller should assemble
+// one and call WriteSnapshot.
+//
+// On error nothing was durably appended: a partially written frame is
+// remembered and truncated away before the next append, so a failed
+// write can never corrupt the record stream for a later successful one.
+func (s *Store) Append(id string, op Op) (snapDue bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[id]
+	if t == nil || !t.live {
+		if op.Kind != OpCreate {
+			return false, &ErrUnknownTenant{id}
+		}
+		if t == nil {
+			enc := encTenant(id)
+			t = &tlog{id: id, dir: filepath.Join(s.cfg.Dir, enc), next: 1}
+			if err := s.fs.MkdirAll(t.dir); err != nil {
+				return false, fmt.Errorf("store: creating tenant dir: %w", err)
+			}
+			if strings.HasPrefix(enc, "h_") {
+				if err := s.writeIDFile(t.dir, id); err != nil {
+					return false, err
+				}
+			}
+			s.tenants[id] = t
+		}
+	} else if op.Kind == OpCreate {
+		return false, fmt.Errorf("store: tenant %q: %w", id, ErrTenantExists)
+	}
+	op.Seq = t.next
+	frame, err := encodeOp(&op)
+	if err != nil {
+		return false, err
+	}
+	if err := s.appendFrame(t, frame); err != nil {
+		return false, err
+	}
+	t.next++
+	t.sinceSnap++
+	switch op.Kind {
+	case OpCreate:
+		t.live = true
+	case OpDrop:
+		t.live = false
+	}
+	return t.live && s.cfg.SnapshotEvery > 0 && t.sinceSnap >= s.cfg.SnapshotEvery, nil
+}
+
+// appendFrame writes one encoded frame to the tenant's open segment,
+// repairing any half-written tail left by a previous failed append.
+func (s *Store) appendFrame(t *tlog, frame []byte) error {
+	if t.dirty {
+		// A previous append may have left partial bytes; cut back to the
+		// last verified-good length before writing anything new, so the
+		// segment never carries a corrupt frame followed by a valid one.
+		if t.seg != nil {
+			_ = t.seg.Close()
+			t.seg = nil
+		}
+		if err := s.fs.Truncate(t.segPath, t.segGood); err != nil {
+			return fmt.Errorf("store: repairing torn segment tail: %w", err)
+		}
+		t.dirty = false
+	}
+	if t.seg == nil {
+		if t.segPath == "" || t.segGood == 0 {
+			// Fresh segment at the next sequence number. Create (not
+			// append) so a magic-only file left by a rotation that crashed
+			// before its first record cannot accumulate a second header.
+			t.segPath = filepath.Join(t.dir, segName(t.next))
+			f, err := s.fs.Create(t.segPath)
+			if err != nil {
+				return fmt.Errorf("store: opening segment: %w", err)
+			}
+			if _, err := f.Write(segMagic); err != nil {
+				f.Close()
+				t.dirty = true
+				t.segGood = 0
+				return fmt.Errorf("store: writing segment header: %w", err)
+			}
+			if s.cfg.Fsync {
+				if err := f.Sync(); err != nil {
+					f.Close()
+					t.dirty = true
+					t.segGood = 0
+					return fmt.Errorf("store: syncing segment header: %w", err)
+				}
+				if err := s.fs.SyncDir(t.dir); err != nil {
+					f.Close()
+					return fmt.Errorf("store: syncing tenant dir: %w", err)
+				}
+			}
+			t.seg = f
+			t.segGood = int64(len(segMagic))
+		} else {
+			f, err := s.fs.OpenAppend(t.segPath)
+			if err != nil {
+				return fmt.Errorf("store: reopening segment: %w", err)
+			}
+			t.seg = f
+		}
+	}
+	n, werr := t.seg.Write(frame)
+	if werr != nil || n != len(frame) {
+		t.dirty = true
+		if werr == nil {
+			werr = fmt.Errorf("short write (%d of %d bytes)", n, len(frame))
+		}
+		return fmt.Errorf("store: appending record: %w", werr)
+	}
+	if s.cfg.Fsync {
+		if err := t.seg.Sync(); err != nil {
+			// The bytes may or may not be durable; withdraw the record so
+			// the acknowledged log stays a prefix of the durable one.
+			t.dirty = true
+			return fmt.Errorf("store: syncing record: %w", err)
+		}
+	}
+	t.segGood += int64(len(frame))
+	return nil
+}
+
+// WriteSnapshot persists the tenant's full state at its current log
+// position, rotates the segment, and compacts: the last two snapshot
+// generations are retained (so a torn newest snapshot still recovers
+// from the previous one) and every segment fully covered by the older
+// retained snapshot is deleted.
+func (s *Store) WriteSnapshot(id string, spec json.RawMessage, jobs []json.RawMessage) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[id]
+	if t == nil {
+		return &ErrUnknownTenant{id}
+	}
+	if t.next <= 1 {
+		return fmt.Errorf("store: tenant %q has no operations to snapshot", id)
+	}
+	snap := &Snapshot{Seq: t.next - 1, Spec: spec, Jobs: jobs, Live: t.live}
+	data, err := encodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(t.dir, "snap.tmp")
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		_ = s.fs.Remove(tmp)
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if s.cfg.Fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			_ = s.fs.Remove(tmp)
+			return fmt.Errorf("store: syncing snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		_ = s.fs.Remove(tmp)
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	final := filepath.Join(t.dir, snapName(snap.Seq))
+	if err := s.fs.Rename(tmp, final); err != nil {
+		_ = s.fs.Remove(tmp)
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	if s.cfg.Fsync {
+		if err := s.fs.SyncDir(t.dir); err != nil {
+			return fmt.Errorf("store: syncing tenant dir: %w", err)
+		}
+	}
+	// Rotate: the next append starts a fresh segment, so every existing
+	// segment is now fully covered by some snapshot.
+	if t.seg != nil {
+		_ = t.seg.Close()
+		t.seg = nil
+	}
+	t.segPath, t.segGood, t.dirty = "", 0, false
+	t.sinceSnap = 0
+	s.compact(t, snap.Seq)
+	return nil
+}
+
+// compact deletes snapshots older than the previous retained generation
+// and segments fully covered by the oldest retained snapshot. Deletion
+// failures are non-fatal: stale files cost disk, not correctness.
+func (s *Store) compact(t *tlog, newestSnap uint64) {
+	names, err := s.fs.ReadDir(t.dir)
+	if err != nil {
+		return
+	}
+	var snaps, segs []uint64
+	for _, name := range names {
+		if v, ok := parseSeqName(name, "snap-", ".snap"); ok {
+			snaps = append(snaps, v)
+		} else if v, ok := parseSeqName(name, "wal-", ".log"); ok {
+			segs = append(segs, v)
+		}
+	}
+	sort.Slice(snaps, func(a, b int) bool { return snaps[a] < snaps[b] })
+	sort.Slice(segs, func(a, b int) bool { return segs[a] < segs[b] })
+	// Keep the two newest snapshots; everything older goes.
+	oldestKept := newestSnap
+	if n := len(snaps); n >= 2 {
+		oldestKept = snaps[n-2]
+	}
+	for _, v := range snaps {
+		if v < oldestKept {
+			_ = s.fs.Remove(filepath.Join(t.dir, snapName(v)))
+		}
+	}
+	// A segment's records end where the next segment starts; delete it
+	// when that whole range is at or below the oldest retained snapshot.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1]-1 <= oldestKept {
+			_ = s.fs.Remove(filepath.Join(t.dir, segName(segs[i])))
+		}
+	}
+}
+
+// QuarantineTenant sets a tenant's whole directory aside (under
+// <root>/quarantine/) and forgets it, so a semantically inconsistent
+// replay — the store's framing verified but the operations do not apply
+// — keeps its evidence without blocking a fresh tenant under the same
+// id. Used by the serve layer when replay into a controller fails.
+func (s *Store) QuarantineTenant(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[id]
+	if t == nil {
+		return &ErrUnknownTenant{id}
+	}
+	if t.seg != nil {
+		_ = t.seg.Close()
+	}
+	delete(s.tenants, id)
+	s.report.QuarantinedTenants++
+	return s.quarantineDir(t.dir, filepath.Base(t.dir))
+}
+
+// quarantineDir moves a tenant directory under the root quarantine
+// area, suffixing on collision so repeated quarantines never clobber
+// earlier evidence.
+func (s *Store) quarantineDir(dir, name string) error {
+	qroot := filepath.Join(s.cfg.Dir, quarantineRoot)
+	if err := s.fs.MkdirAll(qroot); err != nil {
+		return err
+	}
+	dst := filepath.Join(qroot, name)
+	for i := 1; s.fs.IsDir(dst); i++ {
+		dst = filepath.Join(qroot, fmt.Sprintf("%s.%d", name, i))
+	}
+	return s.fs.Rename(dir, dst)
+}
+
+// writeIDFile records the raw tenant id inside a hashed directory.
+func (s *Store) writeIDFile(dir, id string) error {
+	f, err := s.fs.Create(filepath.Join(dir, idFile))
+	if err != nil {
+		return fmt.Errorf("store: writing tenant id file: %w", err)
+	}
+	_, werr := f.Write([]byte(id))
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("store: writing tenant id file: %w", werr)
+	}
+	return nil
+}
+
+// Close releases open segment handles. Appends after Close reopen them.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tenants {
+		if t.seg != nil {
+			_ = t.seg.Close()
+			t.seg = nil
+		}
+	}
+	return nil
+}
