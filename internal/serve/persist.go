@@ -48,7 +48,12 @@ type persister struct {
 	queue   []queuedOp
 	backoff time.Duration
 	timer   *time.Timer
-	closed  bool
+	// draining serializes drain: the timer can fire while a previous
+	// drain is still appending (a Reset re-arms an already-fired
+	// AfterFunc), and two drains would append the head twice and both
+	// dequeue it. Only the goroutine that flips draining runs the loop.
+	draining bool
+	closed   bool
 
 	errors    atomic.Uint64 // failed store operations (appends, snapshots)
 	snapshots atomic.Uint64 // snapshots written
@@ -128,9 +133,16 @@ func retryable(err error) bool {
 	return !errors.As(err, &unk) && !errors.Is(err, store.ErrTenantExists)
 }
 
-// scheduleLocked arms the retry timer; p.mu held.
+// scheduleLocked arms the retry timer; p.mu held. While a drain is
+// active the timer stays unarmed: the drain loop re-checks the queue
+// under p.mu before exiting, so an entry enqueued meanwhile is either
+// seen by that loop or enqueued after draining dropped — in which case
+// this call arms the timer.
 func (p *persister) scheduleLocked(d time.Duration) {
 	p.backoff = d
+	if p.draining {
+		return
+	}
 	if p.timer == nil {
 		p.timer = time.AfterFunc(d, p.drain)
 	} else {
@@ -140,10 +152,21 @@ func (p *persister) scheduleLocked(d time.Duration) {
 
 // drain retries the outbox head-first, preserving order: the head either
 // appends or doubles the backoff; later entries never jump the queue.
+// At most one drain runs at a time (the draining flag), so the head read
+// before the unlocked Append is still queue[0] at the dequeue: log()
+// only ever appends to the tail.
 func (p *persister) drain() {
+	p.mu.Lock()
+	if p.draining || p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.draining = true
+	p.mu.Unlock()
 	for {
 		p.mu.Lock()
 		if p.closed || len(p.queue) == 0 {
+			p.draining = false
 			p.mu.Unlock()
 			return
 		}
@@ -154,6 +177,7 @@ func (p *persister) drain() {
 		if err != nil && retryable(err) {
 			p.errors.Add(1)
 			p.mu.Lock()
+			p.draining = false
 			if !p.closed {
 				p.scheduleLocked(min(p.backoff*2, retryMax))
 			}

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -142,8 +144,13 @@ func TestStoreRestartRoundTrip(t *testing.T) {
 
 // flakyFS implements store.FS over the real filesystem but fails every
 // file write and fsync while tripped — a disk that went read-only under
-// a live server.
-type flakyFS struct{ fail atomic.Bool }
+// a live server. slowUs additionally makes every successful write sleep
+// that many microseconds, widening the concurrency windows the race
+// regression tests below aim at.
+type flakyFS struct {
+	fail   atomic.Bool
+	slowUs atomic.Int64
+}
 
 var errFlaky = errors.New("injected disk fault")
 
@@ -207,6 +214,9 @@ type flakyFile struct {
 func (w *flakyFile) Write(p []byte) (int, error) {
 	if w.fs.fail.Load() {
 		return 0, errFlaky
+	}
+	if d := w.fs.slowUs.Load(); d > 0 {
+		time.Sleep(time.Duration(d) * time.Microsecond)
 	}
 	return w.f.Write(p)
 }
@@ -284,6 +294,141 @@ func TestStoreFaultDegradesNotFails(t *testing.T) {
 	var doc boundsResponse
 	if json.Unmarshal(post, &doc) != nil || len(doc.Jobs) != 2 {
 		t.Fatalf("recovered job set = %s, want both before and during", post)
+	}
+}
+
+// TestDrainSerialized: drain is what the retry timer fires, and a Reset
+// on an already-fired timer can make it fire again while a previous
+// drain is still mid-append. Concurrent drain calls must collapse to
+// one — two would append the same outbox head twice (a semantic
+// duplicate that quarantines the tenant on replay) and both dequeue it,
+// underflowing the queue.
+func TestDrainSerialized(t *testing.T) {
+	dir := t.TempDir()
+	fs := &flakyFS{}
+	st := openStore(t, dir, func(c *store.Config) { c.FS = fs })
+	p := newPersister(st)
+	defer p.close()
+
+	if _, err := st.Append("acme", store.Op{Kind: store.OpCreate, Spec: []byte(twoProcSpec)}); err != nil {
+		t.Fatal(err)
+	}
+	fs.fail.Store(true)
+	const queued = 16
+	for i := 0; i < queued; i++ {
+		p.log("acme", store.Op{Kind: store.OpAdmit, Job: jobJSON(t, fmt.Sprintf("q%d", i), 100, 10_000)})
+	}
+	if got := p.pending(); got != queued {
+		t.Fatalf("outbox depth = %d, want %d", got, queued)
+	}
+	fs.fail.Store(false)
+	fs.slowUs.Store(2_000) // every append now takes ~2ms outside p.mu
+	// Fire drain from many goroutines at once, racing the armed retry
+	// timer: only one may run the dequeue loop. The slowed writes
+	// guarantee the drains overlap — without serialization they all read
+	// the same queue head, append it repeatedly, and dequeue past the
+	// end of the outbox.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.drain()
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for p.pending() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("outbox never drained: %d pending", p.pending())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := p.dropped.Load(); n != 0 {
+		t.Fatalf("%d queued ops dropped as unretryable", n)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, dir)
+	rep := st2.Report()
+	if rep.Recovered != 1 || rep.TornTails != 0 || rep.QuarantinedSegments != 0 {
+		t.Fatalf("recovery after concurrent drains: %+v", rep)
+	}
+	if tail := st2.Tenants()[0].Tail; len(tail) != queued+1 {
+		t.Fatalf("recovered %d ops, want %d — a concurrent drain double-appended", len(tail), queued+1)
+	}
+}
+
+// TestDropRecreateRaceKeepsWALOrdered: concurrent DELETE and PUT on the
+// same tenant id must keep the WAL agreeing with the live server — an
+// OpCreate must never reach the store before the OpDrop that made room
+// for it (it would be rejected ErrTenantExists and dropped, leaving
+// durable state saying dropped while the server serves the tenant), so
+// after churn on a healthy disk nothing may have been dropped as
+// unretryable and a restart serves exactly the pre-restart state.
+func TestDropRecreateRaceKeepsWALOrdered(t *testing.T) {
+	dir := t.TempDir()
+	fs := &flakyFS{}
+	fs.slowUs.Store(100) // WAL contention widens the map-vs-append window
+	st := openStore(t, dir, func(c *store.Config) { c.FS = fs })
+	s, ts := newTestServer(t, Config{Policy: admission.DeadlineMonotonic, Store: st})
+
+	createTenant(t, ts.URL, "flip")
+	// Churn straight into the handler (no HTTP round trip) so the two
+	// goroutines stay packed into the racy window. 201/409 and 200/404
+	// are all legitimate outcomes mid-churn.
+	h := s.Handler()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			req := httptest.NewRequest(http.MethodPut, "/v1/tenants/flip", bytes.NewReader([]byte(twoProcSpec)))
+			h.ServeHTTP(httptest.NewRecorder(), req)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			req := httptest.NewRequest(http.MethodDelete, "/v1/tenants/flip", nil)
+			h.ServeHTTP(httptest.NewRecorder(), req)
+		}
+	}()
+	wg.Wait()
+	fs.slowUs.Store(0)
+
+	// Settle to a known final state: dropped, then created, then one
+	// admitted job the restart must reproduce.
+	if status, _ := doReq(t, http.MethodDelete, ts.URL+"/v1/tenants/flip", nil); status != http.StatusOK && status != http.StatusNotFound {
+		t.Fatalf("settling drop: status %d", status)
+	}
+	createTenant(t, ts.URL, "flip")
+	if status, raw := doReq(t, http.MethodPost, ts.URL+"/v1/tenants/flip/admit",
+		jobJSON(t, "j", 100, 10_000)); status != http.StatusOK {
+		t.Fatalf("admit: status %d: %s", status, raw)
+	}
+	// The disk never faulted, so any dropped-unretryable op means the
+	// create/drop appends went to the store out of order.
+	if pend, drop := s.persist.pending(), s.persist.dropped.Load(); pend != 0 || drop != 0 {
+		t.Fatalf("outbox pending=%d droppedOps=%d after healthy churn, want 0/0", pend, drop)
+	}
+	_, pre := getBounds(t, ts.URL, "flip")
+
+	ts.Close()
+	s.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, dir)
+	s2, ts2 := newTestServer(t, Config{Policy: admission.DeadlineMonotonic, Store: st2})
+	defer s2.Close()
+	if notes := s2.Recovery(); len(notes) != 0 {
+		t.Fatalf("recovery notes after churn: %v", notes)
+	}
+	status, post := getBounds(t, ts2.URL, "flip")
+	if status != http.StatusOK || !bytes.Equal(pre, post) {
+		t.Fatalf("tenant lost or diverged across restart: status %d\n pre  %s\n post %s", status, pre, post)
 	}
 }
 

@@ -182,26 +182,38 @@ func (s *Server) janitor() {
 
 // evictIdle drops every tenant idle longer than TenantTTL, logging each
 // eviction to the store as a drop so restarts do not resurrect them.
+// Like handleDrop, the OpDrop is appended while the id is still in the
+// map (under the tenant's logMu), so a concurrent re-create of the same
+// id cannot get its OpCreate into the store first.
 func (s *Server) evictIdle() {
 	deadline := s.now().Add(-s.cfg.TenantTTL).UnixNano()
-	var evicted []*tenant
-	var ids []string
-	s.mu.Lock()
+	candidates := map[string]*tenant{}
+	s.mu.RLock()
 	for id, t := range s.tenants {
 		if atomic.LoadInt64(&t.lastUsed) <= deadline {
-			delete(s.tenants, id)
-			evicted = append(evicted, t)
-			ids = append(ids, id)
+			candidates[id] = t
 		}
 	}
-	s.mu.Unlock()
-	for i, t := range evicted {
-		s.counters.evictions.Add(1)
-		if s.persist != nil {
-			t.logMu.Lock()
-			s.persist.log(ids[i], store.Op{Kind: store.OpDrop, Evicted: true})
+	s.mu.RUnlock()
+	for id, t := range candidates {
+		t.logMu.Lock()
+		s.mu.Lock()
+		// Re-check under the locks: the tenant may have been dropped, or
+		// touched back to life, while we waited for its logMu.
+		if s.tenants[id] != t || atomic.LoadInt64(&t.lastUsed) > deadline {
+			s.mu.Unlock()
 			t.logMu.Unlock()
+			continue
 		}
+		s.mu.Unlock()
+		if s.persist != nil {
+			s.persist.log(id, store.Op{Kind: store.OpDrop, Evicted: true})
+		}
+		s.mu.Lock()
+		delete(s.tenants, id)
+		s.mu.Unlock()
+		t.logMu.Unlock()
+		s.counters.evictions.Add(1)
 	}
 }
 
@@ -347,19 +359,37 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("tenant")
-	s.mu.Lock()
-	t, ok := s.tenants[id]
-	delete(s.tenants, id)
-	s.mu.Unlock()
-	if !ok {
+	s.mu.RLock()
+	t := s.tenants[id]
+	s.mu.RUnlock()
+	if t == nil {
 		s.replyErr(w, http.StatusNotFound, "unknown tenant %q", id)
 		return
 	}
-	if s.persist != nil {
-		t.logMu.Lock()
-		s.persist.log(id, store.Op{Kind: store.OpDrop})
+	// Log the drop BEFORE removing the id from the map, under the
+	// tenant's logMu. A concurrent re-create of the same id cannot insert
+	// (and so cannot append its OpCreate) while the id is still mapped,
+	// so the store always sees drop-then-create in that order; appending
+	// after the delete would let the OpCreate reach the store first, be
+	// rejected ErrTenantExists, and leave durable state saying dropped
+	// while the server serves the re-created tenant.
+	t.logMu.Lock()
+	s.mu.Lock()
+	if s.tenants[id] != t {
+		// Lost the race with another drop or an eviction of this tenant.
+		s.mu.Unlock()
 		t.logMu.Unlock()
+		s.replyErr(w, http.StatusNotFound, "unknown tenant %q", id)
+		return
 	}
+	s.mu.Unlock()
+	if s.persist != nil {
+		s.persist.log(id, store.Op{Kind: store.OpDrop})
+	}
+	s.mu.Lock()
+	delete(s.tenants, id)
+	s.mu.Unlock()
+	t.logMu.Unlock()
 	s.reply(w, http.StatusOK, map[string]any{"dropped": id})
 }
 

@@ -132,6 +132,19 @@ scan:
 				}
 				break
 			}
+			if !last && segs[i+1] <= base+1 {
+				// Same carve-out as frame corruption below: every record
+				// this segment could hold is at or below the snapshot, so
+				// the damage costs nothing — quarantine just this segment
+				// and keep the healthy later ones.
+				s.report.QuarantinedSegments++
+				s.report.Details = append(s.report.Details,
+					fmt.Sprintf("tenant %s: %s quarantined (bad magic inside snapshotted history)", id, name))
+				if qerr := s.quarantineFile(dir, name); qerr != nil {
+					return nil, nil, qerr
+				}
+				continue
+			}
 			if err := abandon(i, "bad segment magic"); err != nil {
 				return nil, nil, err
 			}

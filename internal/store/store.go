@@ -440,6 +440,14 @@ func (s *Store) compact(t *tlog, newestSnap uint64) {
 			_ = s.fs.Remove(filepath.Join(t.dir, snapName(v)))
 		}
 	}
+	// Until a second generation exists, keep every segment: with a single
+	// snapshot on disk, the full log is still the fallback if that sole
+	// snapshot is later corrupted — deleting its covered segments now
+	// would break the "a bad newest snapshot recovers from the previous
+	// generation" rule before a previous generation exists.
+	if len(snaps) < 2 {
+		return
+	}
 	// A segment's records end where the next segment starts; delete it
 	// when that whole range is at or below the oldest retained snapshot.
 	for i := 0; i+1 < len(segs); i++ {

@@ -415,6 +415,104 @@ func TestCorruptSnapshotFallsBackAGeneration(t *testing.T) {
 	}
 }
 
+// TestSoleSnapshotKeepsSegments: compaction must not delete covered
+// segments until a second snapshot generation exists — with only one
+// snapshot on disk, the full log is the fallback if that sole snapshot
+// is later corrupted.
+func TestSoleSnapshotKeepsSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, func(c *Config) { c.SnapshotEvery = -1 })
+	appendOps(t, s, "acme", 2) // seq 1..3 in the first segment
+	s.Close()
+	s = open(t, dir) // reopen rotates: seq 4..5 land in a second segment
+	for i := 0; i < 2; i++ {
+		if _, err := s.Append("acme", Op{Kind: OpAdmit, Job: testJob(fmt.Sprintf("n%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WriteSnapshot("acme", testSpec, nil); err != nil { // sole snapshot at seq 5
+		t.Fatal(err)
+	}
+	s.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "t_acme", "wal-*.log"))
+	if len(segs) != 2 {
+		t.Fatalf("segments after sole snapshot = %v, want the full log retained", segs)
+	}
+
+	// Corrupt the only snapshot: recovery must fall back to the full log,
+	// not quarantine the tenant.
+	snapPath := filepath.Join(dir, "t_acme", snapName(5))
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x08
+	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := open(t, dir)
+	rep := r.Report()
+	if rep.QuarantinedSnapshots != 1 || rep.QuarantinedTenants != 0 {
+		t.Fatalf("report = %+v, want the sole snapshot quarantined and the tenant kept", rep)
+	}
+	rt := r.Tenants()
+	if len(rt) != 1 || rt[0].Snapshot != nil {
+		t.Fatalf("recovered = %+v, want a log-only tenant", rt)
+	}
+	if tail := rt[0].Tail; len(tail) != 5 || tail[0].Kind != OpCreate || tail[4].Seq != 5 {
+		t.Fatalf("tail = %+v, want the full seq 1..5 history", rt[0].Tail)
+	}
+}
+
+// TestBadMagicInsideSnapshottedHistory: a non-final segment with a
+// smashed header that lies entirely inside snapshotted history costs
+// nothing the snapshot does not already carry, so only that segment is
+// quarantined — acked post-snapshot operations in healthy later
+// segments survive.
+func TestBadMagicInsideSnapshottedHistory(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, func(c *Config) { c.SnapshotEvery = -1 })
+	appendOps(t, s, "acme", 2) // seq 1..3 in the first segment
+	s.Close()
+	s = open(t, dir)
+	for i := 0; i < 2; i++ { // seq 4..5 in a second segment
+		if _, err := s.Append("acme", Op{Kind: OpAdmit, Job: testJob(fmt.Sprintf("n%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WriteSnapshot("acme", testSpec, nil); err != nil { // covers seq 1..5
+		t.Fatal(err)
+	}
+	if _, err := s.Append("acme", Op{Kind: OpAdmit, Job: testJob("post")}); err != nil { // seq 6, third segment
+		t.Fatal(err)
+	}
+	s.Close()
+
+	first := filepath.Join(dir, "t_acme", segName(1))
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, "XXXXXXX")
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir)
+	rep := r.Report()
+	if rep.QuarantinedSegments != 1 {
+		t.Fatalf("report = %+v, want only the bad-magic segment quarantined", rep)
+	}
+	rt := r.Tenants()
+	if len(rt) != 1 || rt[0].Snapshot == nil || rt[0].Snapshot.Seq != 5 {
+		t.Fatalf("recovered = %+v, want snapshot-seeded tenant at seq 5", rt)
+	}
+	if tail := rt[0].Tail; len(tail) != 1 || tail[0].Seq != 6 {
+		t.Fatalf("tail = %+v, want the acked post-snapshot op at seq 6", rt[0].Tail)
+	}
+}
+
 func TestDroppedTenantReclaimedAndRecreatable(t *testing.T) {
 	dir := t.TempDir()
 	s := open(t, dir)
